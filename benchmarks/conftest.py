@@ -1,0 +1,41 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's Section 6
+with a reduced repetition count (the paper uses 20; shapes are stable from
+a handful), prints the regenerated rows, and asserts the qualitative
+properties the paper reports.  ``pytest benchmarks/ --benchmark-only``
+runs the whole evaluation; per-figure wall time is dominated by the
+simulated bootstraps of the larger Rocketfuel networks.
+
+The regenerated rows are the actual deliverable, so :func:`emit` writes
+them both to the live terminal (bypassing pytest's capture) and to
+``benchmarks/results/<figure>.txt`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Dict, List
+
+from repro.analysis.experiments import ExperimentResult
+from repro.sim.metrics import median
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(result: ExperimentResult) -> Dict[str, List[float]]:
+    """Print the regenerated figure rows and persist them; returns the
+    series for shape assertions."""
+    text = "\n".join(result.rows())
+    print(f"\n{text}", file=sys.__stdout__, flush=True)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "-", result.name.lower()).strip("-")
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+    return result.series
+
+
+def med(values: List[float]) -> float:
+    assert values, "experiment produced no data"
+    return median(values)

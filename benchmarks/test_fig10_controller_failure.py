@@ -1,0 +1,23 @@
+"""Figure 10: recovery time after one controller fail-stop.
+
+Paper's shape: recovery is O(D) — a few seconds, clearly below the
+bootstrap time of the same network.  Detection is Θ-bound, so networks
+with Θ=30 recover more slowly than Θ=10 ones.
+"""
+
+from repro.analysis.experiments import fig5_bootstrap, fig10_controller_failure
+
+from conftest import emit, med
+
+
+def test_fig10(benchmark):
+    result = benchmark.pedantic(
+        fig10_controller_failure,
+        kwargs={"reps": 2, "networks": ("B4", "Clos", "Telstra")},
+        rounds=1,
+        iterations=1,
+    )
+    series = emit(result)
+    for network, values in series.items():
+        assert values, f"{network} never re-converged"
+        assert all(0 < v < 120 for v in values)

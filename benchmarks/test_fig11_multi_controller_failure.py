@@ -1,0 +1,23 @@
+"""Figure 11: recovery after failing 1-6 of 7 controllers simultaneously.
+
+Paper's shape: no clear relation between the number of failed controllers
+and the recovery time.
+"""
+
+from repro.analysis.experiments import fig11_multi_controller_failure
+
+from conftest import emit, med
+
+
+def test_fig11(benchmark):
+    result = benchmark.pedantic(
+        fig11_multi_controller_failure,
+        kwargs={"reps": 1, "networks": ("Telstra",), "kill_counts": (1, 3, 6)},
+        rounds=1,
+        iterations=1,
+    )
+    series = emit(result)
+    medians = [med(series[f"Telstra kill={k}"]) for k in (1, 3, 6)]
+    assert all(0 < m < 120 for m in medians)
+    # "No significant role": killing 6 costs at most ~4x killing 1.
+    assert max(medians) <= 4 * min(medians) + 5.0

@@ -1,0 +1,22 @@
+"""Figure 12: recovery time after a permanent switch failure.
+
+Paper's shape: O(D) recovery with large variance (the failed switch is
+picked at random); the longest recoveries grow with the diameter.
+"""
+
+from repro.analysis.experiments import fig12_switch_failure
+
+from conftest import emit, med
+
+
+def test_fig12(benchmark):
+    result = benchmark.pedantic(
+        fig12_switch_failure,
+        kwargs={"reps": 2, "networks": ("B4", "Clos", "Telstra")},
+        rounds=1,
+        iterations=1,
+    )
+    series = emit(result)
+    for network, values in series.items():
+        assert values, f"{network} never re-converged"
+        assert all(0 < v < 120 for v in values)

@@ -1,0 +1,21 @@
+"""Figure 13: recovery time after a permanent link failure.
+
+Paper's shape: O(D) recovery, a few seconds on every network.
+"""
+
+from repro.analysis.experiments import fig13_link_failure
+
+from conftest import emit
+
+
+def test_fig13(benchmark):
+    result = benchmark.pedantic(
+        fig13_link_failure,
+        kwargs={"reps": 2, "networks": ("B4", "Clos", "Telstra")},
+        rounds=1,
+        iterations=1,
+    )
+    series = emit(result)
+    for network, values in series.items():
+        assert values, f"{network} never re-converged"
+        assert all(0 < v < 120 for v in values)

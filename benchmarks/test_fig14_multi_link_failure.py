@@ -1,0 +1,23 @@
+"""Figure 14: recovery after 2/4/6 simultaneous permanent link failures.
+
+Paper's shape: the number of simultaneous failures plays no significant
+role in the recovery time.
+"""
+
+from repro.analysis.experiments import fig14_multi_link_failure
+
+from conftest import emit, med
+
+
+def test_fig14(benchmark):
+    result = benchmark.pedantic(
+        fig14_multi_link_failure,
+        kwargs={"reps": 1, "networks": ("B4", "Clos", "Telstra"), "fail_counts": (2, 4, 6)},
+        rounds=1,
+        iterations=1,
+    )
+    series = emit(result)
+    for network in ("B4", "Clos", "Telstra"):
+        medians = [med(series[f"{network} k={k}"]) for k in (2, 4, 6)]
+        assert all(0 < m < 120 for m in medians)
+        assert max(medians) <= 4 * min(medians) + 5.0

@@ -1,0 +1,23 @@
+"""Figure 15: TCP throughput with a link failure at t=10 s, with recovery.
+
+Paper's shape: a ~500 Mbit/s plateau, one valley at the failure second
+(dropping to roughly 480-510 in the paper), full recovery afterwards.
+"""
+
+from repro.analysis.experiments import fig15_throughput_with_recovery
+
+from conftest import emit
+
+
+def test_fig15(benchmark):
+    result = benchmark.pedantic(
+        fig15_throughput_with_recovery, rounds=1, iterations=1
+    )
+    series = emit(result)
+    for network, values in series.items():
+        plateau = sum(values[4:9]) / 5
+        valley = min(values[9:13])
+        tail = sum(values[-5:]) / 5
+        assert 420 <= plateau <= 560, (network, plateau)
+        assert valley < plateau * 0.95, (network, "no visible valley")
+        assert tail > plateau * 0.9, (network, "no recovery")

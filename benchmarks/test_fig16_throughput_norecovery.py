@@ -1,0 +1,22 @@
+"""Figure 16: throughput with only the pre-installed backup paths.
+
+Paper's shape: almost identical to Figure 15 — the backup paths alone
+sustain the plateau after the single failure.
+"""
+
+from repro.analysis.experiments import fig16_throughput_without_recovery
+
+from conftest import emit
+
+
+def test_fig16(benchmark):
+    result = benchmark.pedantic(
+        fig16_throughput_without_recovery, rounds=1, iterations=1
+    )
+    series = emit(result)
+    for network, values in series.items():
+        plateau = sum(values[4:9]) / 5
+        tail = sum(values[-5:]) / 5
+        assert 420 <= plateau <= 560, (network, plateau)
+        # Backup paths keep carrying traffic to the end of the run.
+        assert tail > plateau * 0.85, (network, tail)

@@ -1,0 +1,21 @@
+"""Figure 18: retransmission percentage per second.
+
+Paper's shape: below 1% before the failure, a spike into the 10-15% band
+in the second after the failure, quick de-escalation.
+"""
+
+from repro.analysis.experiments import fig18_retransmissions
+
+from conftest import emit
+
+
+def test_fig18(benchmark):
+    result = benchmark.pedantic(fig18_retransmissions, rounds=1, iterations=1)
+    series = emit(result)
+    for network, values in series.items():
+        baseline = max(values[2:9])
+        spike = max(values[9:14])
+        tail = max(values[16:])
+        assert baseline < 2.0, (network, baseline)
+        assert 5.0 <= spike <= 30.0, (network, spike)
+        assert tail < 2.0, (network, "no de-escalation")

@@ -1,0 +1,21 @@
+"""Figure 19: 'BAD TCP' flag percentage per second.
+
+Paper's shape: like the retransmissions, a spike to the 10-18% band after
+the failure; BAD TCP always dominates pure retransmissions.
+"""
+
+from repro.analysis.experiments import fig18_retransmissions, fig19_bad_tcp
+
+from conftest import emit
+
+
+def test_fig19(benchmark):
+    result = benchmark.pedantic(fig19_bad_tcp, rounds=1, iterations=1)
+    series = emit(result)
+    retrans = fig18_retransmissions().series
+    for network, values in series.items():
+        spike = max(values[9:14])
+        assert 5.0 <= spike <= 35.0, (network, spike)
+        # BAD TCP is a superset of retransmissions, second by second.
+        for bad, rt in zip(values, retrans[network]):
+            assert bad >= rt - 1e-9

@@ -1,0 +1,19 @@
+"""Figure 20: out-of-order packet percentage per second.
+
+Paper's shape: 'a much smaller presence' than the retransmissions — a bump
+of up to ~3% right after the failure, negligible otherwise.
+"""
+
+from repro.analysis.experiments import fig20_out_of_order
+
+from conftest import emit
+
+
+def test_fig20(benchmark):
+    result = benchmark.pedantic(fig20_out_of_order, rounds=1, iterations=1)
+    series = emit(result)
+    for network, values in series.items():
+        baseline = max(values[2:9])
+        bump = max(values[9:14])
+        assert baseline < 0.5, (network, baseline)
+        assert 0.0 < bump <= 10.0, (network, bump)

@@ -1,0 +1,24 @@
+"""Figure 5: bootstrap time for the five networks with 3 controllers.
+
+Paper's shape: medians grow from ~5 s (B4) to ~35-55 s (EBONE) with the
+network dimensions.  Absolute values differ on the simulator; the ordering
+small-networks-fast / large-networks-slow must hold.
+"""
+
+from repro.analysis.experiments import fig5_bootstrap
+
+from conftest import emit, med
+
+
+def test_fig5(benchmark):
+    result = benchmark.pedantic(
+        fig5_bootstrap, kwargs={"reps": 2}, rounds=1, iterations=1
+    )
+    series = emit(result)
+    for network, values in series.items():
+        assert values, f"{network} never bootstrapped"
+        assert all(v > 0 for v in values)
+    # Shape: the largest networks take longer than the smallest.
+    assert med(series["B4"]) < med(series["AT&T"])
+    assert med(series["Clos"]) < med(series["EBONE"])
+    assert med(series["Telstra"]) <= med(series["EBONE"])

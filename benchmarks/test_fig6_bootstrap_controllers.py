@@ -1,0 +1,26 @@
+"""Figure 6: bootstrap time vs controller count (Rocketfuel networks).
+
+Paper's shape: bootstrap grows with the network and only mildly with the
+controller count (more controllers ⇒ slightly longer, never dramatic).
+"""
+
+from repro.analysis.experiments import fig6_bootstrap_vs_controllers
+
+from conftest import emit, med
+
+
+def test_fig6(benchmark):
+    result = benchmark.pedantic(
+        fig6_bootstrap_vs_controllers,
+        kwargs={"reps": 1, "controller_counts": (1, 7)},
+        rounds=1,
+        iterations=1,
+    )
+    series = emit(result)
+    for label, values in series.items():
+        assert values, f"{label} never bootstrapped"
+    for network in ("Telstra", "AT&T", "EBONE"):
+        lone = med(series[f"{network} x1"])
+        many = med(series[f"{network} x7"])
+        # Mild effect: 7 controllers cost at most ~4x one controller.
+        assert many <= 4 * lone + 5.0

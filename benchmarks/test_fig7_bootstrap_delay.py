@@ -1,0 +1,30 @@
+"""Figure 7: bootstrap time as a function of the task delay.
+
+Paper's shape: bootstrap time is roughly proportional to the delay over
+the moderate range.  (The paper's rightmost congestion peaks at very small
+delays come from real-switch queueing, which the simulator does not model;
+the small-delay end flattens here instead — recorded in EXPERIMENTS.md.)
+"""
+
+from repro.analysis.experiments import fig7_bootstrap_vs_task_delay
+
+from conftest import emit, med
+
+
+def test_fig7(benchmark):
+    result = benchmark.pedantic(
+        fig7_bootstrap_vs_task_delay,
+        kwargs={
+            "reps": 1,
+            "networks": ("B4", "Clos", "Telstra"),
+            "delays": (1.0, 0.5, 0.1, 0.02),
+            "n_controllers": 7,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    series = emit(result)
+    for network in ("B4", "Clos", "Telstra"):
+        slow = med(series[f"{network} d=1.0"])
+        fast = med(series[f"{network} d=0.1"])
+        assert fast < slow  # proportionality over the moderate range

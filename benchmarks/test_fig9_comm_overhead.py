@@ -1,0 +1,24 @@
+"""Figure 9: per-node communication cost of the most loaded controller.
+
+Paper's shape: once normalized by the iterations to converge, the cost per
+node is of the same order across all networks (~5-25), slightly higher for
+the largest ones.
+"""
+
+from repro.analysis.experiments import fig9_communication_overhead
+
+from conftest import emit, med
+
+
+def test_fig9(benchmark):
+    result = benchmark.pedantic(
+        fig9_communication_overhead,
+        kwargs={"reps": 1, "networks": ("B4", "Clos", "Telstra", "EBONE")},
+        rounds=1,
+        iterations=1,
+    )
+    series = emit(result)
+    medians = {network: med(values) for network, values in series.items()}
+    assert all(v > 0 for v in medians.values())
+    # Same order of magnitude across networks (paper: similar overheads).
+    assert max(medians.values()) <= 40 * min(medians.values())

@@ -1,0 +1,15 @@
+"""Table 17: correlation between the Fig 15 and Fig 16 throughput series.
+
+Paper's values: 0.92-0.96 across the networks.
+"""
+
+from repro.analysis.experiments import table17_correlation
+
+from conftest import emit
+
+
+def test_table17(benchmark):
+    result = benchmark.pedantic(table17_correlation, rounds=1, iterations=1)
+    series = emit(result)
+    for network, values in series.items():
+        assert values[0] >= 0.85, (network, values[0])

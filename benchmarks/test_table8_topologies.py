@@ -1,0 +1,16 @@
+"""Table 8: node counts and diameters of the evaluation networks."""
+
+from repro.analysis.experiments import table8_topologies
+from repro.net.topologies import TABLE8_EXPECTED, TOPOLOGY_BUILDERS
+
+from conftest import emit
+
+
+def test_table8(benchmark):
+    result = benchmark.pedantic(table8_topologies, rounds=1, iterations=1)
+    series = emit(result)
+    for network, (nodes, diameter) in TABLE8_EXPECTED.items():
+        assert series[f"{network} nodes"] == [float(nodes)]
+        assert series[f"{network} diameter"] == [float(diameter)]
+        # κ = 1 requires 2-edge-connectivity (Section 2.2.2).
+        assert series[f"{network} edge connectivity"][0] >= 2.0

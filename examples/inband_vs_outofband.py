@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""In-band vs out-of-band control bootstrap, visualized (Section 8.2).
+
+The paper's central constraint is that control is *in-band*: a controller
+reaches a switch only over rules it already installed, so discovery and
+rule installation must interleave, frontier by frontier.  This example
+races the two deployments on the same network and renders each
+controller's discovery progress over time.
+
+Run:  python examples/inband_vs_outofband.py
+"""
+
+from repro import build_network, NetworkSimulation, SimulationConfig
+from repro.sim.timeline import ConvergenceTimeline
+
+
+def race(out_of_band: bool) -> None:
+    label = "out-of-band (dedicated mgmt network)" if out_of_band else "in-band"
+    topology = build_network("Telstra", n_controllers=3, seed=21)
+    sim = NetworkSimulation(
+        topology, SimulationConfig(seed=21, theta=30, out_of_band=out_of_band)
+    )
+    timeline = ConvergenceTimeline(sim, interval=0.5)
+    timeline.attach()
+    t = sim.run_until_legitimate(timeout=240.0)
+    sim.run_for(1.0)  # one more sample past convergence
+    print(f"\n== {label} ==")
+    print("discovery progress (one column per 0.5 s; '#' = full view):")
+    print(timeline.render(width=60))
+    print(f"bootstrap time: {t:.1f} s, "
+          f"control messages (hop-level): "
+          f"{sum(l.link_transmissions for l in sim.metrics.loads.values())}")
+
+
+def main() -> None:
+    race(out_of_band=False)
+    race(out_of_band=True)
+    print("\nThe in-band run expands its view stepwise — each round extends"
+          "\nreachability by the rules installed in the previous one — while"
+          "\nthe out-of-band run sees everything within a couple of probes.")
+
+
+if __name__ == "__main__":
+    main()

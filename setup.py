@@ -1,0 +1,13 @@
+"""Legacy setup shim: the sandbox's setuptools predates PEP 660 editable
+wheels, so ``pip install -e .`` needs the classic ``setup.py develop``
+path.  All real metadata lives in pyproject.toml."""
+
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

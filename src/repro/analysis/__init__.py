@@ -1,0 +1,46 @@
+"""Experiment harness: one function per paper figure/table.
+
+Each function regenerates the rows/series of the corresponding figure or
+table of the paper's Section 6 evaluation, returning plain data structures
+that the benchmark suite prints and asserts shape properties on.
+"""
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    table8_topologies,
+    fig5_bootstrap,
+    fig6_bootstrap_vs_controllers,
+    fig7_bootstrap_vs_task_delay,
+    fig9_communication_overhead,
+    fig10_controller_failure,
+    fig11_multi_controller_failure,
+    fig12_switch_failure,
+    fig13_link_failure,
+    fig14_multi_link_failure,
+    fig15_throughput_with_recovery,
+    fig16_throughput_without_recovery,
+    table17_correlation,
+    fig18_retransmissions,
+    fig19_bad_tcp,
+    fig20_out_of_order,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "table8_topologies",
+    "fig5_bootstrap",
+    "fig6_bootstrap_vs_controllers",
+    "fig7_bootstrap_vs_task_delay",
+    "fig9_communication_overhead",
+    "fig10_controller_failure",
+    "fig11_multi_controller_failure",
+    "fig12_switch_failure",
+    "fig13_link_failure",
+    "fig14_multi_link_failure",
+    "fig15_throughput_with_recovery",
+    "fig16_throughput_without_recovery",
+    "table17_correlation",
+    "fig18_retransmissions",
+    "fig19_bad_tcp",
+    "fig20_out_of_order",
+]

@@ -1,0 +1,192 @@
+"""Command-line interface: run reproduction experiments from a shell.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli bootstrap --network B4 --controllers 3 --reps 3
+    python -m repro.cli recover --network Telstra --fault link
+    python -m repro.cli traffic --network Telstra [--no-recovery]
+    python -m repro.cli figure fig5 --reps 3
+
+``figure`` runs any of the paper's figure/table experiments by id and
+prints the regenerated rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable, Dict
+
+from repro.analysis import experiments as exp
+from repro.net.topologies import TOPOLOGY_BUILDERS, attach_controllers
+from repro.sim.network_sim import NetworkSimulation, SimulationConfig
+from repro.sim.faults import FaultAction, FaultPlan, random_link
+from repro.transport.traffic import (
+    TrafficRun,
+    place_hosts_at_max_distance,
+    standalone_switches,
+)
+
+FIGURES: Dict[str, Callable[..., exp.ExperimentResult]] = {
+    "table8": exp.table8_topologies,
+    "fig5": exp.fig5_bootstrap,
+    "fig6": exp.fig6_bootstrap_vs_controllers,
+    "fig7": exp.fig7_bootstrap_vs_task_delay,
+    "fig9": exp.fig9_communication_overhead,
+    "fig10": exp.fig10_controller_failure,
+    "fig11": exp.fig11_multi_controller_failure,
+    "fig12": exp.fig12_switch_failure,
+    "fig13": exp.fig13_link_failure,
+    "fig14": exp.fig14_multi_link_failure,
+    "fig15": exp.fig15_throughput_with_recovery,
+    "fig16": exp.fig16_throughput_without_recovery,
+    "table17": exp.table17_correlation,
+    "fig18": exp.fig18_retransmissions,
+    "fig19": exp.fig19_bad_tcp,
+    "fig20": exp.fig20_out_of_order,
+}
+
+TAKES_REPS = {"fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("networks:", ", ".join(sorted(TOPOLOGY_BUILDERS)))
+    print("figures:", ", ".join(sorted(FIGURES)))
+    return 0
+
+
+def _build_sim(args: argparse.Namespace) -> NetworkSimulation:
+    topology = TOPOLOGY_BUILDERS[args.network]()
+    attach_controllers(topology, args.controllers, seed=args.seed)
+    config = SimulationConfig(
+        seed=args.seed,
+        theta=exp.THETA.get(args.network, 10),
+        task_delay=args.task_delay,
+        discovery_delay=args.task_delay,
+        out_of_band=getattr(args, "out_of_band", False),
+    )
+    return NetworkSimulation(topology, config)
+
+
+def cmd_bootstrap(args: argparse.Namespace) -> int:
+    times = []
+    for rep in range(args.reps):
+        args.seed = rep
+        sim = _build_sim(args)
+        t = sim.run_until_legitimate(timeout=exp.TIMEOUT.get(args.network, 300.0))
+        if t is None:
+            print(f"rep {rep}: TIMEOUT")
+            continue
+        times.append(t)
+        print(
+            f"rep {rep}: bootstrapped in {t:.1f} s "
+            f"(rules={sim.total_rules_installed()}, "
+            f"illegit-deletions={sim.metrics.illegitimate_deletions})"
+        )
+    if times:
+        print(f"median: {sorted(times)[len(times) // 2]:.1f} s over {len(times)} reps")
+    return 0 if times else 1
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    sim = _build_sim(args)
+    timeout = exp.TIMEOUT.get(args.network, 300.0)
+    t0 = sim.run_until_legitimate(timeout=timeout)
+    if t0 is None:
+        print("bootstrap timed out")
+        return 1
+    print(f"bootstrap: {t0:.1f} s")
+    rng = random.Random(args.seed)
+    plan = FaultPlan()
+    at = sim.sim.now + 0.1
+    if args.fault == "controller":
+        victim = rng.choice(sim.topology.controllers)
+        plan.fail_node(at, victim)
+    elif args.fault == "link":
+        u, v = random_link(sim.topology, rng)
+        victim = f"{u}-{v}"
+        plan.remove_link(at, u, v)
+    else:  # switch
+        for victim in sim.topology.switches:
+            probe = sim.topology.copy()
+            probe.remove_node(victim)
+            if probe.connected():
+                break
+        plan.actions.append(FaultAction(at, "remove_node", (victim,)))
+    print(f"injecting {args.fault} fault on {victim}")
+    sim.inject(plan)
+    sim.run_for(0.2)
+    t1 = sim.run_until_legitimate(timeout=timeout)
+    if t1 is None:
+        print("recovery timed out")
+        return 1
+    print(f"recovered in {t1 - at:.1f} s")
+    return 0
+
+
+def cmd_traffic(args: argparse.Namespace) -> int:
+    topology = TOPOLOGY_BUILDERS[args.network]()
+    pair = place_hosts_at_max_distance(topology)
+    switches = standalone_switches(topology)
+    run = TrafficRun(topology, switches, pair, recovery=not args.no_recovery)
+    stats = run.run()
+    print(f"hosts: {pair.a} <-> {pair.b} ({pair.distance} hops)")
+    print("throughput (Mbit/s):", [round(x) for x in stats.throughput_series()])
+    print("retransmissions (%):", [round(x, 1) for x in stats.retransmission_series()])
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    fn = FIGURES[args.id]
+    kwargs = {"reps": args.reps} if args.id in TAKES_REPS else {}
+    result = fn(**kwargs)
+    for line in result.rows():
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Renaissance reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list networks and figures").set_defaults(fn=cmd_list)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--network", default="B4", choices=sorted(TOPOLOGY_BUILDERS))
+    common.add_argument("--controllers", type=int, default=3)
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--task-delay", type=float, default=0.5)
+
+    boot = sub.add_parser("bootstrap", parents=[common], help="measure bootstrap time")
+    boot.add_argument("--reps", type=int, default=3)
+    boot.add_argument("--out-of-band", action="store_true")
+    boot.set_defaults(fn=cmd_bootstrap)
+
+    rec = sub.add_parser("recover", parents=[common], help="measure failure recovery")
+    rec.add_argument("--fault", default="link", choices=["controller", "link", "switch"])
+    rec.set_defaults(fn=cmd_recover)
+
+    traffic = sub.add_parser("traffic", help="throughput under a link failure")
+    traffic.add_argument("--network", default="Telstra", choices=sorted(TOPOLOGY_BUILDERS))
+    traffic.add_argument("--no-recovery", action="store_true")
+    traffic.set_defaults(fn=cmd_traffic)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure/table")
+    fig.add_argument("id", choices=sorted(FIGURES))
+    fig.add_argument("--reps", type=int, default=3)
+    fig.set_defaults(fn=cmd_figure)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Renaissance: the paper's primary contribution (Algorithm 2).
+
+A self-stabilizing, in-band, distributed SDN control plane: every
+controller iteratively discovers the network, installs κ-fault-resilient
+flows to every node, removes stale configuration, and synchronizes its
+switch accesses in uniquely-tagged rounds.
+"""
+
+from repro.core.config import RenaissanceConfig
+from repro.core.tags import Tag, TagGenerator, DELTA_SYNCH
+from repro.core.replydb import ReplyDB
+from repro.core.rules import RuleGenerator, build_view
+from repro.core.controller import RenaissanceController
+from repro.core.variants import NonAdaptiveController, ThreeTagController
+from repro.core.legitimacy import (
+    LegitimacyChecker,
+    forwarding_path,
+    flow_is_resilient,
+)
+
+__all__ = [
+    "RenaissanceConfig",
+    "Tag",
+    "TagGenerator",
+    "DELTA_SYNCH",
+    "ReplyDB",
+    "RuleGenerator",
+    "build_view",
+    "RenaissanceController",
+    "NonAdaptiveController",
+    "ThreeTagController",
+    "LegitimacyChecker",
+    "forwarding_path",
+    "flow_is_resilient",
+]

@@ -1,0 +1,70 @@
+"""Configuration parameters of the Renaissance control plane.
+
+Collects the constants of the paper's model (Figure 4 and Section 3.3):
+κ (tolerated link failures), the switch memory bounds ``maxRules`` and
+``maxManagers``, the controller's ``maxReplies``, the Θ detector threshold,
+and the tag domain size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RenaissanceConfig:
+    """Tunable parameters, with the paper's constraints enforced.
+
+    ``max_replies`` must be ≥ 2·(NC + NS) (Section 4.2) so a legal
+    execution never triggers a C-reset; :meth:`for_network` derives the
+    bounds from the network dimensions.
+    """
+
+    kappa: int = 1
+    max_rules: int = 100_000
+    max_managers: int = 64
+    max_replies: int = 4_096
+    theta: int = 10
+    tag_domain: int = 65_536
+    #: Hop budget for in-band control packets (defends against transient
+    #: forwarding loops caused by corrupted rules).
+    packet_ttl: int = 64
+
+    def __post_init__(self) -> None:
+        if self.kappa < 0:
+            raise ValueError("kappa must be >= 0")
+        if self.max_rules < 1 or self.max_managers < 1 or self.max_replies < 2:
+            raise ValueError("memory bounds must be positive")
+        if self.theta < 1:
+            raise ValueError("theta must be >= 1")
+        if self.tag_domain < 8:
+            raise ValueError("tag domain too small to stabilize")
+
+    @property
+    def n_priorities(self) -> int:
+        """nprt: priorities 0 (meta) .. κ+1 (primary path)."""
+        return self.kappa + 2
+
+    @staticmethod
+    def for_network(
+        n_controllers: int,
+        n_switches: int,
+        kappa: int = 1,
+        theta: int = 10,
+    ) -> "RenaissanceConfig":
+        """Bounds satisfying Lemma 1 / Section 4.2 for given dimensions:
+        maxManagers ≥ NC, maxRules ≥ NC·(NC+NS−1)·nprt (plus meta-rules),
+        maxReplies ≥ 2·(NC+NS).
+        """
+        n_total = n_controllers + n_switches
+        nprt = kappa + 2
+        return RenaissanceConfig(
+            kappa=kappa,
+            max_rules=max(64, 2 * n_controllers * (n_total - 1) * nprt + n_controllers),
+            max_managers=max(4, n_controllers),
+            max_replies=max(8, 2 * n_total),
+            theta=theta,
+        )
+
+
+__all__ = ["RenaissanceConfig"]

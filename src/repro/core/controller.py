@@ -1,0 +1,304 @@
+"""The Renaissance controller — Algorithm 2 of the paper.
+
+Pure control logic, deliberately free of any transport or simulator
+dependency: the do-forever body (:meth:`iterate`) *returns* the aggregated
+command batches to send, and the owner (the simulation harness, or a unit
+test) feeds replies back through :meth:`on_reply` and queries through
+:meth:`on_query`.  This keeps every line of Algorithm 2 unit-testable in
+isolation.
+
+Line-by-line correspondence (Algorithm 2):
+
+* line 8  → :meth:`_prune_reply_db`
+* lines 9–12 → :meth:`_maybe_start_round`
+* line 13 → :meth:`_reference_tag`
+* lines 14–18 → :meth:`_prepare_switch_updates`
+* line 19 → the batch list returned by :meth:`iterate`
+* lines 20–22 → :meth:`on_reply` (C-reset inside :class:`ReplyDB`)
+* line 23 → :meth:`on_query`
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.net.topology import Topology
+from repro.core.config import RenaissanceConfig
+from repro.core.tags import Tag, TagGenerator
+from repro.core.replydb import ReplyDB
+from repro.core.rules import RuleGenerator, build_view
+from repro.switch.flow_table import Rule, META_PRIORITY
+from repro.switch.abstract_switch import BOTTOM
+from repro.switch.commands import (
+    CommandBatch,
+    NewRound,
+    Query,
+    QueryReply,
+    make_batch,
+)
+
+
+class RenaissanceController:
+    """One controller ``pi`` running Algorithm 2."""
+
+    def __init__(
+        self,
+        cid: str,
+        config: RenaissanceConfig,
+        alive_neighbors,
+    ) -> None:
+        self.cid = cid
+        self.config = config
+        self._alive_neighbors = alive_neighbors
+        self.tags = TagGenerator(cid, domain=config.tag_domain)
+        self.replydb = self._make_replydb()
+        self.rulegen = RuleGenerator(cid, kappa=config.kappa)
+        self.prev_tag: Tag = self.tags.next_tag()
+        self.curr_tag: Tag = self.tags.next_tag()
+        # Observability counters.
+        self.iterations = 0
+        self.rounds_completed = 0
+        self.batches_sent = 0
+        self.last_new_round = False
+        self.failed = False
+
+    # -- hooks that variants override -------------------------------------------
+
+    def _make_replydb(self) -> ReplyDB:
+        return ReplyDB(self.cid, self.config.max_replies)
+
+    def _cleanup_enabled(self) -> bool:
+        """Whether stale managers/rules are actively deleted (the
+        non-memory-adaptive variant of Section 8.1 turns this off)."""
+        return True
+
+    def _rules_to_install(self, view: Topology, switch_reply: QueryReply) -> List[Rule]:
+        """Rules for one switch this round (the three-tag variant of
+        Section 6.2 extends this with the previous round's rules)."""
+        return self.rulegen.my_rules(view, switch_reply.node, self.curr_tag)
+
+    # -- Algorithm 2 do-forever body ----------------------------------------------
+
+    def iterate(self) -> List[Tuple[str, CommandBatch]]:
+        """One complete iteration; returns ``(destination, batch)`` pairs."""
+        if self.failed:
+            return []
+        self.iterations += 1
+        neighbors = list(self._alive_neighbors())
+
+        self._prune_reply_db(neighbors)
+        new_round = self._maybe_start_round(neighbors)
+        self.last_new_round = new_round
+
+        refer_tag, refer_view = self._reference_tag(neighbors)
+        updates = self._prepare_switch_updates(refer_tag, refer_view, new_round, neighbors)
+
+        fusion_view = build_view(
+            self.cid, neighbors, self.replydb.fusion(self.curr_tag, self.prev_tag)
+        )
+        reachable = set(fusion_view.bfs_layers(self.cid))
+        reachable.discard(self.cid)
+
+        batches: List[Tuple[str, CommandBatch]] = []
+        for node in sorted(reachable):
+            if node in updates:
+                batch = updates[node]
+            else:
+                batch = CommandBatch(
+                    sender=self.cid,
+                    commands=(NewRound(self.curr_tag), Query(self.curr_tag)),
+                )
+            batches.append((node, batch))
+        self.batches_sent += len(batches)
+        return batches
+
+    # line 8
+    def _prune_reply_db(self, neighbors: Sequence[str]) -> None:
+        reachable: Dict[Tag, Set[str]] = {}
+        for tag in (self.curr_tag, self.prev_tag):
+            view = build_view(self.cid, neighbors, self.replydb.res(tag))
+            reachable[tag] = set(view.bfs_layers(self.cid))
+        self.replydb.prune(
+            keep_tags={self.curr_tag, self.prev_tag}, reachable=reachable
+        )
+
+    # lines 9-12
+    def _maybe_start_round(self, neighbors: Sequence[str]) -> bool:
+        current = self.replydb.res(self.curr_tag)
+        view = build_view(self.cid, neighbors, current)
+        answered = {r.node for r in current} | {self.cid}
+        reachable = set(view.bfs_layers(self.cid))
+        if not reachable.issubset(answered):
+            return False
+        self.prev_tag = self.curr_tag
+        self.curr_tag = self.tags.next_tag(observed=self._observed_tags())
+        self.replydb.drop_tag(self.curr_tag)
+        self.rounds_completed += 1
+        return True
+
+    def _observed_tags(self) -> List[Tag]:
+        observed: List[Tag] = [self.curr_tag, self.prev_tag]
+        for stored in self.replydb.entries():
+            if isinstance(stored.tag, Tag):
+                observed.append(stored.tag)
+            for rule in stored.reply.rules:
+                if rule.cid == self.cid and isinstance(rule.tag, Tag):
+                    observed.append(rule.tag)
+        return observed
+
+    # line 13
+    def _reference_tag(self, neighbors: Sequence[str]) -> Tuple[Tag, Topology]:
+        """During legal executions the reference is the completed previous
+        round; while the discovered topology is still changing it is the
+        *current* round's fresh replies — ``G(res(currTag))``, not the
+        fusion, which can still carry a stale reply from a node that died
+        mid-round (line 13 / line 18 of Algorithm 2)."""
+        fusion_view = build_view(
+            self.cid, neighbors, self.replydb.fusion(self.curr_tag, self.prev_tag)
+        )
+        prev_view = build_view(self.cid, neighbors, self.replydb.res(self.prev_tag))
+        if self._same_graph(fusion_view, prev_view):
+            return self.prev_tag, prev_view
+        curr_view = build_view(self.cid, neighbors, self.replydb.res(self.curr_tag))
+        return self.curr_tag, curr_view
+
+    @staticmethod
+    def _same_graph(a: Topology, b: Topology) -> bool:
+        return a.nodes == b.nodes and a.links == b.links
+
+    # lines 14-18
+    def _prepare_switch_updates(
+        self,
+        refer_tag: Tag,
+        refer_view: Topology,
+        new_round: bool,
+        neighbors: Sequence[str],
+    ) -> Dict[str, CommandBatch]:
+        prev_view = build_view(self.cid, neighbors, self.replydb.res(self.prev_tag))
+        reachable_prev = set(prev_view.bfs_layers(self.cid))
+
+        updates: Dict[str, CommandBatch] = {}
+        for reply in self.replydb.res(refer_tag):
+            if reply.kind != "switch":
+                continue
+            rule_owners = {r.cid for r in reply.rules}
+            # Stale-state removal.  We follow Algorithm 1's semantics
+            # (lines 9-11) and the prose of Section 4.1.2: on a new round,
+            # remove any manager or rule owner that was not discovered
+            # *reachable* during round prevTag — but "only when [pi] has
+            # succeeded in discovering the network and bootstrapped
+            # communication", i.e. only while the discovered topology is
+            # quiescent (referTag == prevTag, line 13's stability signal).
+            #
+            # Two literal readings of Algorithm 2's line 15 livelock in
+            # practice and are deliberately not used:
+            # * requiring a kept manager to own rules in the snapshot makes
+            #   each controller's own delete-then-query batch manufacture
+            #   "manager without rules" evidence about live peers, so two
+            #   controllers alternately erase each other forever;
+            # * deleting while discovery is still expanding lets controllers
+            #   carve the network into spheres of influence, erasing each
+            #   other's flows at the borders faster than they are rebuilt,
+            #   which freezes discovery on diameter-10+ networks.
+            manager_dels: List[str] = []
+            rule_dels: List[str] = []
+            discovery_quiescent = refer_tag == self.prev_tag
+            if new_round and discovery_quiescent and self._cleanup_enabled():
+                manager_dels = sorted(
+                    m
+                    for m in set(reply.managers)
+                    if m != self.cid and m not in reachable_prev
+                )
+                rule_dels = sorted(
+                    owner
+                    for owner in rule_owners
+                    if owner != self.cid and owner not in reachable_prev
+                )
+            new_rules = self._rules_to_install(refer_view, reply)
+            updates[reply.node] = make_batch(
+                sender=self.cid,
+                round_tag=self.curr_tag,
+                manager_dels=manager_dels,
+                rule_dels=rule_dels,
+                new_rules=new_rules,
+                query_tag=self.curr_tag,
+            )
+        return updates
+
+    # -- message handlers -----------------------------------------------------------
+
+    def on_reply(self, reply: QueryReply) -> bool:
+        """Lines 20–22.  Returns ``True`` if a C-reset occurred."""
+        if self.failed:
+            return False
+        return self.replydb.store(reply, self._extract_tag(reply), self.curr_tag)
+
+    def _extract_tag(self, reply: QueryReply) -> Optional[Tag]:
+        """The tag of *our* meta/echo rule inside the reply (``res`` macro)."""
+        fallback: Optional[Tag] = None
+        for rule in reply.rules:
+            if rule.cid != self.cid:
+                continue
+            if rule.is_meta and isinstance(rule.tag, Tag):
+                return rule.tag
+            if isinstance(rule.tag, Tag):
+                fallback = rule.tag
+        return fallback
+
+    def on_query(self, sender: str, tag: object) -> QueryReply:
+        """Line 23: answer another controller's query with our local
+        topology and the tag echo."""
+        echo = Rule(
+            cid=sender,
+            sid=self.cid,
+            src=BOTTOM,
+            dst=BOTTOM,
+            priority=META_PRIORITY,
+            forward_to=None,
+            tag=tag,
+        )
+        return QueryReply(
+            node=self.cid,
+            neighbors=tuple(self._alive_neighbors()),
+            managers=(),
+            rules=(echo,),
+            kind="controller",
+        )
+
+    def on_batch(self, batch: CommandBatch) -> Optional[QueryReply]:
+        """Controllers ignore every command except the query (Section 4.2)."""
+        tag = batch.query_tag
+        if tag is None:
+            return None
+        return self.on_query(batch.sender, tag)
+
+    # -- views for inspection / legitimacy checking ------------------------------------
+
+    def current_view(self) -> Topology:
+        return build_view(
+            self.cid,
+            list(self._alive_neighbors()),
+            self.replydb.fusion(self.curr_tag, self.prev_tag),
+        )
+
+    # -- fault hooks ---------------------------------------------------------------------
+
+    def fail_stop(self) -> None:
+        self.failed = True
+
+    def recover(self) -> None:
+        """Restart with empty volatile state (a recovered controller boots
+        fresh, as Lemma 8's node-addition case assumes)."""
+        self.failed = False
+        self.replydb = self._make_replydb()
+        self.rulegen.invalidate()
+        self.prev_tag = self.tags.next_tag()
+        self.curr_tag = self.tags.next_tag()
+
+    def corrupt_tags(self, prev: Tag, curr: Tag) -> None:
+        """Transient-fault hook: overwrite round state arbitrarily."""
+        self.prev_tag = prev
+        self.curr_tag = curr
+
+
+__all__ = ["RenaissanceController"]

@@ -1,0 +1,259 @@
+"""Legitimate-state predicates (paper Definition 1) and data-plane checks.
+
+The experiment harness needs to detect the instant the system (re)enters a
+legitimate state — that instant defines the bootstrap/recovery times of
+Figures 5–14.  :class:`LegitimacyChecker` evaluates Definition 1 against
+ground truth:
+
+1. every controller's accumulated view equals the live topology and covers
+   exactly the reachable nodes;
+2. every live switch is managed by exactly the live controllers;
+3. the installed rules realize κ-fault-resilient forwarding between every
+   controller and every node;
+4. no stale state (rules/managers of failed controllers) remains.
+
+Condition 3 is verified *operationally*: we walk packets through the actual
+switch tables (:func:`forwarding_path`) rather than trusting the flow
+planner, and re-walk under injected link failures (:func:`flow_is_resilient`)
+— for κ = 1 the check is exhaustive over the failure space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.net.topology import Topology, EdgeId, edge
+from repro.switch.abstract_switch import AbstractSwitch
+from repro.switch.forwarding import next_hop
+
+
+def forwarding_path(
+    topology: Topology,
+    switches: Dict[str, AbstractSwitch],
+    src: str,
+    dst: str,
+    ttl: int = 64,
+    extra_failed: Optional[Set[EdgeId]] = None,
+) -> Optional[List[str]]:
+    """Walk a packet with header ``(src, dst)`` through the switch tables.
+
+    ``extra_failed`` marks additional links as down (hypothetical failures
+    for resilience checking) on top of the live operational state.  The
+    walk starts at ``src``: controllers try each of their operational ports
+    in order (a dual-homed host's local failover); switches apply their
+    rule tables.  Returns the node path, or ``None`` if dropped/looped.
+    """
+    failed = extra_failed or set()
+
+    def usable(u: str, v: str) -> bool:
+        return topology.link_operational(u, v) and edge(u, v) not in failed
+
+    def operational_neighbors(node: str) -> List[str]:
+        return [v for v in topology.neighbors(node) if usable(node, v)]
+
+    if src == dst:
+        return [src]
+    if dst in operational_neighbors(src):
+        return [src, dst]  # rule-free direct delivery
+
+    def walk(path: List[str], node: str) -> Optional[List[str]]:
+        stamp: Optional[int] = None
+        budget = ttl
+        while node != dst:
+            if budget <= 0:
+                return None
+            budget -= 1
+            if node not in switches:
+                return None  # a controller cannot relay data-plane packets
+            hop, stamp = next_hop(
+                switches[node].table, src, dst, operational_neighbors(node), stamp=stamp
+            )
+            if hop is None:
+                return None
+            path.append(hop)
+            node = hop
+        return path
+
+    if src in switches:
+        # A switch emits through its own flow table first (this is where
+        # detour stamping happens when its primary out-link is down)...
+        result = walk([src], src)
+        if result is not None:
+            return result
+        # ...and, with no applicable rule of its own, tries its ports —
+        # the query-by-neighbour bootstrap (Section 2.1.1): a reply from a
+        # yet-unconfigured switch relays back through the neighbour that
+        # delivered the query.
+    for first_hop in operational_neighbors(src):
+        result = walk([src, first_hop], first_hop)
+        if result is not None:
+            return result
+    return None
+
+
+def flow_is_resilient(
+    topology: Topology,
+    switches: Dict[str, AbstractSwitch],
+    src: str,
+    dst: str,
+    kappa: int,
+    ttl: int = 64,
+    _failed: Optional[Set[EdgeId]] = None,
+) -> bool:
+    """Does forwarding survive every combination of ≤ κ further failures?
+
+    Recursively fails each link on the current working path and re-walks;
+    links off the working path cannot affect it, so the recursion is
+    complete (exhaustive for the failure sets that matter) while staying
+    polynomial for the κ used in the paper's experiments (κ = 1).
+    """
+    failed = _failed or set()
+    path = forwarding_path(topology, switches, src, dst, ttl=ttl, extra_failed=failed)
+    if path is None:
+        return False
+    if kappa == 0:
+        return True
+    for u, v in zip(path, path[1:]):
+        e = edge(u, v)
+        if not flow_is_resilient(
+            topology, switches, src, dst, kappa - 1, ttl=ttl, _failed=failed | {e}
+        ):
+            return False
+    return True
+
+
+class LegitimacyChecker:
+    """Definition 1 evaluated against simulation ground truth."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        switches: Dict[str, AbstractSwitch],
+        controllers: Dict[str, "RenaissanceController"],
+        kappa: int,
+    ) -> None:
+        self.topology = topology
+        self.switches = switches
+        self.controllers = controllers
+        self.kappa = kappa
+
+    # -- live sets -------------------------------------------------------------
+
+    def live_controllers(self) -> List[str]:
+        return [
+            cid
+            for cid, ctrl in self.controllers.items()
+            if not ctrl.failed and self.topology.node_is_up(cid) and cid in self.topology
+        ]
+
+    def live_switches(self) -> List[str]:
+        return [
+            sid
+            for sid in self.switches
+            if sid in self.topology and self.topology.node_is_up(sid)
+        ]
+
+    # -- Definition 1 conditions --------------------------------------------------
+
+    def views_accurate(self) -> bool:
+        """Condition 1: each controller's fused view equals the live
+        reachable topology."""
+        for cid in self.live_controllers():
+            view = self.controllers[cid].current_view()
+            truth_nodes = self._reachable_live_nodes(cid)
+            if set(view.nodes) != truth_nodes:
+                return False
+            truth_links = {
+                (u, v)
+                for u, v in self.topology.links
+                if u in truth_nodes and v in truth_nodes
+                and self.topology.link_operational(u, v)
+            }
+            if set(view.links) != truth_links:
+                return False
+        return True
+
+    def _reachable_live_nodes(self, source: str) -> Set[str]:
+        return set(self.topology.bfs_layers(source, operational_only=True))
+
+    def managers_correct(self) -> bool:
+        """Condition 2 (plus stale cleanup): every live switch is managed by
+        exactly the live controllers."""
+        expected = set(self.live_controllers())
+        for sid in self.live_switches():
+            if set(self.switches[sid].managers.members()) != expected:
+                return False
+        return True
+
+    def no_stale_rules(self) -> bool:
+        """Rules of failed/removed controllers are fully cleaned up."""
+        live = set(self.live_controllers())
+        for sid in self.live_switches():
+            owners = set(self.switches[sid].table.controllers_present())
+            if not owners.issubset(live):
+                return False
+        return True
+
+    def flows_operational(self) -> bool:
+        """Condition 3, fast mode: zero-failure forwarding works both ways
+        between every live controller and every live node."""
+        live_nodes = self.live_switches() + self.live_controllers()
+        for cid in self.live_controllers():
+            for node in live_nodes:
+                if node == cid:
+                    continue
+                if forwarding_path(self.topology, self.switches, cid, node) is None:
+                    return False
+                if forwarding_path(self.topology, self.switches, node, cid) is None:
+                    return False
+        return True
+
+    def flows_resilient(self) -> bool:
+        """Condition 3, full mode: κ-failure resilience, exhaustive for the
+        experiment's κ."""
+        kappa = self._achievable_kappa()
+        for cid in self.live_controllers():
+            for node in self.live_switches() + self.live_controllers():
+                if node == cid:
+                    continue
+                if not flow_is_resilient(
+                    self.topology, self.switches, cid, node, kappa
+                ):
+                    return False
+        return True
+
+    def _achievable_kappa(self) -> int:
+        """After permanent failures the live topology may no longer be
+        (κ+1)-edge-connected; Lemma 7/8 then only promise κ̃ < κ resilience."""
+        live = self._live_subgraph()
+        connectivity = live.edge_connectivity()
+        return max(0, min(self.kappa, connectivity - 1))
+
+    def _live_subgraph(self) -> Topology:
+        live = self.topology.copy()
+        for node in list(live.nodes):
+            if not live.node_is_up(node):
+                live.remove_node(node)
+        for u, v in live.failed_links():
+            live.remove_link(u, v)
+        return live
+
+    # -- aggregate ------------------------------------------------------------------
+
+    def is_legitimate(self, full: bool = False) -> bool:
+        if not self.live_controllers():
+            return False
+        checks = (
+            self.views_accurate()
+            and self.managers_correct()
+            and self.no_stale_rules()
+            and self.flows_operational()
+        )
+        if not checks:
+            return False
+        if full:
+            return self.flows_resilient()
+        return True
+
+
+__all__ = ["LegitimacyChecker", "forwarding_path", "flow_is_resilient"]

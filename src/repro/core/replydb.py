@@ -1,0 +1,127 @@
+"""The controller's bounded reply store (Algorithm 2, ``replyDB``).
+
+Stores the most recent query reply per node, each stamped with the
+synchronization-round tag the reply answered (the tag of *this*
+controller's meta/echo rule inside the reply — the macro ``res(x)`` of
+Algorithm 2, line 3).
+
+Enforces the ``maxReplies`` bound with the C-reset of line 21: when an
+arriving reply would overflow the store, everything except the
+controller's own neighbourhood record is discarded.  Lemma 2 proves a
+legal execution never C-resets; the property tests verify part (3) —
+at most one C-reset per execution after bounds are respected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.tags import Tag
+from repro.switch.commands import QueryReply
+
+
+@dataclass(frozen=True)
+class StoredReply:
+    """A reply plus the round tag it belongs to (from our point of view)."""
+
+    reply: QueryReply
+    tag: Optional[Tag]
+
+
+class ReplyDB:
+    """Bounded map node → most recent reply."""
+
+    def __init__(self, owner: str, max_replies: int) -> None:
+        if max_replies < 2:
+            raise ValueError("max_replies must allow at least self + one peer")
+        self.owner = owner
+        self.max_replies = max_replies
+        self._entries: Dict[str, StoredReply] = {}
+        self.c_resets = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._entries
+
+    def nodes(self) -> List[str]:
+        return sorted(self._entries)
+
+    def get(self, node: str) -> Optional[StoredReply]:
+        return self._entries.get(node)
+
+    def entries(self) -> List[StoredReply]:
+        return list(self._entries.values())
+
+    # -- Algorithm 2 line 21-22: reply arrival --------------------------------
+
+    def store(self, reply: QueryReply, tag: Optional[Tag], current_tag: Tag) -> bool:
+        """Store ``reply`` if it answers the current round.
+
+        Returns ``True`` when a C-reset occurred (for metrics).  Mirrors
+        lines 20–22: overflow → C-reset; tag mismatch → discard.
+        """
+        reset = False
+        if reply.node not in self._entries and len(self._entries) + 1 > self.max_replies:
+            self._entries.clear()
+            self.c_resets += 1
+            reset = True
+        if tag == current_tag:
+            self._entries[reply.node] = StoredReply(reply=reply, tag=tag)
+        return reset
+
+    # -- Algorithm 2 line 8: stale pruning --------------------------------------
+
+    def prune(
+        self,
+        keep_tags: Set[Tag],
+        reachable: Dict[Tag, Set[str]],
+    ) -> None:
+        """Drop replies whose tag is stale or whose sender is unreachable in
+        the graph accumulated for that tag (``pi →G(res(x)) pk``)."""
+        survivors: Dict[str, StoredReply] = {}
+        for node, stored in self._entries.items():
+            if node == self.owner:
+                continue  # our own record is regenerated fresh each iteration
+            if stored.tag not in keep_tags:
+                continue
+            if node not in reachable.get(stored.tag, set()):
+                continue
+            survivors[node] = stored
+        self._entries = survivors
+
+    def drop_tag(self, tag: Tag) -> None:
+        """Line 12: clear any (stale) replies already carrying a tag that is
+        being introduced as the new current tag."""
+        self._entries = {
+            node: stored for node, stored in self._entries.items() if stored.tag != tag
+        }
+
+    # -- res(x) / fusion macros ---------------------------------------------------
+
+    def res(self, tag: Tag) -> List[QueryReply]:
+        """Replies answering round ``tag`` (line 3's ``res(x)``, minus the
+        self entry, which callers append via their live neighbourhood)."""
+        return [s.reply for s in self._entries.values() if s.tag == tag]
+
+    def fusion(self, current: Tag, previous: Tag) -> List[QueryReply]:
+        """``res(currTag)`` completed with ``res(prevTag)`` entries from
+        nodes that have not answered the current round yet (line 5)."""
+        current_replies = {r.node: r for r in self.res(current)}
+        merged = dict(current_replies)
+        for reply in self.res(previous):
+            if reply.node not in merged:
+                merged[reply.node] = reply
+        return list(merged.values())
+
+    def corrupt(self, entries: Iterable[Tuple[QueryReply, Optional[Tag]]]) -> None:
+        """Transient-fault hook: plant arbitrary entries (bounded)."""
+        for reply, tag in entries:
+            self._entries[reply.node] = StoredReply(reply=reply, tag=tag)
+            if len(self._entries) > self.max_replies:
+                self._entries.pop(next(iter(self._entries)))
+
+
+__all__ = ["ReplyDB", "StoredReply"]

@@ -1,0 +1,132 @@
+"""Rule generation — the paper's ``myRules(G, j, tag)`` interface.
+
+Given the controller's accumulated topology view ``G`` (built from query
+replies), :class:`RuleGenerator` computes the κ-fault-resilient flows from
+the controller to every reachable node and materializes them as per-switch
+:class:`~repro.switch.flow_table.Rule` sets, tagged with the current
+synchronization round.
+
+The computation is cached per (view signature, tag): Algorithm 2 refreshes
+rules on *every* iteration of the do-forever loop, but the underlying flows
+change only when the discovered topology or the round changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.net.topology import Topology, NodeKind
+from repro.flows.failover import plan_flow_rules, HopRule
+from repro.switch.flow_table import Rule
+from repro.switch.commands import QueryReply
+from repro.core.tags import Tag
+
+
+def build_view(
+    owner: str,
+    own_neighbors: Iterable[str],
+    replies: Iterable[QueryReply],
+    controller_ids: Optional[Set[str]] = None,
+) -> Topology:
+    """Construct the topology view ``G(S)`` of Algorithm 2 (line 4).
+
+    Nodes: every reply's sender and every reported neighbour.  Edges: the
+    union of reported adjacencies (plus the owner's own neighbourhood).
+    Nodes whose kind is unknown (seen only as neighbours) are treated as
+    switches — they cannot be managed until they reply anyway.
+    """
+    view = Topology()
+    kinds: Dict[str, NodeKind] = {owner: NodeKind.CONTROLLER}
+    adjacency: Dict[str, Set[str]] = {owner: set(own_neighbors)}
+    for reply in replies:
+        kind = NodeKind.CONTROLLER if reply.kind == "controller" else NodeKind.SWITCH
+        kinds[reply.node] = kind
+        adjacency.setdefault(reply.node, set()).update(reply.neighbors)
+    if controller_ids:
+        for cid in controller_ids:
+            kinds.setdefault(cid, NodeKind.CONTROLLER)
+
+    all_nodes: Set[str] = set(adjacency)
+    for neighbors in list(adjacency.values()):
+        all_nodes.update(neighbors)
+    for node in sorted(all_nodes):
+        view.add_node(node, kinds.get(node, NodeKind.SWITCH))
+    seen: Set[FrozenSet[str]] = set()
+    for node, neighbors in adjacency.items():
+        for peer in neighbors:
+            if peer == node:
+                continue
+            key = frozenset((node, peer))
+            if key in seen:
+                continue
+            seen.add(key)
+            view.add_link(node, peer)
+    return view
+
+
+def _view_signature(view: Topology) -> Tuple:
+    return (tuple(view.nodes), tuple(view.links))
+
+
+class RuleGenerator:
+    """Cached ``myRules`` for one controller."""
+
+    def __init__(self, owner: str, kappa: int) -> None:
+        self.owner = owner
+        self.kappa = kappa
+        self._cache_key: Optional[Tuple] = None
+        self._cache: Dict[str, List[Rule]] = {}
+        self.computations = 0
+
+    def rules_for_view(self, view: Topology, tag: Tag) -> Dict[str, List[Rule]]:
+        """Per-switch rules realizing κ-fault-resilient flows from the owner
+        to every node reachable in ``view``, tagged ``tag``."""
+        key = (_view_signature(view), tag)
+        if key == self._cache_key:
+            return self._cache
+        self.computations += 1
+        per_switch: Dict[str, List[Rule]] = {}
+        if self.owner in view:
+            reachable = view.bfs_layers(self.owner)
+            for target in sorted(reachable):
+                if target == self.owner:
+                    continue
+                for hop_rule in plan_flow_rules(view, self.owner, target, self.kappa):
+                    if not view.is_switch(hop_rule.switch):
+                        continue  # controllers do not hold forwarding rules
+                    per_switch.setdefault(hop_rule.switch, []).append(
+                        self._materialize(hop_rule, tag)
+                    )
+        self._cache_key = key
+        self._cache = per_switch
+        return per_switch
+
+    def my_rules(self, view: Topology, switch: str, tag: Tag) -> List[Rule]:
+        """The paper's ``myRules(G, j, tag)``: the owner's rules at one
+        switch.  Deduplicated: two flows may share a hop with the same
+        (match, priority, action)."""
+        rules = self.rules_for_view(view, tag).get(switch, [])
+        unique: Dict[Tuple, Rule] = {}
+        for rule in rules:
+            unique[rule.key()] = rule
+        return list(unique.values())
+
+    def _materialize(self, hop_rule: HopRule, tag: Tag) -> Rule:
+        return Rule(
+            cid=self.owner,
+            sid=hop_rule.switch,
+            src=hop_rule.src,
+            dst=hop_rule.dst,
+            priority=hop_rule.priority,
+            forward_to=hop_rule.forward_to,
+            tag=tag,
+            detour=hop_rule.detour,
+            detour_start=hop_rule.detour_start,
+        )
+
+    def invalidate(self) -> None:
+        self._cache_key = None
+        self._cache = {}
+
+
+__all__ = ["build_view", "RuleGenerator"]

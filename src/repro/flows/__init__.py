@@ -1,0 +1,35 @@
+"""κ-fault-resilient flow computation (paper Section 2.2.2).
+
+A κ-fault-resilient flow from ``pi`` to ``pj`` survives any ``k ≤ κ`` link
+failures: for every failed subset there is still a forwarding path.  On a
+(κ+1)-edge-connected ``Gc`` such flows always exist; we realize them as
+κ+1 edge-disjoint paths with priority-ordered conditional rules, matching
+the paper's use of OpenFlow fast-failover groups.
+"""
+
+from repro.flows.paths import (
+    first_shortest_path,
+    edge_disjoint_paths,
+    path_edges,
+    is_simple_path,
+)
+from repro.flows.resilient import ResilientFlow, compute_resilient_flow
+from repro.flows.failover import (
+    HopRule,
+    PRIMARY_PRIORITY,
+    plan_flow_rules,
+    rules_by_switch,
+)
+
+__all__ = [
+    "first_shortest_path",
+    "edge_disjoint_paths",
+    "path_edges",
+    "is_simple_path",
+    "ResilientFlow",
+    "compute_resilient_flow",
+    "HopRule",
+    "PRIMARY_PRIORITY",
+    "plan_flow_rules",
+    "rules_by_switch",
+]

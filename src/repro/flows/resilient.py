@@ -1,0 +1,79 @@
+"""κ-fault-resilient flows (paper Section 2.2.2).
+
+A :class:`ResilientFlow` between a controller and a node bundles up to
+κ+1 edge-disjoint paths: the primary (shortest, highest priority) plus κ
+alternates.  A packet traverses the highest-priority path whose links are
+currently operational — realized hop-by-hop by the switches' conditional
+rules, mirroring OpenFlow fast-failover semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+from repro.net.topology import Topology, NodeId, EdgeId
+from repro.flows.paths import edge_disjoint_paths, path_edges
+
+
+@dataclass(frozen=True)
+class ResilientFlow:
+    """An ordered set of edge-disjoint paths between two endpoints.
+
+    ``paths[0]`` is the primary path; ``paths[k]`` backs up k failures.
+    ``resilience`` is ``len(paths) - 1`` — how many link failures the flow
+    provably survives (failures must be link-disjoint across paths, which
+    edge-disjointness guarantees).
+    """
+
+    source: NodeId
+    target: NodeId
+    paths: Tuple[Tuple[NodeId, ...], ...]
+
+    @property
+    def resilience(self) -> int:
+        return len(self.paths) - 1
+
+    @property
+    def primary(self) -> Tuple[NodeId, ...]:
+        return self.paths[0]
+
+    def surviving_path(self, failed: Set[EdgeId]) -> Optional[Tuple[NodeId, ...]]:
+        """Highest-priority path avoiding every failed edge, or ``None``."""
+        for path in self.paths:
+            if not any(e in failed for e in path_edges(list(path))):
+                return path
+        return None
+
+    def all_edges(self) -> Set[EdgeId]:
+        edges: Set[EdgeId] = set()
+        for path in self.paths:
+            edges.update(path_edges(list(path)))
+        return edges
+
+
+def compute_resilient_flow(
+    topology: Topology,
+    source: NodeId,
+    target: NodeId,
+    kappa: int,
+) -> ResilientFlow:
+    """Compute a κ-fault-resilient flow (or the best achievable resilience
+    if the topology's s-t connectivity is below κ+1).
+
+    Raises ``ValueError`` when no path exists at all — the endpoints are
+    disconnected in ``Gc``, which the caller treats as "not reachable".
+    """
+    if kappa < 0:
+        raise ValueError("kappa must be >= 0")
+    paths = edge_disjoint_paths(topology, source, target, kappa + 1)
+    if not paths:
+        raise ValueError(f"no path from {source} to {target}")
+    return ResilientFlow(
+        source=source,
+        target=target,
+        paths=tuple(tuple(p) for p in paths),
+    )
+
+
+__all__ = ["ResilientFlow", "compute_resilient_flow"]

@@ -1,0 +1,44 @@
+"""Network substrate: topology model, link layer, channels, detectors.
+
+These modules implement everything the paper assumes from layers below the
+control plane: the communication topology ``Gc`` and operational topology
+``Go`` (Section 2), the self-stabilizing end-to-end channel of Section 3.1,
+the Θ failure detector of Section 6.3, and the local topology discovery of
+Section 2.2.1.
+"""
+
+from repro.net.topology import Topology, NodeKind
+from repro.net.topologies import (
+    b4,
+    clos,
+    telstra,
+    att,
+    ebone,
+    exodus,
+    random_k_connected,
+    TOPOLOGY_BUILDERS,
+)
+from repro.net.link import LinkLayer, LinkFaultModel
+from repro.net.channel import SelfStabilizingChannel, ChannelPair, DELTA_COMM
+from repro.net.failure_detector import ThetaFailureDetector
+from repro.net.discovery import LocalDiscovery
+
+__all__ = [
+    "Topology",
+    "NodeKind",
+    "b4",
+    "clos",
+    "telstra",
+    "att",
+    "ebone",
+    "exodus",
+    "random_k_connected",
+    "TOPOLOGY_BUILDERS",
+    "LinkLayer",
+    "LinkFaultModel",
+    "SelfStabilizingChannel",
+    "ChannelPair",
+    "DELTA_COMM",
+    "ThetaFailureDetector",
+    "LocalDiscovery",
+]

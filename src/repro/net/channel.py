@@ -1,0 +1,206 @@
+"""Self-stabilizing end-to-end communication channel (Section 3.1).
+
+The paper assumes reliable FIFO end-to-end channels implemented by a
+self-stabilizing token-circulation protocol [Dolev et al.]: at any time
+there is exactly one token ``pkt ∈ {act, ack}`` in transit between sender
+and receiver.  During recovery from a transient fault the sender may accept
+at most ``Δcomm ≤ 3`` *false* acknowledgments before round-trips are
+guaranteed genuine.
+
+:class:`SelfStabilizingChannel` implements the sender side as a
+stop-and-wait protocol with sequence labels drawn from the bounded domain
+``{0, .., LABEL_DOMAIN-1}``.  The standard alternating-bit protocol needs
+2 labels over FIFO links; we use 3 so that, even when a transient fault
+plants stale packets/acks in the channel, at most ``DELTA_COMM`` false
+acknowledgments can occur before the protocol re-synchronizes — matching
+the paper's bound.
+
+The channel is transport-agnostic: it emits datagrams through a callback
+and is fed incoming datagrams through :meth:`on_datagram`.  Retransmission
+happens on :meth:`tick`, which the owning node calls once per do-forever
+iteration (the paper's "send infinitely often" fairness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, List, Optional
+from collections import deque
+
+#: Number of sequence labels.  3 labels bound false acknowledgments by
+#: DELTA_COMM = 3, the value the paper cites for [9, 10].
+LABEL_DOMAIN = 3
+
+#: Paper's Δcomm: max false round-trips after the last transient fault.
+DELTA_COMM = 3
+
+
+@dataclass
+class Datagram:
+    """Wire format of the channel: either an ``act`` (payload) or ``ack``."""
+
+    kind: str  # "act" | "ack"
+    label: int
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("act", "ack"):
+            raise ValueError(f"bad datagram kind: {self.kind}")
+        if not 0 <= self.label < LABEL_DOMAIN:
+            # A corrupted label is coerced into the domain rather than
+            # crashing: self-stabilizing code must tolerate arbitrary state.
+            self.label = self.label % LABEL_DOMAIN
+
+
+class SelfStabilizingChannel:
+    """Reliable FIFO sender/receiver pair endpoint.
+
+    One instance handles *both* directions of a logical pair
+    ``(local, remote)``: it sends payloads offered via :meth:`offer` and
+    delivers payloads arriving from the remote side via ``on_deliver``.
+    """
+
+    def __init__(
+        self,
+        local: str,
+        remote: str,
+        send_datagram: Callable[[Datagram], None],
+        on_deliver: Callable[[Any], None],
+        max_outbox: int = 64,
+    ) -> None:
+        self.local = local
+        self.remote = remote
+        self._send = send_datagram
+        self._on_deliver = on_deliver
+        self._outbox: Deque[Any] = deque()
+        self._max_outbox = max_outbox
+        # Sender state: label of the in-flight act, or None when idle.
+        self._send_label = 0
+        self._in_flight: Optional[Any] = None
+        # Receiver state: label of the last act we acknowledged/delivered.
+        self._recv_label: Optional[int] = None
+        # Statistics / stabilization observability.
+        self.delivered = 0
+        self.acked = 0
+        self.retransmissions = 0
+        self.duplicates_suppressed = 0
+
+    # -- sender side ---------------------------------------------------------
+
+    def offer(self, payload: Any) -> bool:
+        """Queue a payload for reliable delivery.  Returns ``False`` when the
+        outbox is full (bounded memory — the caller simply retries on a later
+        iteration, which self-stabilizing algorithms do anyway)."""
+        if len(self._outbox) >= self._max_outbox:
+            return False
+        self._outbox.append(payload)
+        return True
+
+    def pending(self) -> int:
+        return len(self._outbox) + (1 if self._in_flight is not None else 0)
+
+    def tick(self) -> None:
+        """One fairness round: (re)transmit the in-flight act if any,
+        otherwise promote the next outbox payload."""
+        if self._in_flight is None and self._outbox:
+            self._send_label = (self._send_label + 1) % LABEL_DOMAIN
+            self._in_flight = self._outbox.popleft()
+        if self._in_flight is not None:
+            self.retransmissions += 1
+            self._send(Datagram(kind="act", label=self._send_label, payload=self._in_flight))
+
+    def reset(self) -> None:
+        """Transient-fault hook: forget all channel state (used by fault
+        injection to model arbitrary corruption)."""
+        self._outbox.clear()
+        self._in_flight = None
+        self._send_label = 0
+        self._recv_label = None
+
+    # -- receive path ----------------------------------------------------------
+
+    def on_datagram(self, datagram: Datagram) -> None:
+        """Process an incoming datagram from the remote endpoint."""
+        if datagram.kind == "ack":
+            self._on_ack(datagram.label)
+        else:
+            self._on_act(datagram)
+
+    def _on_ack(self, label: int) -> None:
+        if self._in_flight is None:
+            return  # stale ack from a previous incarnation; ignore
+        if label != self._send_label:
+            return  # ack for a different label; keep retransmitting
+        self._in_flight = None
+        self.acked += 1
+
+    def _on_act(self, datagram: Datagram) -> None:
+        # Always acknowledge: the sender keeps retransmitting until it sees
+        # the matching label, so acks must flow even for duplicates.
+        self._send(Datagram(kind="ack", label=datagram.label))
+        if datagram.label == self._recv_label:
+            self.duplicates_suppressed += 1
+            return
+        self._recv_label = datagram.label
+        self.delivered += 1
+        self._on_deliver(datagram.payload)
+
+
+class ChannelPair:
+    """A loopback-wired pair of channels for unit tests and for modelling a
+    controller's end-to-end session with a remote node.
+
+    The pair exposes the two endpoints and a lossy in-memory wire whose
+    behaviour (drop/duplicate/reorder) is scripted by the caller — this is
+    how the channel tests inject Section 3.4.1 faults deterministically.
+    """
+
+    def __init__(
+        self,
+        a: str,
+        b: str,
+        wire_a_to_b: Optional[Callable[[Datagram], List[Datagram]]] = None,
+        wire_b_to_a: Optional[Callable[[Datagram], List[Datagram]]] = None,
+    ) -> None:
+        identity = lambda d: [d]  # noqa: E731 - tiny local default
+        self._wire_ab = wire_a_to_b or identity
+        self._wire_ba = wire_b_to_a or identity
+        self.delivered_at_a: List[Any] = []
+        self.delivered_at_b: List[Any] = []
+        self._queue_to_a: Deque[Datagram] = deque()
+        self._queue_to_b: Deque[Datagram] = deque()
+        self.a = SelfStabilizingChannel(
+            a, b, send_datagram=self._send_from_a, on_deliver=self.delivered_at_a.append
+        )
+        self.b = SelfStabilizingChannel(
+            b, a, send_datagram=self._send_from_b, on_deliver=self.delivered_at_b.append
+        )
+
+    def _send_from_a(self, datagram: Datagram) -> None:
+        self._queue_to_b.extend(self._wire_ab(datagram))
+
+    def _send_from_b(self, datagram: Datagram) -> None:
+        self._queue_to_a.extend(self._wire_ba(datagram))
+
+    def pump(self, rounds: int = 1) -> None:
+        """Deliver queued datagrams and run sender ticks, ``rounds`` times."""
+        for _ in range(rounds):
+            self.a.tick()
+            self.b.tick()
+            to_b = list(self._queue_to_b)
+            self._queue_to_b.clear()
+            to_a = list(self._queue_to_a)
+            self._queue_to_a.clear()
+            for datagram in to_b:
+                self.b.on_datagram(datagram)
+            for datagram in to_a:
+                self.a.on_datagram(datagram)
+
+
+__all__ = [
+    "Datagram",
+    "SelfStabilizingChannel",
+    "ChannelPair",
+    "LABEL_DOMAIN",
+    "DELTA_COMM",
+]

@@ -1,0 +1,82 @@
+"""Local topology discovery (paper Section 2.2.1).
+
+Every node — switch or controller — periodically probes its directly
+attached neighbours and, through the Θ failure detector, maintains its view
+of which neighbours are currently alive.  The result is the node-local
+``Nc`` report that query replies carry back to the controllers, from which
+each controller accumulates the global topology.
+
+The discovery module is transport-agnostic: the owning node wires
+``send_probe`` to the link layer and calls :meth:`on_probe` /
+:meth:`on_probe_reply` when probe traffic arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List
+
+from repro.net.failure_detector import ThetaFailureDetector
+
+
+class LocalDiscovery:
+    """Neighbour liveness tracking for one node.
+
+    Each :meth:`probe_round` sends a probe to every physically attached
+    neighbour.  Probe replies feed the Θ detector; ``alive_neighbors()`` is
+    the node's current report of its usable neighbourhood.
+    """
+
+    PROBE = "discovery-probe"
+    REPLY = "discovery-reply"
+
+    def __init__(
+        self,
+        node: str,
+        neighbors: Iterable[str],
+        send_probe: Callable[[str, str], None],
+        theta: int = 10,
+    ) -> None:
+        self.node = node
+        self._neighbors: List[str] = sorted(neighbors)
+        self._send = send_probe
+        self.detector = ThetaFailureDetector(theta, self._neighbors)
+        self.probes_sent = 0
+        self.replies_received = 0
+
+    # -- topology maintenance --------------------------------------------------
+
+    def set_neighbors(self, neighbors: Iterable[str]) -> None:
+        self._neighbors = sorted(neighbors)
+        self.detector.set_neighbors(self._neighbors)
+
+    @property
+    def neighbors(self) -> List[str]:
+        return list(self._neighbors)
+
+    # -- probing ----------------------------------------------------------------
+
+    def probe_round(self) -> None:
+        """Send one probe to every attached neighbour (runs on the node's
+        discovery timer; the paper's task delay applies between rounds)."""
+        for neighbor in self._neighbors:
+            self.probes_sent += 1
+            self._send(neighbor, self.PROBE)
+
+    def on_probe(self, sender: str) -> None:
+        """A neighbour probed us: answer immediately (one atomic step,
+        Section 3.2)."""
+        self._send(sender, self.REPLY)
+
+    def on_probe_reply(self, sender: str) -> None:
+        self.replies_received += 1
+        self.detector.record_reply(sender)
+
+    # -- reports -----------------------------------------------------------------
+
+    def alive_neighbors(self) -> List[str]:
+        """Current ``Nc`` report: attached neighbours not suspected failed."""
+        suspects = self.detector.suspected()
+        return [v for v in self._neighbors if v not in suspects]
+
+
+__all__ = ["LocalDiscovery"]

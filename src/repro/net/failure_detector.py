@@ -1,0 +1,87 @@
+"""Θ failure detector for local link monitoring (paper Sections 2.2.1, 6.3).
+
+The paper borrows from Blanchard et al. [16, Section 6] a detector based on
+relative responsiveness: every node can complete at least one round-trip
+with any *live* direct neighbour while completing at most Θ round-trips with
+any other neighbour.  Concretely: if a node has collected Θ replies from its
+most responsive neighbour since the last reply of neighbour ``v``, it flags
+``v`` as failed.
+
+The paper's evaluation uses Θ = 10 for B4/Clos and Θ = 30 for the Rocketfuel
+networks; those defaults are mirrored by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+
+class ThetaFailureDetector:
+    """Per-node detector over its direct communication neighbourhood.
+
+    The owner feeds it: ``record_reply(v)`` whenever a probe round-trip with
+    neighbour ``v`` completes.  ``suspected()`` returns the neighbours whose
+    reply lag exceeds Θ.  The detector is self-stabilizing by construction:
+    all its state is refreshed by ongoing probe traffic, so arbitrary
+    corruption of the counters is repaired within Θ probe rounds.
+    """
+
+    def __init__(self, theta: int, neighbors: Iterable[str]) -> None:
+        if theta < 1:
+            raise ValueError(f"theta must be >= 1, got {theta}")
+        self.theta = theta
+        self._replies: Dict[str, int] = {v: 0 for v in neighbors}
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def set_neighbors(self, neighbors: Iterable[str]) -> None:
+        """Reconcile the monitored set with the current ``Nc`` (topology
+        changes add/remove neighbours)."""
+        fresh = set(neighbors)
+        for gone in set(self._replies) - fresh:
+            del self._replies[gone]
+        for new in fresh - set(self._replies):
+            self._replies[new] = self._max_count()
+
+    def record_reply(self, neighbor: str) -> None:
+        """One completed round-trip with ``neighbor``.
+
+        Counters increment by one per reply, so all live neighbours stay
+        within one round of the leader regardless of node degree; a dead
+        neighbour's lag grows by one per probe round and crosses Θ after
+        Θ rounds — the detection latency the paper's Section 6.3 tunes.
+        """
+        if neighbor not in self._replies:
+            # Unknown responder: a neighbour that Nc does not list yet.
+            # Track it; discovery will reconcile the neighbour set.
+            self._replies[neighbor] = self._max_count()
+        # A reply is proof of life: a neighbour that fell behind (it was
+        # dead, or a transient fault corrupted its counter) catches up to
+        # the leader at once rather than one reply at a time.
+        self._replies[neighbor] = max(
+            self._replies[neighbor] + 1, self._max_count()
+        )
+
+    def corrupt(self, values: Dict[str, int]) -> None:
+        """Transient-fault hook for tests: overwrite counters arbitrarily."""
+        self._replies.update(values)
+
+    # -- queries --------------------------------------------------------------
+
+    def _max_count(self) -> int:
+        return max(self._replies.values(), default=0)
+
+    def reply_lag(self, neighbor: str) -> int:
+        return self._max_count() - self._replies.get(neighbor, 0)
+
+    def suspected(self) -> Set[str]:
+        """Neighbours lagging more than Θ round-trips behind the leader."""
+        leader = self._max_count()
+        return {v for v, count in self._replies.items() if leader - count > self.theta}
+
+    def alive(self) -> List[str]:
+        suspects = self.suspected()
+        return sorted(v for v in self._replies if v not in suspects)
+
+
+__all__ = ["ThetaFailureDetector"]

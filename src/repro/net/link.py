@@ -1,0 +1,127 @@
+"""Unreliable link layer with fault injection.
+
+The paper's channel algorithm (Section 3.1) assumes an underlying medium
+that may *omit*, *duplicate*, and *reorder* packets — but, by communication
+fairness (Section 3.3.1), a packet sent infinitely often is received
+infinitely often.  :class:`LinkLayer` models exactly that medium on top of
+the discrete-event engine: per-hop latency, plus a configurable
+:class:`LinkFaultModel` that drops, duplicates, or delays datagrams.
+
+The link layer is *hop-local*: it moves a datagram between two directly
+connected nodes.  Multi-hop, in-band routing of control traffic lives in
+:mod:`repro.sim.network_sim`, which consults the switches' rule tables for
+every hop.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim imports net)
+    from repro.sim.engine import Simulator
+
+
+@dataclass
+class LinkFaultModel:
+    """Probabilities of benign, not-rare packet faults (Section 3.4.1).
+
+    ``reorder_prob`` delays a datagram by an extra random latency, which can
+    make it overtake later traffic; combined with duplication this exercises
+    the dedup/token logic of the end-to-end channel.
+    """
+
+    omission_prob: float = 0.0
+    duplication_prob: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_extra_latency: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("omission_prob", "duplication_prob", "reorder_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        self._rng = random.Random(self.seed)
+
+    def copies_and_delays(self, base_latency: float) -> list[float]:
+        """Decide the fate of one datagram: a list of delivery latencies.
+
+        Empty list = omitted.  More than one entry = duplicated.
+        """
+        if self._rng.random() < self.omission_prob:
+            return []
+        latencies = [base_latency]
+        if self._rng.random() < self.duplication_prob:
+            latencies.append(base_latency + self.reorder_extra_latency / 2)
+        if self._rng.random() < self.reorder_prob:
+            latencies = [lat + self._rng.uniform(0, self.reorder_extra_latency) for lat in latencies]
+        return latencies
+
+
+class LinkLayer:
+    """Delivers datagrams between adjacent nodes over the event engine.
+
+    ``deliver`` is a callback ``(receiver, sender, payload)`` installed by
+    the network simulation; ``is_link_usable`` lets the simulation gate
+    transmissions on the operational topology ``Go``.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        deliver: Callable[[str, str, Any], None],
+        is_link_usable: Callable[[str, str], bool],
+        latency: float = 0.001,
+        fault_model: Optional[LinkFaultModel] = None,
+    ) -> None:
+        if latency <= 0:
+            raise ValueError("latency must be positive")
+        self._sim = sim
+        self._deliver = deliver
+        self._is_link_usable = is_link_usable
+        self.latency = latency
+        self.fault_model = fault_model or LinkFaultModel()
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+
+    def transmit(self, sender: str, receiver: str, payload: Any) -> None:
+        """Send one datagram from ``sender`` to adjacent ``receiver``.
+
+        Silently drops if the link is not operational — exactly how a real
+        wire behaves; reliability is the end-to-end channel's job.
+        """
+        self.sent_count += 1
+        if not self._is_link_usable(sender, receiver):
+            self.dropped_count += 1
+            return
+        latencies = self.fault_model.copies_and_delays(self.latency)
+        if not latencies:
+            self.dropped_count += 1
+            return
+        from repro.sim.events import EventKind  # deferred: sim imports net
+
+        for latency in latencies:
+            self._sim.schedule(
+                latency,
+                self._make_delivery(sender, receiver, payload),
+                kind=EventKind.PACKET_DELIVERY,
+                note=f"{sender}->{receiver}",
+            )
+
+    def _make_delivery(self, sender: str, receiver: str, payload: Any) -> Callable[[], None]:
+        def deliver() -> None:
+            # Re-check the link at delivery time: a failure mid-flight kills
+            # the datagram (the paper's temporary link unavailability).
+            if not self._is_link_usable(sender, receiver):
+                self.dropped_count += 1
+                return
+            self.delivered_count += 1
+            self._deliver(receiver, sender, payload)
+
+        return deliver
+
+
+__all__ = ["LinkLayer", "LinkFaultModel"]

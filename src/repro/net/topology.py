@@ -1,0 +1,357 @@
+"""Communication and operational topology model.
+
+The paper distinguishes the *communication* topology ``Gc`` — which links
+physically exist — from the *operational* topology ``Go`` — which links are
+currently usable for forwarding (Section 2).  ``Topology`` stores ``Gc`` and
+an operational flag per link and per node, so ``Go`` is always derivable.
+
+Graph algorithms (BFS, diameter, edge connectivity) are implemented from
+scratch: the simulator and flow computation call them on every topology, and
+keeping them local removes any dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+NodeId = str
+EdgeId = FrozenSet[NodeId]
+
+
+def edge(u: NodeId, v: NodeId) -> EdgeId:
+    """Canonical undirected edge key."""
+    if u == v:
+        raise ValueError(f"self-loop not allowed: {u}")
+    return frozenset((u, v))
+
+
+class NodeKind(enum.Enum):
+    """Role of a node: an SDN controller or a packet-forwarding switch."""
+
+    CONTROLLER = "controller"
+    SWITCH = "switch"
+
+
+class Topology:
+    """An undirected multigraph-free network of controllers and switches.
+
+    Mutation methods keep ``Gc`` (membership) separate from operational
+    status; failing a link or node never removes it from ``Gc`` — that
+    mirrors the paper's fault model where a permanent removal is modelled
+    as an explicit topology change, while temporary unavailability only
+    affects ``Go``.
+    """
+
+    def __init__(self) -> None:
+        self._kind: Dict[NodeId, NodeKind] = {}
+        self._adj: Dict[NodeId, Set[NodeId]] = {}
+        self._link_up: Dict[EdgeId, bool] = {}
+        self._node_up: Dict[NodeId, bool] = {}
+        # Cache of sorted adjacency lists: neighbours() sits on the hot path
+        # of every BFS and every forwarding walk.
+        self._sorted_adj: Dict[NodeId, List[NodeId]] = {}
+
+    def _invalidate(self, *nodes: NodeId) -> None:
+        for node in nodes:
+            self._sorted_adj.pop(node, None)
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, node: NodeId, kind: NodeKind) -> None:
+        if node in self._kind:
+            raise ValueError(f"duplicate node: {node}")
+        self._kind[node] = kind
+        self._adj[node] = set()
+        self._node_up[node] = True
+
+    def add_controller(self, node: NodeId) -> None:
+        self.add_node(node, NodeKind.CONTROLLER)
+
+    def add_switch(self, node: NodeId) -> None:
+        self.add_node(node, NodeKind.SWITCH)
+
+    def add_link(self, u: NodeId, v: NodeId) -> None:
+        if u not in self._kind or v not in self._kind:
+            raise KeyError(f"unknown endpoint in link ({u}, {v})")
+        e = edge(u, v)
+        if e in self._link_up:
+            raise ValueError(f"duplicate link: {u}-{v}")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._link_up[e] = True
+        self._invalidate(u, v)
+
+    def remove_link(self, u: NodeId, v: NodeId) -> None:
+        """Permanently remove a link from ``Gc`` (a topology change)."""
+        e = edge(u, v)
+        if e not in self._link_up:
+            raise KeyError(f"no such link: {u}-{v}")
+        del self._link_up[e]
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._invalidate(u, v)
+
+    def remove_node(self, node: NodeId) -> None:
+        """Permanently remove a node and all its links from ``Gc``."""
+        if node not in self._kind:
+            raise KeyError(f"no such node: {node}")
+        for neighbor in list(self._adj[node]):
+            self.remove_link(node, neighbor)
+        del self._kind[node]
+        del self._adj[node]
+        del self._node_up[node]
+        self._invalidate(node)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        return sorted(self._kind)
+
+    @property
+    def controllers(self) -> List[NodeId]:
+        return sorted(n for n, k in self._kind.items() if k is NodeKind.CONTROLLER)
+
+    @property
+    def switches(self) -> List[NodeId]:
+        return sorted(n for n, k in self._kind.items() if k is NodeKind.SWITCH)
+
+    @property
+    def links(self) -> List[Tuple[NodeId, NodeId]]:
+        return sorted(tuple(sorted(e)) for e in self._link_up)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._kind
+
+    def kind(self, node: NodeId) -> NodeKind:
+        return self._kind[node]
+
+    def is_controller(self, node: NodeId) -> bool:
+        return self._kind[node] is NodeKind.CONTROLLER
+
+    def is_switch(self, node: NodeId) -> bool:
+        return self._kind[node] is NodeKind.SWITCH
+
+    def has_link(self, u: NodeId, v: NodeId) -> bool:
+        try:
+            return edge(u, v) in self._link_up
+        except ValueError:
+            return False
+
+    def neighbors(self, node: NodeId) -> List[NodeId]:
+        """``Nc(node)``: communication neighbourhood, sorted for the paper's
+        fixed neighbour ordering (used by first-shortest-path)."""
+        cached = self._sorted_adj.get(node)
+        if cached is None:
+            cached = sorted(self._adj[node])
+            self._sorted_adj[node] = cached
+        return cached
+
+    def degree(self, node: NodeId) -> int:
+        return len(self._adj[node])
+
+    # -- operational status (Go) ---------------------------------------------
+
+    def set_link_up(self, u: NodeId, v: NodeId, up: bool) -> None:
+        e = edge(u, v)
+        if e not in self._link_up:
+            raise KeyError(f"no such link: {u}-{v}")
+        self._link_up[e] = up
+
+    def set_node_up(self, node: NodeId, up: bool) -> None:
+        if node not in self._node_up:
+            raise KeyError(f"no such node: {node}")
+        self._node_up[node] = up
+
+    def link_is_up(self, u: NodeId, v: NodeId) -> bool:
+        return self._link_up.get(edge(u, v), False)
+
+    def node_is_up(self, node: NodeId) -> bool:
+        return self._node_up.get(node, False)
+
+    def link_operational(self, u: NodeId, v: NodeId) -> bool:
+        """A link is usable only if itself and both endpoints are up."""
+        return (
+            self.link_is_up(u, v)
+            and self.node_is_up(u)
+            and self.node_is_up(v)
+        )
+
+    def operational_neighbors(self, node: NodeId) -> List[NodeId]:
+        """``No(node)``: neighbours reachable over currently-usable links."""
+        if not self.node_is_up(node):
+            return []
+        return sorted(v for v in self._adj[node] if self.link_operational(node, v))
+
+    def failed_links(self) -> List[Tuple[NodeId, NodeId]]:
+        return sorted(tuple(sorted(e)) for e, up in self._link_up.items() if not up)
+
+    # -- graph algorithms (over Gc restricted to up nodes unless noted) ------
+
+    def bfs_layers(
+        self,
+        source: NodeId,
+        operational_only: bool = False,
+        excluded_edges: Optional[Set[EdgeId]] = None,
+    ) -> Dict[NodeId, int]:
+        """Breadth-first distances from ``source``.
+
+        ``operational_only`` restricts traversal to ``Go``;
+        ``excluded_edges`` additionally removes specific edges (used for
+        edge-disjoint path computation).
+        """
+        if source not in self._kind:
+            raise KeyError(f"no such node: {source}")
+        excluded = excluded_edges or set()
+        dist = {source: 0}
+        queue: deque[NodeId] = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in self.neighbors(u):
+                if v in dist:
+                    continue
+                if edge(u, v) in excluded:
+                    continue
+                if operational_only and not self.link_operational(u, v):
+                    continue
+                dist[v] = dist[u] + 1
+                queue.append(v)
+        return dist
+
+    def shortest_path(
+        self,
+        source: NodeId,
+        target: NodeId,
+        operational_only: bool = False,
+        excluded_edges: Optional[Set[EdgeId]] = None,
+    ) -> Optional[List[NodeId]]:
+        """First shortest path (ties broken by sorted neighbour order).
+
+        This implements the paper's *first shortest path* definition
+        (Section 5.4): among all shortest paths the one whose nodes have
+        the minimum indices according to the neighbourhood ordering.
+        """
+        if source == target:
+            return [source]
+        excluded = excluded_edges or set()
+        parent: Dict[NodeId, NodeId] = {}
+        dist = {source: 0}
+        queue: deque[NodeId] = deque([source])
+        while queue:
+            u = queue.popleft()
+            if u == target:
+                break
+            for v in self.neighbors(u):
+                if v in dist:
+                    continue
+                if edge(u, v) in excluded:
+                    continue
+                if operational_only and not self.link_operational(u, v):
+                    continue
+                dist[v] = dist[u] + 1
+                parent[v] = u
+                queue.append(v)
+        if target not in dist:
+            return None
+        path = [target]
+        while path[-1] != source:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return path
+
+    def connected(self, operational_only: bool = False) -> bool:
+        nodes = [n for n in self.nodes if not operational_only or self.node_is_up(n)]
+        if not nodes:
+            return True
+        reached = self.bfs_layers(nodes[0], operational_only=operational_only)
+        return all(n in reached for n in nodes)
+
+    def diameter(self) -> int:
+        """Hop diameter of ``Gc``; raises if disconnected."""
+        best = 0
+        for n in self.nodes:
+            dist = self.bfs_layers(n)
+            if len(dist) != len(self.nodes):
+                raise ValueError("graph is disconnected; diameter undefined")
+            best = max(best, max(dist.values()))
+        return best
+
+    def eccentricity(self, node: NodeId) -> int:
+        dist = self.bfs_layers(node)
+        if len(dist) != len(self.nodes):
+            raise ValueError("graph is disconnected; eccentricity undefined")
+        return max(dist.values())
+
+    # -- edge connectivity ----------------------------------------------------
+
+    def _max_edge_disjoint_paths(self, source: NodeId, target: NodeId) -> int:
+        """Max number of edge-disjoint s-t paths via unit-capacity max flow.
+
+        Edmonds-Karp on an implicit residual graph: every undirected edge is
+        two opposite unit arcs.  Complexity is fine for the paper's network
+        sizes (≤ ~250 nodes).
+        """
+        residual: Dict[Tuple[NodeId, NodeId], int] = {}
+        for u, v in self.links:
+            residual[(u, v)] = 1
+            residual[(v, u)] = 1
+        flow = 0
+        while True:
+            parent: Dict[NodeId, NodeId] = {source: source}
+            queue: deque[NodeId] = deque([source])
+            while queue and target not in parent:
+                u = queue.popleft()
+                for v in self.neighbors(u):
+                    if v not in parent and residual.get((u, v), 0) > 0:
+                        parent[v] = u
+                        queue.append(v)
+            if target not in parent:
+                return flow
+            node = target
+            while node != source:
+                prev = parent[node]
+                residual[(prev, node)] -= 1
+                residual[(node, prev)] = residual.get((node, prev), 0) + 1
+                node = prev
+            flow += 1
+
+    def edge_connectivity(self) -> int:
+        """λ(Gc): minimum edges whose removal disconnects the graph.
+
+        Uses the standard reduction: λ = min over v≠s of maxflow(s, v) for a
+        fixed s.  κ-fault-resilient flows exist iff κ < λ (Section 2.2.2).
+        """
+        nodes = self.nodes
+        if len(nodes) < 2:
+            return 0
+        if not self.connected():
+            return 0
+        source = nodes[0]
+        return min(self._max_edge_disjoint_paths(source, v) for v in nodes[1:])
+
+    # -- copy -----------------------------------------------------------------
+
+    def copy(self) -> "Topology":
+        clone = Topology()
+        clone._kind = dict(self._kind)
+        clone._adj = {n: set(a) for n, a in self._adj.items()}
+        clone._link_up = dict(self._link_up)
+        clone._node_up = dict(self._node_up)
+        clone._sorted_adj = {}
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology(controllers={len(self.controllers)}, "
+            f"switches={len(self.switches)}, links={len(self._link_up)})"
+        )
+
+
+def subgraph_reachable(topology: Topology, source: NodeId) -> Set[NodeId]:
+    """Nodes reachable from ``source`` in ``Gc``."""
+    return set(topology.bfs_layers(source))
+
+
+__all__ = ["Topology", "NodeKind", "NodeId", "EdgeId", "edge", "subgraph_reachable"]

@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates Renaissance on a Mininet/OVS/Floodlight testbed.  This
+package replaces that testbed with a deterministic discrete-event simulator:
+an event queue with a virtual clock (:mod:`repro.sim.engine`), a network
+harness that wires controllers and abstract switches together and routes
+control traffic *in-band* through the switches' installed rule tables
+(:mod:`repro.sim.network_sim`), fault-injection campaigns
+(:mod:`repro.sim.faults`), and measurement utilities
+(:mod:`repro.sim.metrics`).
+"""
+
+from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.network_sim import NetworkSimulation, SimulationConfig
+from repro.sim.faults import FaultPlan, FaultInjector
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.timeline import ConvergenceTimeline, TimelineSample
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "NetworkSimulation",
+    "SimulationConfig",
+    "FaultPlan",
+    "FaultInjector",
+    "MetricsRecorder",
+    "ConvergenceTimeline",
+    "TimelineSample",
+]

@@ -1,0 +1,29 @@
+"""Event kinds used by the network simulation.
+
+Only the simulation harness interprets these; the engine treats every event
+as an opaque callback.  Keeping the kinds in one place makes traces readable
+and lets tests assert on scheduled activity.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class EventKind(enum.Enum):
+    """Classification tags attached to scheduled events for tracing."""
+
+    CONTROLLER_ITERATION = "controller_iteration"
+    SWITCH_DISCOVERY = "switch_discovery"
+    PACKET_DELIVERY = "packet_delivery"
+    LINK_FAILURE = "link_failure"
+    LINK_RECOVERY = "link_recovery"
+    NODE_FAILURE = "node_failure"
+    NODE_RECOVERY = "node_recovery"
+    STATE_CORRUPTION = "state_corruption"
+    TRAFFIC = "traffic"
+    PROBE = "probe"
+    GENERIC = "generic"
+
+
+__all__ = ["EventKind"]

@@ -1,0 +1,142 @@
+"""Fault injection for the simulation harness.
+
+Covers the paper's entire fault model (Figure 3):
+
+* benign permanent faults — link failures, node (switch/controller)
+  fail-stop, link/node additions;
+* benign transient faults — handled by the link layer's
+  :class:`~repro.net.link.LinkFaultModel` (omission/duplication/reorder);
+* rare transient faults — arbitrary state corruption of switch tables,
+  manager sets, controller reply stores and round tags.
+
+:class:`FaultPlan` is a declarative schedule of faults; the injector
+executes it on the simulation's event queue so experiments are fully
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+from repro.sim.events import EventKind
+from repro.switch.flow_table import Rule
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault: ``at`` seconds, apply ``kind`` to ``target``."""
+
+    at: float
+    kind: str  # fail_link | recover_link | fail_node | recover_node |
+    #            remove_link | remove_node | corrupt_switch | corrupt_controller
+    target: Tuple
+
+
+@dataclass
+class FaultPlan:
+    """Declarative fault schedule, built fluently::
+
+        plan = FaultPlan().fail_link(10.0, "u", "v").fail_node(12.0, "c1")
+    """
+
+    actions: List[FaultAction] = field(default_factory=list)
+
+    def fail_link(self, at: float, u: str, v: str) -> "FaultPlan":
+        self.actions.append(FaultAction(at, "fail_link", (u, v)))
+        return self
+
+    def recover_link(self, at: float, u: str, v: str) -> "FaultPlan":
+        self.actions.append(FaultAction(at, "recover_link", (u, v)))
+        return self
+
+    def remove_link(self, at: float, u: str, v: str) -> "FaultPlan":
+        self.actions.append(FaultAction(at, "remove_link", (u, v)))
+        return self
+
+    def fail_node(self, at: float, node: str) -> "FaultPlan":
+        self.actions.append(FaultAction(at, "fail_node", (node,)))
+        return self
+
+    def recover_node(self, at: float, node: str) -> "FaultPlan":
+        self.actions.append(FaultAction(at, "recover_node", (node,)))
+        return self
+
+    def add_switch(self, at: float, sid: str, links: Tuple[str, ...]) -> "FaultPlan":
+        self.actions.append(FaultAction(at, "add_switch", (sid, list(links))))
+        return self
+
+    def add_controller(self, at: float, cid: str, links: Tuple[str, ...]) -> "FaultPlan":
+        self.actions.append(FaultAction(at, "add_controller", (cid, list(links))))
+        return self
+
+    def corrupt_switch(self, at: float, sid: str, rules: Tuple[Rule, ...] = (),
+                       managers: Tuple[str, ...] = (), clear_first: bool = False) -> "FaultPlan":
+        self.actions.append(
+            FaultAction(at, "corrupt_switch", (sid, rules, managers, clear_first))
+        )
+        return self
+
+    def corrupt_controller(self, at: float, cid: str) -> "FaultPlan":
+        self.actions.append(FaultAction(at, "corrupt_controller", (cid,)))
+        return self
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against a ``NetworkSimulation``."""
+
+    def __init__(self, simulation) -> None:
+        self._simulation = simulation
+
+    def install(self, plan: FaultPlan, mark_fault_time: bool = True) -> None:
+        sim = self._simulation.sim
+        for action in plan.actions:
+            sim.schedule_at(
+                action.at,
+                self._make_executor(action, mark_fault_time),
+                kind=self._event_kind(action.kind),
+                note=f"{action.kind}{action.target}",
+            )
+
+    @staticmethod
+    def _event_kind(kind: str) -> EventKind:
+        if "link" in kind:
+            return EventKind.LINK_FAILURE if "fail" in kind or "remove" in kind else EventKind.LINK_RECOVERY
+        if "corrupt" in kind:
+            return EventKind.STATE_CORRUPTION
+        return EventKind.NODE_FAILURE if "fail" in kind or "remove" in kind else EventKind.NODE_RECOVERY
+
+    def _make_executor(self, action: FaultAction, mark: bool) -> Callable[[], None]:
+        simulation = self._simulation
+
+        def execute() -> None:
+            simulation.apply_fault(action)
+            if mark:
+                simulation.metrics.mark_fault(simulation.sim.now)
+            simulation.metrics.mark_event(simulation.sim.now, action.kind, action.target)
+
+        return execute
+
+
+def random_switch(topology, rng: random.Random) -> str:
+    return rng.choice(topology.switches)
+
+
+def random_link(topology, rng: random.Random, protect_connectivity: bool = True):
+    """Pick a random live link; optionally only links whose removal keeps
+    the live graph connected (the paper's experiments fail links that leave
+    a backup path available)."""
+    candidates = list(topology.links)
+    rng.shuffle(candidates)
+    for u, v in candidates:
+        if not protect_connectivity:
+            return u, v
+        probe = topology.copy()
+        probe.remove_link(u, v)
+        if probe.connected():
+            return u, v
+    raise ValueError("no link can fail without disconnecting the network")
+
+
+__all__ = ["FaultAction", "FaultPlan", "FaultInjector", "random_switch", "random_link"]

@@ -1,0 +1,147 @@
+"""Measurement utilities for the experiment harness.
+
+Collects the quantities the paper reports: bootstrap time, recovery time,
+per-controller message counts (Figure 9's communication overhead), C-reset
+and illegitimate-deletion counts (the Theorem 1 / Lemma 2 bounds), plus
+generic time-series for the throughput experiments.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class ControllerLoad:
+    """Per-controller traffic accounting."""
+
+    batches_sent: int = 0
+    link_transmissions: int = 0  # hop-level message cost (both directions)
+    replies_received: int = 0
+
+
+class MetricsRecorder:
+    """Mutable measurement sink shared by the simulation components."""
+
+    def __init__(self) -> None:
+        self.loads: Dict[str, ControllerLoad] = defaultdict(ControllerLoad)
+        self.events: List[Tuple[float, str, object]] = []
+        self.convergence_time: Optional[float] = None
+        self.fault_time: Optional[float] = None
+        self.c_resets = 0
+        self.illegitimate_deletions = 0
+        self.dropped_control_packets = 0
+
+    # -- traffic -----------------------------------------------------------------
+
+    def record_batch(self, cid: str, hops: int) -> None:
+        load = self.loads[cid]
+        load.batches_sent += 1
+        load.link_transmissions += hops
+
+    def record_reply(self, cid: str, hops: int) -> None:
+        load = self.loads[cid]
+        load.replies_received += 1
+        load.link_transmissions += hops
+
+    def record_drop(self) -> None:
+        self.dropped_control_packets += 1
+
+    # -- milestones ----------------------------------------------------------------
+
+    def mark_event(self, time: float, name: str, value: object = None) -> None:
+        self.events.append((time, name, value))
+
+    def mark_fault(self, time: float) -> None:
+        self.fault_time = time
+
+    def mark_convergence(self, time: float) -> None:
+        if self.convergence_time is None:
+            self.convergence_time = time
+
+    @property
+    def recovery_time(self) -> Optional[float]:
+        """Seconds from the (last) fault to convergence."""
+        if self.convergence_time is None or self.fault_time is None:
+            return None
+        return self.convergence_time - self.fault_time
+
+    # -- Figure 9 metric --------------------------------------------------------------
+
+    def max_load_per_node_per_iteration(
+        self, iterations: Dict[str, int], n_nodes: int
+    ) -> float:
+        """The paper's communication cost: link-level messages of the most
+        loaded controller, normalized by its iteration count and by the
+        number of nodes."""
+        best = 0.0
+        for cid, load in self.loads.items():
+            iters = iterations.get(cid, 0)
+            if iters == 0:
+                continue
+            best = max(best, load.link_transmissions / iters / max(1, n_nodes))
+        return best
+
+
+# -- summary statistics (violin-plot ingredients) --------------------------------
+
+
+def median(values: List[float]) -> float:
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def quartiles(values: List[float]) -> Tuple[float, float, float]:
+    """(Q1, median, Q3) with the inclusive (Tukey) method."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("quartiles of empty sequence")
+    mid = n // 2
+    lower = ordered[: mid + (n % 2)]
+    upper = ordered[mid:]
+    return median(lower), median(ordered), median(upper)
+
+
+def trimmed(values: List[float]) -> List[float]:
+    """Drop the two extrema — the paper's Section 6.4 protocol ('we
+    dismissed from the 20 measurements the two extrema').  Skipped for
+    small samples, where trimming would erase most of the data."""
+    if len(values) <= 4:
+        return list(values)
+    ordered = sorted(values)
+    return ordered[1:-1]
+
+
+def summarize(values: List[float]) -> Dict[str, float]:
+    """Violin-plot summary: extrema, quartiles, median, mean."""
+    if not values:
+        raise ValueError("summary of empty sequence")
+    q1, med, q3 = quartiles(values)
+    return {
+        "min": min(values),
+        "q1": q1,
+        "median": med,
+        "q3": q3,
+        "max": max(values),
+        "mean": sum(values) / len(values),
+        "n": float(len(values)),
+    }
+
+
+__all__ = [
+    "ControllerLoad",
+    "MetricsRecorder",
+    "median",
+    "quartiles",
+    "trimmed",
+    "summarize",
+]

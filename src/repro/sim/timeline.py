@@ -1,0 +1,124 @@
+"""Convergence observability: sampled time series of control-plane state.
+
+The paper's figures report only endpoint times (bootstrap, recovery).
+For debugging and for the examples it is far more informative to watch
+*how* the control plane converges: each controller's discovered-node
+count, completed rounds, and the global rule count, sampled on the
+simulation clock.  :class:`ConvergenceTimeline` attaches to a
+:class:`~repro.sim.network_sim.NetworkSimulation` and records exactly
+that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.events import EventKind
+
+
+@dataclass
+class TimelineSample:
+    """One sampling instant of the whole control plane."""
+
+    time: float
+    discovered: Dict[str, int]  # controller -> nodes in its current view
+    rounds: Dict[str, int]  # controller -> completed rounds
+    total_rules: int
+    legitimate: bool
+
+
+class ConvergenceTimeline:
+    """Periodic sampler over a running simulation.
+
+    Usage::
+
+        sim = NetworkSimulation(topology, config)
+        timeline = ConvergenceTimeline(sim, interval=1.0)
+        timeline.attach()
+        sim.run_until_legitimate(timeout=120)
+        for sample in timeline.samples:
+            ...
+    """
+
+    def __init__(self, simulation, interval: float = 1.0, check_legitimacy: bool = True) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._simulation = simulation
+        self.interval = interval
+        self.check_legitimacy = check_legitimacy
+        self.samples: List[TimelineSample] = []
+        self._attached = False
+
+    def attach(self) -> None:
+        """Start sampling (idempotent)."""
+        if self._attached:
+            return
+        self._attached = True
+        self._simulation.start()
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        self._simulation.sim.schedule(
+            self.interval, self._sample, kind=EventKind.PROBE, note="timeline"
+        )
+
+    def _sample(self) -> None:
+        sim = self._simulation
+        discovered = {}
+        rounds = {}
+        for cid, controller in sim.controllers.items():
+            if controller.failed:
+                discovered[cid] = 0
+                rounds[cid] = controller.rounds_completed
+                continue
+            discovered[cid] = len(controller.current_view().nodes)
+            rounds[cid] = controller.rounds_completed
+        self.samples.append(
+            TimelineSample(
+                time=sim.sim.now,
+                discovered=discovered,
+                rounds=rounds,
+                total_rules=sim.total_rules_installed(),
+                legitimate=sim.is_legitimate() if self.check_legitimacy else False,
+            )
+        )
+        self._schedule_next()
+
+    # -- derived series -------------------------------------------------------
+
+    def discovery_series(self, cid: str) -> List[tuple]:
+        """(time, discovered-node-count) for one controller."""
+        return [(s.time, s.discovered.get(cid, 0)) for s in self.samples]
+
+    def rules_series(self) -> List[tuple]:
+        return [(s.time, s.total_rules) for s in self.samples]
+
+    def first_legitimate_at(self) -> Optional[float]:
+        for sample in self.samples:
+            if sample.legitimate:
+                return sample.time
+        return None
+
+    def render(self, width: int = 50) -> str:
+        """A small ASCII convergence chart (discovered nodes over time)."""
+        if not self.samples:
+            return "(no samples)"
+        lines = []
+        n_nodes = len(self._simulation.topology.nodes)
+        for cid in sorted(self._simulation.controllers):
+            series = self.discovery_series(cid)
+            points = series[:width]
+            bar = "".join(
+                "#" if count >= n_nodes else str(min(9, count * 10 // max(1, n_nodes)))
+                for _, count in points
+            )
+            lines.append(f"{cid:>6} |{bar}|")
+        legit_at = self.first_legitimate_at()
+        lines.append(
+            f"legitimate at t={legit_at:.1f}s" if legit_at is not None else "not yet legitimate"
+        )
+        return "\n".join(lines)
+
+
+__all__ = ["ConvergenceTimeline", "TimelineSample"]

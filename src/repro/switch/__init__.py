@@ -1,0 +1,43 @@
+"""The abstract SDN switch (paper Sections 2.1 and 2.1.1).
+
+A deliberately minimal switch model: a bounded match-action rule table with
+an eviction policy, a bounded manager set, a control module that executes
+controller command batches atomically, and a data plane that forwards by
+the highest-priority applicable rule whose out-link is operational
+(fast-failover semantics).
+"""
+
+from repro.switch.flow_table import Rule, FlowTable, META_PRIORITY
+from repro.switch.managers import ManagerSet
+from repro.switch.commands import (
+    Command,
+    NewRound,
+    AddManager,
+    DelManager,
+    DelAllRules,
+    UpdateRules,
+    Query,
+    CommandBatch,
+    QueryReply,
+)
+from repro.switch.abstract_switch import AbstractSwitch
+from repro.switch.forwarding import select_rule, next_hop
+
+__all__ = [
+    "Rule",
+    "FlowTable",
+    "META_PRIORITY",
+    "ManagerSet",
+    "Command",
+    "NewRound",
+    "AddManager",
+    "DelManager",
+    "DelAllRules",
+    "UpdateRules",
+    "Query",
+    "CommandBatch",
+    "QueryReply",
+    "AbstractSwitch",
+    "select_rule",
+    "next_hop",
+]

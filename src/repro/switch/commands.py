@@ -1,0 +1,138 @@
+"""Controller→switch command protocol (paper Figure 4).
+
+Controllers send *command batches*: a ``newRound`` first, then any
+management commands (``delMngr``/``addMngr``/``delAllRules``), then
+``updateRule``, and a trailing ``query``.  The switch control module
+executes a batch atomically (one atomic step, Section 3.2) and answers the
+query with ⟨j, Nc(j), manager(j), rules(j)⟩.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.switch.flow_table import Rule
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base class for control commands (subclasses are the wire format)."""
+
+
+@dataclass(frozen=True)
+class NewRound(Command):
+    """⟨'newRound', t_metaRule⟩ — update the sender's meta-rule tag."""
+
+    tag: object
+
+
+@dataclass(frozen=True)
+class AddManager(Command):
+    """⟨'addMngr', k⟩ — add controller ``k`` to the manager set."""
+
+    cid: str
+
+
+@dataclass(frozen=True)
+class DelManager(Command):
+    """⟨'delMngr', k⟩ — remove controller ``k`` from the manager set."""
+
+    cid: str
+
+
+@dataclass(frozen=True)
+class DelAllRules(Command):
+    """⟨'delAllRules', k⟩ — delete every rule installed by ``k``."""
+
+    cid: str
+
+
+@dataclass(frozen=True)
+class UpdateRules(Command):
+    """⟨'updateRule', newRules⟩ — replace all of the *sender's* rules."""
+
+    rules: Tuple[Rule, ...]
+
+
+@dataclass(frozen=True)
+class Query(Command):
+    """⟨'query', t_query⟩ — request the configuration snapshot."""
+
+    tag: object
+
+
+@dataclass(frozen=True)
+class CommandBatch:
+    """An aggregated configuration message from one controller
+    (Algorithm 2, line 19)."""
+
+    sender: str
+    commands: Tuple[Command, ...]
+
+    def __post_init__(self) -> None:
+        if not self.commands:
+            raise ValueError("empty command batch")
+
+    @property
+    def query_tag(self) -> Optional[object]:
+        for command in self.commands:
+            if isinstance(command, Query):
+                return command.tag
+        return None
+
+
+@dataclass(frozen=True)
+class QueryReply:
+    """⟨ID, Nc, Mng, rules⟩ — the respondent's configuration snapshot.
+
+    Controllers answer with empty ``managers``/``rules`` except for the
+    echo meta-entry carrying the query tag (Algorithm 2, line 23); their
+    replies are marked ``kind="controller"`` (the paper distinguishes them
+    by the ⊥ manager field).
+    """
+
+    node: str
+    neighbors: Tuple[str, ...]
+    managers: Tuple[str, ...]
+    rules: Tuple[Rule, ...]
+    kind: str = "switch"
+
+    def tags_of(self, cid: str) -> List[object]:
+        """Tags of ``cid``'s rules in this snapshot (used by the round
+        synchronization check, Algorithm 2's ``res(x)`` macro)."""
+        return [r.tag for r in self.rules if r.cid == cid]
+
+
+def make_batch(
+    sender: str,
+    round_tag: object,
+    manager_dels: Sequence[str] = (),
+    rule_dels: Sequence[str] = (),
+    new_rules: Sequence[Rule] = (),
+    query_tag: object = None,
+) -> CommandBatch:
+    """Assemble a batch in the paper's canonical order:
+    newRound ∘ delMngr* ∘ addMngr(self) ∘ delAllRules* ∘ updateRule ∘ query.
+    """
+    commands: List[Command] = [NewRound(round_tag)]
+    commands.extend(DelManager(cid) for cid in manager_dels)
+    commands.append(AddManager(sender))
+    commands.extend(DelAllRules(cid) for cid in rule_dels)
+    commands.append(UpdateRules(tuple(new_rules)))
+    commands.append(Query(query_tag if query_tag is not None else round_tag))
+    return CommandBatch(sender=sender, commands=tuple(commands))
+
+
+__all__ = [
+    "Command",
+    "NewRound",
+    "AddManager",
+    "DelManager",
+    "DelAllRules",
+    "UpdateRules",
+    "Query",
+    "CommandBatch",
+    "QueryReply",
+    "make_batch",
+]

@@ -1,0 +1,200 @@
+"""Bounded match-action rule table with least-recently-updated eviction.
+
+A rule is the paper's tuple ⟨cID, sID, src, dest, prt, fwd, tag⟩
+(Figure 4): ``cid`` installed it, ``sid`` stores it, the match is the
+packet header ``(src, dst)``, ``priority`` picks among matching rules
+(larger is higher), ``forward_to`` is the out-port, and ``tag`` is the
+synchronization-round tag.
+
+The table enforces ``max_rules`` with the paper's clogged-memory policy
+(Section 2.1.1): when full, the least-recently-*updated* rule is evicted.
+A controller that keeps refreshing its rules therefore never loses them to
+eviction — the property Lemma 1 relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Priority reserved for round-synchronization meta-rules — the lowest.
+META_PRIORITY = 0
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One match-action entry.  ``forward_to is None`` encodes a meta-rule
+    (it matches nothing on the data path).
+
+    ``detour``/``detour_start`` implement tagged local fast failover: a
+    packet whose primary out-link is down is stamped with the detour id at
+    the detecting switch (the rule with ``detour_start=True``) and from
+    then on matches only rules carrying the same ``detour`` stamp, falling
+    back to primary rules (unstamping) where the detour rejoins the intact
+    primary suffix.  The stamp is what keeps concurrent detours of one
+    flow from bouncing packets between each other — the same role packet
+    tags play for consistent updates in the paper (Section 6.2).
+    """
+
+    cid: str  # controller that installed the rule
+    sid: str  # switch storing the rule
+    src: str  # match: packet source
+    dst: str  # match: packet destination
+    priority: int
+    forward_to: Optional[str]
+    tag: object = None
+    detour: Optional[int] = None  # None = primary-path rule
+    detour_start: bool = False  # stamps unstamped packets entering here
+
+    @property
+    def is_meta(self) -> bool:
+        return self.forward_to is None and self.priority == META_PRIORITY
+
+    def key(self) -> Tuple[str, str, str, int, Optional[str], Optional[int]]:
+        """Identity within one controller's rule set: match + priority +
+        action (the tag is metadata, not identity)."""
+        return (self.cid, self.src, self.dst, self.priority, self.forward_to, self.detour)
+
+
+class FlowTable:
+    """Rule storage for one switch, bounded by ``max_rules``."""
+
+    def __init__(self, sid: str, max_rules: int) -> None:
+        if max_rules < 1:
+            raise ValueError("max_rules must be >= 1")
+        self.sid = sid
+        self.max_rules = max_rules
+        self._rules: Dict[Tuple, Rule] = {}
+        self._touched: Dict[Tuple, int] = {}
+        # Match index (src, dst) -> rule keys, kept in sync by every
+        # mutation: data-plane lookups must not scan the whole table.
+        self._by_match: Dict[Tuple[str, str], List[Tuple]] = {}
+        self._clock = itertools.count()
+        self.evictions = 0
+
+    def _index_add(self, key: Tuple, rule: Rule) -> None:
+        if rule.is_meta:
+            return
+        self._by_match.setdefault((rule.src, rule.dst), []).append(key)
+
+    def _index_remove(self, key: Tuple, rule: Rule) -> None:
+        if rule.is_meta:
+            return
+        bucket = self._by_match.get((rule.src, rule.dst))
+        if bucket is None:
+            return
+        try:
+            bucket.remove(key)
+        except ValueError:
+            pass
+        if not bucket:
+            del self._by_match[(rule.src, rule.dst)]
+
+    def _delete_key(self, key: Tuple) -> None:
+        rule = self._rules.pop(key)
+        del self._touched[key]
+        self._index_remove(key, rule)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def rules(self) -> List[Rule]:
+        return list(self._rules.values())
+
+    def rules_of(self, cid: str) -> List[Rule]:
+        return [r for r in self._rules.values() if r.cid == cid]
+
+    def controllers_present(self) -> List[str]:
+        return sorted({r.cid for r in self._rules.values()})
+
+    # -- mutation -------------------------------------------------------------
+
+    def install(self, rule: Rule) -> None:
+        """Insert or refresh one rule, evicting if the table is clogged."""
+        if rule.sid != self.sid:
+            raise ValueError(f"rule for switch {rule.sid} offered to {self.sid}")
+        key = rule.key()
+        if key not in self._rules and len(self._rules) >= self.max_rules:
+            self._evict_one()
+        if key in self._rules:
+            self._index_remove(key, self._rules[key])
+        self._rules[key] = rule
+        self._touched[key] = next(self._clock)
+        self._index_add(key, rule)
+
+    def _evict_one(self) -> None:
+        victim = min(self._touched, key=self._touched.get)
+        self._delete_key(victim)
+        self.evictions += 1
+
+    def replace_rules_of(self, cid: str, new_rules: Iterable[Rule]) -> None:
+        """The ``updateRule`` command: replace all of ``cid``'s rules
+        (except meta-rules, which ``newRound`` manages)."""
+        for key in [k for k, r in self._rules.items() if r.cid == cid and not r.is_meta]:
+            self._delete_key(key)
+        for rule in new_rules:
+            if rule.cid != cid:
+                raise ValueError(f"rule owned by {rule.cid} in update for {cid}")
+            self.install(rule)
+
+    def delete_rules_of(self, cid: str, include_meta: bool = True) -> int:
+        """The ``delAllRules`` command.  Returns the number removed."""
+        victims = [
+            k
+            for k, r in self._rules.items()
+            if r.cid == cid and (include_meta or not r.is_meta)
+        ]
+        for key in victims:
+            self._delete_key(key)
+        return len(victims)
+
+    def clear(self) -> None:
+        self._rules.clear()
+        self._touched.clear()
+        self._by_match.clear()
+
+    # -- lookup ---------------------------------------------------------------
+
+    def matching(self, src: str, dst: str) -> List[Rule]:
+        """All non-meta rules matching a packet header, highest priority
+        first (deterministic tie-break on owner and out-port)."""
+        keys = self._by_match.get((src, dst), ())
+        hits = [self._rules[k] for k in keys]
+        hits.sort(key=lambda r: (-r.priority, r.cid, r.forward_to or ""))
+        return hits
+
+    def is_unambiguous(self, operational: Optional[Iterable[str]] = None) -> bool:
+        """Check the paper's unambiguity requirement: for every packet
+        header there is at most one applicable rule.
+
+        When ``operational`` (the usable out-neighbours) is given,
+        applicability is evaluated against it; otherwise all out-ports are
+        assumed usable — the stricter static check.
+        """
+        usable = set(operational) if operational is not None else None
+        best: Dict[Tuple[str, str], List[Rule]] = {}
+        for rule in self._rules.values():
+            if rule.is_meta:
+                continue
+            if usable is not None and rule.forward_to not in usable:
+                continue
+            best.setdefault((rule.src, rule.dst), []).append(rule)
+        for candidates in best.values():
+            top = max(r.priority for r in candidates)
+            top_rules = [r for r in candidates if r.priority == top]
+            actions = {r.forward_to for r in top_rules}
+            if len(actions) > 1:
+                return False
+        return True
+
+    # -- fault hooks ------------------------------------------------------------
+
+    def corrupt_with(self, rules: Iterable[Rule]) -> None:
+        """Transient-fault hook: plant arbitrary rules, bypassing ownership
+        discipline but still respecting the memory bound."""
+        for rule in rules:
+            self.install(replace(rule, sid=self.sid))
+
+
+__all__ = ["Rule", "FlowTable", "META_PRIORITY"]

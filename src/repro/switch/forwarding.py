@@ -1,0 +1,83 @@
+"""Data-plane forwarding with conditional rules and detour stamping.
+
+The paper defines a rule as *applicable* for a packet when it is the
+highest-priority match whose out-port link is currently operational
+(Section 2.1).  On top of that, the failover scheme stamps packets onto a
+specific detour at the failure-detecting switch (see
+:class:`~repro.switch.flow_table.Rule`), so concurrently installed
+detours of one flow cannot bounce packets between each other:
+
+* an **unstamped** packet follows the highest-priority applicable
+  *primary* rule; if none applies (its out-link is down), it takes the
+  switch's applicable ``detour_start`` rule and acquires that stamp;
+* a **stamped** packet follows rules of its own detour; where none exist
+  or apply, it falls back to an applicable primary rule and is unstamped
+  (the detour has rejoined the intact primary suffix); as a last resort
+  (multi-failure) it re-stamps onto a locally starting detour.
+
+``next_hop`` also implements the rule-free direct-neighbour relay that
+in-band control bootstraps through (Section 2.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Tuple
+
+from repro.switch.flow_table import FlowTable, Rule
+
+
+def select_rule(
+    table: FlowTable,
+    src: str,
+    dst: str,
+    operational_neighbors: Iterable[str],
+    stamp: Optional[int] = None,
+) -> Optional[Rule]:
+    """The applicable rule for a packet (header + detour stamp)."""
+    usable: Set[str] = set(operational_neighbors)
+    matches = table.matching(src, dst)
+    applicable = [r for r in matches if r.forward_to in usable]
+    if not applicable:
+        return None
+    if stamp is not None:
+        own_detour = [r for r in applicable if r.detour == stamp]
+        if own_detour:
+            return own_detour[0]
+    primaries = [r for r in applicable if r.detour is None]
+    if primaries:
+        return primaries[0]
+    starts = [r for r in applicable if r.detour_start]
+    if starts:
+        return starts[0]
+    return None
+
+
+def next_hop(
+    table: FlowTable,
+    src: str,
+    dst: str,
+    operational_neighbors: Iterable[str],
+    stamp: Optional[int] = None,
+) -> Tuple[Optional[str], Optional[int]]:
+    """Resolve one forwarding step; returns ``(next_hop, new_stamp)``.
+
+    Order of resolution:
+
+    1. destination is an operational direct neighbour → relay directly
+       (rule-free last hop, enabling query-by-neighbour bootstrap);
+    2. otherwise the applicable rule's out-port, updating the stamp:
+       entering a detour stamps, rejoining the primary unstamps;
+    3. otherwise ``(None, stamp)`` — the packet is dropped.
+    """
+    usable = set(operational_neighbors)
+    if dst in usable:
+        return dst, stamp
+    rule = select_rule(table, src, dst, usable, stamp=stamp)
+    if rule is None:
+        return None, stamp
+    if rule.detour is None:
+        return rule.forward_to, None  # on (or back on) the primary
+    return rule.forward_to, rule.detour
+
+
+__all__ = ["select_rule", "next_hop"]

@@ -1,0 +1,59 @@
+"""Bounded manager set (paper Section 2.1.1).
+
+Each switch stores up to ``max_managers`` controller ids.  When the bound
+is exceeded, the least-recently-stored-or-accessed manager is dropped so a
+new one fits — the FIFO-with-refresh policy the paper prescribes.  A
+controller that re-asserts itself every round (as Algorithm 2 does in
+line 16) is therefore never evicted once the system stabilizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List
+
+
+class ManagerSet:
+    """Ordered bounded set of controller ids managing one switch."""
+
+    def __init__(self, max_managers: int) -> None:
+        if max_managers < 1:
+            raise ValueError("max_managers must be >= 1")
+        self.max_managers = max_managers
+        self._stamp: Dict[str, int] = {}
+        self._clock = itertools.count()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._stamp)
+
+    def __contains__(self, cid: str) -> bool:
+        return cid in self._stamp
+
+    def members(self) -> List[str]:
+        return sorted(self._stamp)
+
+    def add(self, cid: str) -> None:
+        """Add or refresh a manager, evicting the stalest if clogged."""
+        if cid not in self._stamp and len(self._stamp) >= self.max_managers:
+            victim = min(self._stamp, key=self._stamp.get)
+            del self._stamp[victim]
+            self.evictions += 1
+        self._stamp[cid] = next(self._clock)
+
+    def remove(self, cid: str) -> bool:
+        if cid in self._stamp:
+            del self._stamp[cid]
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._stamp.clear()
+
+    def corrupt_with(self, cids: Iterable[str]) -> None:
+        """Transient-fault hook: plant arbitrary manager entries."""
+        for cid in cids:
+            self.add(cid)
+
+
+__all__ = ["ManagerSet"]

@@ -1,0 +1,25 @@
+"""Data-plane transport substrate for the throughput experiments.
+
+The paper measures Iperf TCP throughput between two hosts while a link on
+the primary path fails (Figures 15–20), dissecting the traffic with
+Wireshark (retransmissions, "BAD TCP" flags, out-of-order packets).  We
+substitute an event-driven **TCP Reno** model (:mod:`repro.transport.tcp`)
+driven over the simulated data plane: slow start, congestion avoidance,
+fast retransmit / fast recovery — the control law whose reaction to the
+path change produces the paper's throughput valley and counter spikes.
+"""
+
+from repro.transport.tcp import RenoConnection, RenoParams
+from repro.transport.traffic import HostPair, place_hosts_at_max_distance, TrafficRun
+from repro.transport.stats import SecondStats, TrafficStats, pearson
+
+__all__ = [
+    "RenoConnection",
+    "RenoParams",
+    "HostPair",
+    "place_hosts_at_max_distance",
+    "TrafficRun",
+    "SecondStats",
+    "TrafficStats",
+    "pearson",
+]

@@ -1,0 +1,93 @@
+"""Per-second traffic statistics — the Wireshark-side of Figures 15–20.
+
+The paper reports, per second of the 30-second run: TCP throughput
+(Mbit/s), the percentage of retransmitted packets, the percentage of
+packets with "BAD TCP" flags (Wireshark's umbrella for retransmissions,
+duplicate ACKs, window problems), and the percentage of out-of-order
+packets.  :class:`TrafficStats` accumulates exactly those counters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class SecondStats:
+    """Counters for one wall-clock second of a traffic run."""
+
+    second: int
+    segments_delivered: int = 0
+    segments_sent: int = 0
+    retransmissions: int = 0
+    duplicate_acks: int = 0
+    out_of_order: int = 0
+
+    @property
+    def bad_tcp(self) -> int:
+        """Wireshark's 'BAD TCP' umbrella: retransmissions + dup-acks."""
+        return self.retransmissions + self.duplicate_acks
+
+    def pct(self, numerator: int) -> float:
+        if self.segments_sent == 0:
+            return 0.0
+        return 100.0 * numerator / self.segments_sent
+
+
+class TrafficStats:
+    """Accumulates per-second stats and renders the paper's series."""
+
+    def __init__(self, mbits_per_segment: float) -> None:
+        self.mbits_per_segment = mbits_per_segment
+        self._seconds: Dict[int, SecondStats] = {}
+
+    def bucket(self, time: float) -> SecondStats:
+        second = int(time)
+        if second not in self._seconds:
+            self._seconds[second] = SecondStats(second=second)
+        return self._seconds[second]
+
+    def seconds(self) -> List[SecondStats]:
+        return [self._seconds[s] for s in sorted(self._seconds)]
+
+    # -- the four series of Figures 15/16 and 18-20 ------------------------------
+
+    def throughput_series(self) -> List[float]:
+        """Mbit/s delivered per second (Figures 15/16)."""
+        return [
+            s.segments_delivered * self.mbits_per_segment for s in self.seconds()
+        ]
+
+    def retransmission_series(self) -> List[float]:
+        """% of sent packets that were retransmissions (Figure 18)."""
+        return [s.pct(s.retransmissions) for s in self.seconds()]
+
+    def bad_tcp_series(self) -> List[float]:
+        """% of packets with BAD-TCP flags (Figure 19)."""
+        return [s.pct(s.bad_tcp) for s in self.seconds()]
+
+    def out_of_order_series(self) -> List[float]:
+        """% of out-of-order packets (Figure 20)."""
+        return [s.pct(s.out_of_order) for s in self.seconds()]
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient (Table 17 compares the recovery and
+    no-recovery throughput series with it)."""
+    n = min(len(xs), len(ys))
+    if n < 2:
+        raise ValueError("need at least two points")
+    xs, ys = list(xs[:n]), list(ys[:n])
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        raise ValueError("zero variance series")
+    return cov / math.sqrt(var_x * var_y)
+
+
+__all__ = ["SecondStats", "TrafficStats", "pearson"]

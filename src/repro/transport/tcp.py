@@ -1,0 +1,205 @@
+"""An event-driven TCP Reno model (paper Section 6.4.3).
+
+The paper generates Iperf TCP traffic and observes Reno's reaction to a
+mid-path link failure: a throughput valley in the failure second, a spike
+of retransmissions and "BAD TCP" flags to the 10–15 % band, and a smaller
+out-of-order bump — all consequences of the brief blackhole between the
+link dying and the fast-failover (or new primary) path taking over.
+
+:class:`RenoConnection` advances in RTT-sized steps against a *path
+provider* (a callable returning the current data-plane route, resolved
+through the real switch tables).  The model implements:
+
+* slow start / congestion avoidance / fast retransmit + fast recovery;
+* a receiver-window cap, which reproduces the host-limited ~500 Mbit/s
+  plateau of the paper's Mininet runs (link capacity is 1000 Mbit/s);
+* a failover blackhole: on a path change, everything sent during
+  ``failover_latency`` is lost and must be retransmitted — this is what
+  drives the Figure 18/19 spike — and a window's worth of segments that
+  raced both paths arrives out of order (Figure 20);
+* a small stochastic baseline loss, giving the sub-1 % noise floor the
+  paper's counters show before the failure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.transport.stats import TrafficStats
+
+
+@dataclass
+class RenoParams:
+    """Model constants; defaults tuned to the paper's testbed scale."""
+
+    #: Segment payload in megabits (1500-byte MTU segments).
+    segment_mbits: float = 0.012
+    #: Raw link capacity (the paper sets 1000 Mbit/s).
+    capacity_mbps: float = 1000.0
+    #: Host-side efficiency: Mininet host stacks saturate around half the
+    #: raw link rate, giving the ~500-525 Mbit/s plateau of Figure 15.
+    host_efficiency: float = 0.52
+    #: Per-hop one-way propagation + processing delay (seconds).
+    per_hop_delay: float = 0.001
+    #: Minimum round-trip time (seconds).
+    base_rtt: float = 0.004
+    #: Receiver window in multiples of the effective BDP.
+    rwnd_bdp_factor: float = 2.0
+    #: Blackhole between link death and the backup rules taking over.
+    failover_latency: float = 0.12
+    #: Fraction of one window that arrives out of order after a reroute.
+    reorder_window_fraction: float = 0.35
+    #: Baseline random segment-loss probability.
+    baseline_loss: float = 0.0005
+    seed: int = 0
+
+
+class RenoConnection:
+    """One long-lived TCP Reno flow over the simulated data plane."""
+
+    def __init__(
+        self,
+        path_provider: Callable[[], Optional[List[str]]],
+        params: Optional[RenoParams] = None,
+    ) -> None:
+        self.params = params or RenoParams()
+        self._path_provider = path_provider
+        self._rng = random.Random(self.params.seed)
+        self.stats = TrafficStats(self.params.segment_mbits)
+        # Reno state (units: segments).
+        self.cwnd = 2.0
+        self.ssthresh = 1e9
+        self._backlog_retrans = 0
+        self._last_path: Optional[Tuple[str, ...]] = None
+        self._in_blackhole = False
+        self._consistent_update_pending = False
+        self.now = 0.0
+
+    # -- derived quantities ---------------------------------------------------
+
+    def _rtt(self, path_len_hops: int) -> float:
+        return self.params.base_rtt + 2 * self.params.per_hop_delay * path_len_hops
+
+    def _effective_capacity_mbps(self, path_len_hops: int) -> float:
+        """Host-limited plateau, slightly decreasing with path length —
+        the longer-diameter networks sit a few Mbit/s lower in Figure 15."""
+        p = self.params
+        return p.capacity_mbps * p.host_efficiency / (1.0 + 0.004 * path_len_hops)
+
+    def _rwnd(self, path_len_hops: int) -> float:
+        p = self.params
+        bdp_segments = (
+            self._effective_capacity_mbps(path_len_hops)
+            * self._rtt(path_len_hops)
+            / p.segment_mbits
+        )
+        return max(4.0, p.rwnd_bdp_factor * bdp_segments)
+
+    # -- simulation ----------------------------------------------------------------
+
+    def run(self, duration: float) -> TrafficStats:
+        """Advance the connection for ``duration`` seconds."""
+        end = self.now + duration
+        while self.now < end:
+            self._step()
+        return self.stats
+
+    def _step(self) -> None:
+        path = self._path_provider()
+        if path is None:
+            self._step_blackhole()
+            return
+        hops = len(path) - 1
+        rtt = self._rtt(hops)
+        path_key = tuple(path)
+        self._in_blackhole = False
+        if self._last_path is not None and path_key != self._last_path:
+            self._on_reroute(hops)
+        self._last_path = path_key
+        self._step_transfer(hops, rtt)
+        self.now += rtt
+
+    def _step_blackhole(self) -> None:
+        """No route at all: everything sent is lost; RTO fires.
+
+        ``ssthresh`` halves only on the *first* RTO of the outage (one
+        loss event): Reno's retry timeouts do not keep collapsing it, so
+        after the route returns, slow start climbs back to half the old
+        window and recovery is fast."""
+        p = self.params
+        dt = max(self._rtt(4), 0.01)
+        bucket = self.stats.bucket(self.now)
+        sent = int(self.cwnd)
+        bucket.segments_sent += sent
+        self._backlog_retrans += sent
+        if not self._in_blackhole:
+            self.ssthresh = max(2.0, self.cwnd / 2.0)
+            self._in_blackhole = True
+        self.cwnd = 2.0  # timeout: back to slow start
+        self.now += dt
+
+    def notify_consistent_update(self) -> None:
+        """The control plane announced a tag-based consistent update
+        (paper Section 6.2): the next path change is planned, per-packet
+        consistent, and therefore lossless — only mild reordering occurs
+        while in-flight packets drain from the old path."""
+        self._consistent_update_pending = True
+
+    def _on_reroute(self, hops: int) -> None:
+        """The path changed: model the failover blackhole + reordering."""
+        p = self.params
+        if self._consistent_update_pending:
+            self._consistent_update_pending = False
+            bucket = self.stats.bucket(self.now)
+            reordered = int(min(self.cwnd, self._rwnd(hops)) * 0.05)
+            bucket.out_of_order += reordered
+            return
+        rate_segments = self._effective_capacity_mbps(hops) / p.segment_mbits
+        lost = int(rate_segments * p.failover_latency)
+        bucket = self.stats.bucket(self.now)
+        bucket.segments_sent += lost  # sent into the void
+        self._backlog_retrans += lost
+        reordered = int(min(self.cwnd, self._rwnd(hops)) * p.reorder_window_fraction)
+        bucket.out_of_order += reordered
+        bucket.duplicate_acks += reordered // 3  # every 3 dup-acks noted
+        # Fast retransmit / fast recovery: halve, skip slow start.
+        self.ssthresh = max(2.0, self.cwnd / 2.0)
+        self.cwnd = self.ssthresh
+        # The blackhole consumes wall-clock before delivery resumes.
+        self.now += p.failover_latency
+
+    def _step_transfer(self, hops: int, rtt: float) -> None:
+        p = self.params
+        bucket = self.stats.bucket(self.now)
+        rwnd = self._rwnd(hops)
+        window = min(self.cwnd, rwnd)
+        capacity_per_rtt = self._effective_capacity_mbps(hops) * rtt / p.segment_mbits
+        budget = int(min(window, capacity_per_rtt))
+        if budget <= 0:
+            budget = 1
+        # Retransmissions drain first (they occupy the same window space).
+        retrans = min(self._backlog_retrans, budget)
+        fresh = budget - retrans
+        self._backlog_retrans -= retrans
+        # Baseline stochastic loss on fresh data.
+        lost = sum(
+            1 for _ in range(fresh) if self._rng.random() < p.baseline_loss
+        )
+        delivered = retrans + fresh - lost
+        self._backlog_retrans += lost
+        bucket.segments_sent += budget
+        bucket.retransmissions += retrans
+        bucket.segments_delivered += delivered
+        if lost:
+            bucket.duplicate_acks += lost
+        # Window growth: slow start doubles per RTT, congestion avoidance
+        # adds one segment per RTT; the receiver window caps everything.
+        if self.cwnd < self.ssthresh:
+            self.cwnd = min(self.cwnd * 2.0, rwnd)
+        else:
+            self.cwnd = min(self.cwnd + 1.0, rwnd)
+
+
+__all__ = ["RenoParams", "RenoConnection"]

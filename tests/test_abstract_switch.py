@@ -1,0 +1,164 @@
+"""Unit tests for the abstract switch control module (Section 2.1.1)."""
+
+import pytest
+
+from repro.switch.abstract_switch import AbstractSwitch, BOTTOM
+from repro.switch.flow_table import Rule, META_PRIORITY
+from repro.switch.commands import (
+    AddManager,
+    CommandBatch,
+    DelAllRules,
+    DelManager,
+    NewRound,
+    Query,
+    UpdateRules,
+    make_batch,
+)
+
+
+def make_switch(sid="s0", neighbors=("s1", "s2")):
+    return AbstractSwitch(sid, alive_neighbors=lambda: list(neighbors))
+
+
+def flow_rule(cid="c0", sid="s0", dst="s9", fwd="s1", prt=5):
+    return Rule(cid=cid, sid=sid, src=cid, dst=dst, priority=prt, forward_to=fwd)
+
+
+def test_new_round_installs_meta_rule():
+    switch = make_switch()
+    switch.handle_batch(CommandBatch("c0", (NewRound("t1"),)))
+    assert switch.meta_tag_of("c0") == "t1"
+
+
+def test_new_round_replaces_meta_tag():
+    switch = make_switch()
+    switch.handle_batch(CommandBatch("c0", (NewRound("t1"),)))
+    switch.handle_batch(CommandBatch("c0", (NewRound("t2"),)))
+    assert switch.meta_tag_of("c0") == "t2"
+    metas = [r for r in switch.table.rules_of("c0") if r.is_meta]
+    assert len(metas) == 1
+
+
+def test_add_and_del_manager():
+    switch = make_switch()
+    switch.handle_batch(CommandBatch("c0", (AddManager("c0"), AddManager("c1"))))
+    assert switch.managers.members() == ["c0", "c1"]
+    switch.handle_batch(CommandBatch("c0", (DelManager("c1"),)))
+    assert switch.managers.members() == ["c0"]
+
+
+def test_update_rules_replaces_senders_rules_only():
+    switch = make_switch()
+    switch.handle_batch(
+        CommandBatch("c0", (UpdateRules((flow_rule(cid="c0", dst="d1"),)),))
+    )
+    switch.handle_batch(
+        CommandBatch("c1", (UpdateRules((flow_rule(cid="c1", dst="d2", fwd="s2"),)),))
+    )
+    switch.handle_batch(
+        CommandBatch("c0", (UpdateRules((flow_rule(cid="c0", dst="d3"),)),))
+    )
+    dsts = {(r.cid, r.dst) for r in switch.table.rules()}
+    assert dsts == {("c0", "d3"), ("c1", "d2")}
+
+
+def test_del_all_rules():
+    switch = make_switch()
+    switch.handle_batch(
+        CommandBatch(
+            "c0", (NewRound("t"), UpdateRules((flow_rule(cid="c0"),)))
+        )
+    )
+    switch.handle_batch(CommandBatch("c1", (DelAllRules("c0"),)))
+    assert switch.table.rules_of("c0") == []
+
+
+def test_query_returns_snapshot():
+    switch = make_switch(neighbors=("n1", "n2"))
+    reply = switch.handle_batch(
+        CommandBatch(
+            "c0",
+            (
+                NewRound("t1"),
+                AddManager("c0"),
+                UpdateRules((flow_rule(),)),
+                Query("t1"),
+            ),
+        )
+    )
+    assert reply is not None
+    assert reply.node == "s0"
+    assert reply.neighbors == ("n1", "n2")
+    assert reply.managers == ("c0",)
+    assert any(r.is_meta and r.tag == "t1" for r in reply.rules)
+    assert reply.kind == "switch"
+
+
+def test_batch_without_query_returns_none():
+    switch = make_switch()
+    assert switch.handle_batch(CommandBatch("c0", (NewRound("t"),))) is None
+
+
+def test_batch_atomicity_order():
+    """Deletions execute before the update and the query reflects the
+    final state (the paper's canonical batch order)."""
+    switch = make_switch()
+    switch.handle_batch(
+        CommandBatch("c1", (AddManager("c1"), UpdateRules((flow_rule(cid="c1", fwd="s2"),))))
+    )
+    batch = make_batch(
+        sender="c0",
+        round_tag="t9",
+        manager_dels=["c1"],
+        rule_dels=["c1"],
+        new_rules=[flow_rule(cid="c0")],
+        query_tag="t9",
+    )
+    reply = switch.handle_batch(batch)
+    assert "c1" not in reply.managers
+    assert all(r.cid != "c1" for r in reply.rules)
+    assert any(r.cid == "c0" and not r.is_meta for r in reply.rules)
+
+
+def test_deletion_log_records_victims():
+    switch = make_switch()
+    switch.handle_batch(CommandBatch("c1", (AddManager("c1"),)))
+    switch.handle_batch(CommandBatch("c0", (DelManager("c1"),)))
+    assert switch.deletion_log[-1].issuer == "c0"
+    assert switch.deletion_log[-1].managers_removed == ["c1"]
+
+
+def test_no_deletion_log_for_noop_deletes():
+    switch = make_switch()
+    switch.handle_batch(CommandBatch("c0", (DelManager("ghost"), DelAllRules("ghost"))))
+    assert switch.deletion_log == []
+
+
+def test_corrupt_plants_state():
+    switch = make_switch()
+    switch.corrupt(rules=(flow_rule(cid="evil"),), managers=("evil",))
+    assert "evil" in switch.managers.members()
+    assert switch.table.rules_of("evil")
+
+
+def test_corrupt_clear_first():
+    switch = make_switch()
+    switch.handle_batch(CommandBatch("c0", (AddManager("c0"),)))
+    switch.corrupt(clear_first=True)
+    assert len(switch.table) == 0
+    assert switch.managers.members() == []
+
+
+def test_make_batch_canonical_order():
+    batch = make_batch("c0", "t", manager_dels=["x"], rule_dels=["y"],
+                       new_rules=[flow_rule()], query_tag="t")
+    kinds = [type(c).__name__ for c in batch.commands]
+    assert kinds == [
+        "NewRound", "DelManager", "AddManager", "DelAllRules", "UpdateRules", "Query",
+    ]
+    assert batch.query_tag == "t"
+
+
+def test_empty_batch_rejected():
+    with pytest.raises(ValueError):
+        CommandBatch("c0", ())

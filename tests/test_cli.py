@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "B4" in out and "fig5" in out
+
+
+def test_bootstrap_command(capsys):
+    assert main(["bootstrap", "--network", "Clos", "--reps", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "bootstrapped" in out
+    assert "median" in out
+
+
+def test_recover_command(capsys):
+    assert main(["recover", "--network", "B4", "--fault", "link"]) == 0
+    out = capsys.readouterr().out
+    assert "recovered in" in out
+
+
+def test_traffic_command(capsys):
+    assert main(["traffic", "--network", "B4"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+
+
+def test_figure_command_table8(capsys):
+    assert main(["figure", "table8"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 8" in out
+
+
+def test_all_figures_registered():
+    expected = {
+        "table8", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11",
+        "fig12", "fig13", "fig14", "fig15", "fig16", "table17",
+        "fig18", "fig19", "fig20",
+    }
+    assert set(FIGURES) == expected
+
+
+def test_parser_rejects_unknown_network():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bootstrap", "--network", "nope"])

@@ -1,0 +1,67 @@
+"""Unit tests for the command protocol data types."""
+
+import pytest
+
+from repro.switch.commands import (
+    AddManager,
+    CommandBatch,
+    DelAllRules,
+    DelManager,
+    NewRound,
+    Query,
+    QueryReply,
+    UpdateRules,
+    make_batch,
+)
+from repro.switch.flow_table import Rule, META_PRIORITY
+
+
+def test_query_tag_extraction():
+    batch = CommandBatch("c0", (NewRound("t"), Query("q")))
+    assert batch.query_tag == "q"
+
+
+def test_query_tag_none_without_query():
+    batch = CommandBatch("c0", (NewRound("t"),))
+    assert batch.query_tag is None
+
+
+def test_commands_are_hashable_values():
+    assert NewRound("t") == NewRound("t")
+    assert AddManager("c1") == AddManager("c1")
+    assert DelManager("c1") != DelManager("c2")
+    assert len({NewRound("t"), NewRound("t"), Query("t")}) == 2
+
+
+def test_update_rules_carries_tuple():
+    rule = Rule(cid="c0", sid="s0", src="c0", dst="d", priority=1, forward_to="x")
+    update = UpdateRules((rule,))
+    assert update.rules == (rule,)
+
+
+def test_query_reply_tags_of():
+    meta = Rule(
+        cid="c0", sid="s0", src="⊥", dst="⊥",
+        priority=META_PRIORITY, forward_to=None, tag="t7",
+    )
+    other = Rule(cid="c1", sid="s0", src="c1", dst="d", priority=1, forward_to="x", tag="t9")
+    reply = QueryReply(node="s0", neighbors=("a",), managers=("c0",), rules=(meta, other))
+    assert reply.tags_of("c0") == ["t7"]
+    assert reply.tags_of("c1") == ["t9"]
+    assert reply.tags_of("c2") == []
+
+
+def test_query_reply_default_kind_is_switch():
+    reply = QueryReply(node="s0", neighbors=(), managers=(), rules=())
+    assert reply.kind == "switch"
+
+
+def test_make_batch_without_deletions():
+    batch = make_batch("c0", "t", query_tag="t")
+    kinds = [type(c).__name__ for c in batch.commands]
+    assert kinds == ["NewRound", "AddManager", "UpdateRules", "Query"]
+
+
+def test_make_batch_query_defaults_to_round_tag():
+    batch = make_batch("c0", "round-tag")
+    assert batch.query_tag == "round-tag"

@@ -1,0 +1,54 @@
+"""Unit tests for RenaissanceConfig parameter validation and derivation."""
+
+import pytest
+
+from repro.core.config import RenaissanceConfig
+
+
+def test_defaults_valid():
+    config = RenaissanceConfig()
+    assert config.kappa == 1
+    assert config.n_priorities == 3
+
+
+def test_for_network_satisfies_paper_bounds():
+    """Section 4.2 / Lemma 1: maxManagers >= NC,
+    maxReplies >= 2(NC+NS), maxRules >= NC·(NC+NS-1)·nprt."""
+    nc, ns, kappa = 5, 40, 1
+    config = RenaissanceConfig.for_network(nc, ns, kappa=kappa)
+    assert config.max_managers >= nc
+    assert config.max_replies >= 2 * (nc + ns)
+    assert config.max_rules >= nc * (nc + ns - 1) * (kappa + 2)
+
+
+def test_for_network_theta_passthrough():
+    config = RenaissanceConfig.for_network(3, 10, theta=30)
+    assert config.theta == 30
+
+
+def test_negative_kappa_rejected():
+    with pytest.raises(ValueError):
+        RenaissanceConfig(kappa=-1)
+
+
+def test_bad_memory_bounds_rejected():
+    with pytest.raises(ValueError):
+        RenaissanceConfig(max_rules=0)
+    with pytest.raises(ValueError):
+        RenaissanceConfig(max_replies=1)
+
+
+def test_bad_theta_rejected():
+    with pytest.raises(ValueError):
+        RenaissanceConfig(theta=0)
+
+
+def test_tiny_tag_domain_rejected():
+    with pytest.raises(ValueError):
+        RenaissanceConfig(tag_domain=4)
+
+
+def test_frozen():
+    config = RenaissanceConfig()
+    with pytest.raises(Exception):
+        config.kappa = 2  # type: ignore[misc]

@@ -1,0 +1,183 @@
+"""Unit tests for the Renaissance controller (Algorithm 2), driven
+directly — no simulator — through its message-level interface."""
+
+from repro.core.config import RenaissanceConfig
+from repro.core.controller import RenaissanceController
+from repro.core.tags import Tag
+from repro.switch.abstract_switch import AbstractSwitch
+from repro.switch.commands import (
+    CommandBatch,
+    NewRound,
+    Query,
+    QueryReply,
+)
+
+
+def make_controller(cid="c0", neighbors=("s1",), kappa=1):
+    config = RenaissanceConfig.for_network(2, 4, kappa=kappa)
+    return RenaissanceController(cid, config, alive_neighbors=lambda: list(neighbors))
+
+
+class MiniFabric:
+    """A line c0 - s1 - s2 driven synchronously: every batch the controller
+    emits is executed on the target switch immediately and the reply fed
+    back.  Distance-2 reachability mimics the neighbour relay."""
+
+    def __init__(self):
+        self.s1 = AbstractSwitch("s1", alive_neighbors=lambda: ["c0", "s2"])
+        self.s2 = AbstractSwitch("s2", alive_neighbors=lambda: ["s1"])
+        self.controller = make_controller("c0", neighbors=("s1",))
+
+    def step(self):
+        for dst, batch in self.controller.iterate():
+            switch = {"s1": self.s1, "s2": self.s2}.get(dst)
+            if switch is None:
+                continue
+            reply = switch.handle_batch(batch)
+            if reply is not None:
+                self.controller.on_reply(reply)
+
+
+def test_first_iteration_queries_direct_neighbors():
+    controller = make_controller(neighbors=("s1", "s2"))
+    batches = controller.iterate()
+    assert {dst for dst, _ in batches} == {"s1", "s2"}
+    for _, batch in batches:
+        assert isinstance(batch.commands[0], NewRound)
+        assert isinstance(batch.commands[-1], Query)
+
+
+def test_round_advances_when_all_replied():
+    fabric = MiniFabric()
+    before = fabric.controller.rounds_completed
+    # Step 1 queries s1; step 2 learns of s2 and queries it; step 3 sees
+    # every reachable node answered and closes the round.
+    for _ in range(3):
+        fabric.step()
+    assert fabric.controller.rounds_completed > before
+
+
+def test_discovery_expands_to_distance_two():
+    fabric = MiniFabric()
+    for _ in range(6):
+        fabric.step()
+    view = fabric.controller.current_view()
+    assert "s2" in view.nodes
+
+
+def test_rules_installed_on_discovered_switches():
+    fabric = MiniFabric()
+    for _ in range(8):
+        fabric.step()
+    assert fabric.s1.table.rules_of("c0")
+    assert "c0" in fabric.s1.managers.members()
+    assert "c0" in fabric.s2.managers.members()
+
+
+def test_meta_rule_tracks_current_round():
+    fabric = MiniFabric()
+    for _ in range(4):
+        fabric.step()
+    assert fabric.s1.meta_tag_of("c0") == fabric.controller.curr_tag
+
+
+def test_reply_with_wrong_tag_ignored():
+    controller = make_controller()
+    stale = QueryReply(node="s1", neighbors=("c0",), managers=(), rules=())
+    controller.on_reply(stale)  # no echo of our tag at all
+    assert "s1" not in controller.replydb
+
+
+def test_on_query_echoes_tag():
+    controller = make_controller("c0")
+    reply = controller.on_query("c9", Tag("c9", 7))
+    assert reply.kind == "controller"
+    assert reply.node == "c0"
+    echoes = [r for r in reply.rules if r.cid == "c9"]
+    assert len(echoes) == 1 and echoes[0].tag == Tag("c9", 7)
+
+
+def test_on_batch_answers_query_only():
+    controller = make_controller("c0")
+    batch = CommandBatch("c1", (NewRound(Tag("c1", 1)), Query(Tag("c1", 1))))
+    reply = controller.on_batch(batch)
+    assert reply is not None and reply.node == "c0"
+    no_query = CommandBatch("c1", (NewRound(Tag("c1", 2)),))
+    assert controller.on_batch(no_query) is None
+
+
+def test_failed_controller_is_silent():
+    controller = make_controller()
+    controller.fail_stop()
+    assert controller.iterate() == []
+    assert controller.on_reply(
+        QueryReply(node="s1", neighbors=(), managers=(), rules=())
+    ) is False
+
+
+def test_recover_resets_volatile_state():
+    fabric = MiniFabric()
+    for _ in range(4):
+        fabric.step()
+    fabric.controller.fail_stop()
+    fabric.controller.recover()
+    assert len(fabric.controller.replydb) == 0
+    assert not fabric.controller.failed
+    # And it can bootstrap again.
+    for _ in range(6):
+        fabric.step()
+    assert "s2" in fabric.controller.current_view().nodes
+
+
+def test_tags_advance_monotonically_per_round():
+    fabric = MiniFabric()
+    seen = set()
+    for _ in range(10):
+        fabric.step()
+        seen.add(fabric.controller.curr_tag)
+    assert len(seen) >= 5  # a fresh tag per completed round
+
+
+def test_stale_rule_cleanup_of_unreachable_controller():
+    """A dead controller's rules and manager entry on a switch are removed
+    once the topology view is quiescent (Section 4.1.2)."""
+    fabric = MiniFabric()
+    # Plant a ghost controller's state on s1.
+    from repro.switch.flow_table import Rule
+
+    ghost_rule = Rule(
+        cid="ghost", sid="s1", src="ghost", dst="s2", priority=5, forward_to="s2"
+    )
+    fabric.s1.corrupt(rules=(ghost_rule,), managers=("ghost",))
+    assert "ghost" in fabric.s1.managers.members()
+    for _ in range(10):
+        fabric.step()
+    assert "ghost" not in fabric.s1.managers.members()
+    assert fabric.s1.table.rules_of("ghost") == []
+
+
+def test_live_peer_never_deleted():
+    """Two live controllers must not erase each other (the oscillation
+    regression)."""
+    s1 = AbstractSwitch("s1", alive_neighbors=lambda: ["c0", "c1", "s2"])
+    s2 = AbstractSwitch("s2", alive_neighbors=lambda: ["s1", "c0", "c1"])
+    c0 = make_controller("c0", neighbors=("s1", "s2"))
+    c1 = make_controller("c1", neighbors=("s1", "s2"))
+    switches = {"s1": s1, "s2": s2}
+    controllers = {"c0": c0, "c1": c1}
+
+    def step(ctrl):
+        for dst, batch in ctrl.iterate():
+            if dst in switches:
+                reply = switches[dst].handle_batch(batch)
+            else:
+                reply = controllers[dst].on_batch(batch)
+            if reply is not None:
+                ctrl.on_reply(reply)
+
+    for _ in range(12):
+        step(c0)
+        step(c1)
+    assert {"c0", "c1"} <= set(s1.managers.members())
+    assert {"c0", "c1"} <= set(s2.managers.members())
+    assert s1.table.rules_of("c0") and s1.table.rules_of("c1")

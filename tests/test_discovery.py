@@ -1,0 +1,97 @@
+"""Unit tests for local topology discovery (Section 2.2.1)."""
+
+from repro.net.discovery import LocalDiscovery
+
+
+class Wire:
+    """Two discoveries joined by a scriptable wire."""
+
+    def __init__(self, theta=3):
+        self.cut = False
+        self.a = LocalDiscovery("a", ["b"], send_probe=self._from_a, theta=theta)
+        self.b = LocalDiscovery("b", ["a"], send_probe=self._from_b, theta=theta)
+
+    def _from_a(self, neighbor, payload):
+        if self.cut:
+            return
+        if payload == LocalDiscovery.PROBE:
+            self.b.on_probe("a")
+        else:
+            self.a.on_probe_reply(neighbor)
+
+    def _from_b(self, neighbor, payload):
+        if self.cut:
+            return
+        if payload == LocalDiscovery.PROBE:
+            self.a.on_probe("b")
+        else:
+            self.b.on_probe_reply(neighbor)
+
+
+def test_alive_while_link_up():
+    wire = Wire()
+    for _ in range(10):
+        wire.a.probe_round()
+        wire.b.probe_round()
+    assert wire.a.alive_neighbors() == ["b"]
+    assert wire.b.alive_neighbors() == ["a"]
+
+
+def test_cut_link_detected():
+    wire = Wire(theta=3)
+    for _ in range(5):
+        wire.a.probe_round()
+        wire.b.probe_round()
+    wire.cut = True
+    for _ in range(10):
+        wire.a.probe_round()
+        wire.b.probe_round()
+    # With a single monitored neighbour there is no 'other responsive
+    # neighbour' to compare against, so suspicion needs a second neighbour;
+    # the three-node test below covers actual detection.
+    assert wire.a.probes_sent > 0
+
+
+def test_dead_neighbor_detected_with_live_reference():
+    """A node with one live and one dead neighbour suspects the dead one."""
+    sent = []
+
+    state = {"b_alive": True}
+    disc = LocalDiscovery(
+        "x", ["a", "b"], send_probe=lambda n, p: sent.append((n, p)), theta=3
+    )
+
+    def run_round():
+        disc.probe_round()
+        disc.on_probe_reply("a")
+        if state["b_alive"]:
+            disc.on_probe_reply("b")
+
+    for _ in range(5):
+        run_round()
+    assert disc.alive_neighbors() == ["a", "b"]
+    state["b_alive"] = False
+    for _ in range(10):
+        run_round()
+    assert disc.alive_neighbors() == ["a"]
+
+
+def test_set_neighbors_updates_probe_targets():
+    sent = []
+    disc = LocalDiscovery("x", ["a"], send_probe=lambda n, p: sent.append(n), theta=3)
+    disc.set_neighbors(["a", "b"])
+    disc.probe_round()
+    assert set(sent) == {"a", "b"}
+
+
+def test_probe_reply_counts():
+    disc = LocalDiscovery("x", ["a"], send_probe=lambda n, p: None, theta=3)
+    disc.on_probe_reply("a")
+    assert disc.replies_received == 1
+
+
+def test_on_probe_answers_immediately():
+    sent = []
+    disc = LocalDiscovery("x", ["a"], send_probe=lambda n, p: sent.append((n, p)), theta=3)
+    disc.on_probe("a")
+    assert sent == [("a", LocalDiscovery.REPLY)]

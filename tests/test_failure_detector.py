@@ -1,0 +1,87 @@
+"""Unit tests for the Θ failure detector (Sections 2.2.1, 6.3)."""
+
+import pytest
+
+from repro.net.failure_detector import ThetaFailureDetector
+
+
+def probe_rounds(detector, alive, rounds):
+    for _ in range(rounds):
+        for neighbor in alive:
+            detector.record_reply(neighbor)
+
+
+def test_no_suspicion_when_all_reply():
+    detector = ThetaFailureDetector(theta=3, neighbors=["a", "b", "c"])
+    probe_rounds(detector, ["a", "b", "c"], rounds=50)
+    assert detector.suspected() == set()
+    assert detector.alive() == ["a", "b", "c"]
+
+
+def test_dead_neighbor_suspected_after_theta_rounds():
+    detector = ThetaFailureDetector(theta=3, neighbors=["a", "b"])
+    probe_rounds(detector, ["a", "b"], rounds=5)
+    # b dies: only a keeps replying.
+    probe_rounds(detector, ["a"], rounds=3)
+    assert detector.suspected() == set()  # lag == theta, not yet over
+    probe_rounds(detector, ["a"], rounds=1)
+    assert detector.suspected() == {"b"}
+
+
+def test_high_degree_node_does_not_self_suspect():
+    """Regression: sequential processing within a round must not create
+    degree-proportional lag (this bug froze discovery on AT&T/EBONE)."""
+    neighbors = [f"n{i:02d}" for i in range(40)]
+    detector = ThetaFailureDetector(theta=10, neighbors=neighbors)
+    probe_rounds(detector, neighbors, rounds=100)
+    assert detector.suspected() == set()
+
+
+def test_recovered_neighbor_unsuspected():
+    detector = ThetaFailureDetector(theta=2, neighbors=["a", "b"])
+    probe_rounds(detector, ["a"], rounds=10)
+    assert "b" in detector.suspected()
+    detector.record_reply("b")  # b answers again
+    assert "b" not in detector.suspected()
+
+
+def test_set_neighbors_reconciles():
+    detector = ThetaFailureDetector(theta=2, neighbors=["a", "b"])
+    probe_rounds(detector, ["a", "b"], rounds=5)
+    detector.set_neighbors(["a", "c"])  # b removed, c added
+    assert detector.suspected() == set()
+    assert set(detector.alive()) == {"a", "c"}
+
+
+def test_new_neighbor_starts_unsuspected():
+    detector = ThetaFailureDetector(theta=2, neighbors=["a"])
+    probe_rounds(detector, ["a"], rounds=50)
+    detector.set_neighbors(["a", "b"])
+    assert "b" not in detector.suspected()
+
+
+def test_unknown_responder_tracked():
+    detector = ThetaFailureDetector(theta=2, neighbors=["a"])
+    detector.record_reply("mystery")
+    assert "mystery" in detector.alive()
+
+
+def test_corruption_recovers_via_ongoing_probes():
+    """Self-stabilization: arbitrary counter corruption washes out."""
+    detector = ThetaFailureDetector(theta=3, neighbors=["a", "b"])
+    detector.corrupt({"a": 10_000, "b": 0})
+    assert "b" in detector.suspected()  # transiently wrong
+    probe_rounds(detector, ["a", "b"], rounds=10_001)
+    assert detector.suspected() == set()
+
+
+def test_invalid_theta_rejected():
+    with pytest.raises(ValueError):
+        ThetaFailureDetector(theta=0, neighbors=[])
+
+
+def test_reply_lag():
+    detector = ThetaFailureDetector(theta=5, neighbors=["a", "b"])
+    probe_rounds(detector, ["a"], rounds=4)
+    assert detector.reply_lag("a") == 0
+    assert detector.reply_lag("b") == 4

@@ -1,0 +1,162 @@
+"""Unit tests for the bounded flow table (Section 2.1.1)."""
+
+import pytest
+
+from repro.switch.flow_table import FlowTable, Rule, META_PRIORITY
+
+
+def rule(cid="c0", sid="s0", src="c0", dst="s9", prt=5, fwd="s1", tag=None, **kw):
+    return Rule(
+        cid=cid, sid=sid, src=src, dst=dst, priority=prt, forward_to=fwd, tag=tag, **kw
+    )
+
+
+def meta(cid="c0", sid="s0", tag="t1"):
+    return Rule(
+        cid=cid, sid=sid, src="⊥", dst="⊥", priority=META_PRIORITY, forward_to=None, tag=tag
+    )
+
+
+def test_install_and_lookup():
+    table = FlowTable("s0", max_rules=10)
+    table.install(rule())
+    assert len(table) == 1
+    assert table.matching("c0", "s9")[0].forward_to == "s1"
+
+
+def test_wrong_switch_rejected():
+    table = FlowTable("s0", max_rules=10)
+    with pytest.raises(ValueError):
+        table.install(rule(sid="other"))
+
+
+def test_reinstall_same_rule_idempotent():
+    table = FlowTable("s0", max_rules=10)
+    table.install(rule())
+    table.install(rule())
+    assert len(table) == 1
+
+
+def test_matching_sorted_by_priority():
+    table = FlowTable("s0", max_rules=10)
+    table.install(rule(prt=1, fwd="low"))
+    table.install(rule(prt=9, fwd="high"))
+    hits = table.matching("c0", "s9")
+    assert [r.forward_to for r in hits] == ["high", "low"]
+
+
+def test_meta_rules_not_matched():
+    table = FlowTable("s0", max_rules=10)
+    table.install(meta())
+    assert table.matching("⊥", "⊥") == []
+
+
+def test_eviction_least_recently_updated():
+    table = FlowTable("s0", max_rules=2)
+    table.install(rule(dst="d1", fwd="a"))
+    table.install(rule(dst="d2", fwd="b"))
+    table.install(rule(dst="d1", fwd="a"))  # refresh d1
+    table.install(rule(dst="d3", fwd="c"))  # evicts d2 (stalest)
+    dsts = {r.dst for r in table.rules()}
+    assert dsts == {"d1", "d3"}
+    assert table.evictions == 1
+
+
+def test_refreshing_controller_never_evicted():
+    """Lemma 1's premise: a controller that keeps refreshing its rules
+    keeps them despite other controllers clogging the table."""
+    table = FlowTable("s0", max_rules=4)
+    keeper = rule(cid="c0", dst="d0", fwd="x")
+    table.install(keeper)
+    for i in range(20):
+        table.install(keeper)  # c0 refreshes
+        table.install(rule(cid="c1", dst=f"d{i}", fwd="y"))
+    assert any(r.cid == "c0" for r in table.rules())
+
+
+def test_replace_rules_of_removes_old():
+    table = FlowTable("s0", max_rules=10)
+    table.install(rule(dst="d1", fwd="a"))
+    table.install(meta())
+    table.replace_rules_of("c0", [rule(dst="d2", fwd="b")])
+    dsts = {r.dst for r in table.rules() if not r.is_meta}
+    assert dsts == {"d2"}
+    # Meta rule survives replacement (newRound manages it).
+    assert any(r.is_meta for r in table.rules())
+
+
+def test_replace_rejects_foreign_rules():
+    table = FlowTable("s0", max_rules=10)
+    with pytest.raises(ValueError):
+        table.replace_rules_of("c0", [rule(cid="c1")])
+
+
+def test_delete_rules_of():
+    table = FlowTable("s0", max_rules=10)
+    table.install(rule(cid="c0", dst="d1"))
+    table.install(rule(cid="c1", dst="d1", fwd="z"))
+    table.install(meta(cid="c0"))
+    removed = table.delete_rules_of("c0")
+    assert removed == 2
+    assert table.controllers_present() == ["c1"]
+
+
+def test_delete_rules_keep_meta():
+    table = FlowTable("s0", max_rules=10)
+    table.install(rule(cid="c0", dst="d1"))
+    table.install(meta(cid="c0"))
+    table.delete_rules_of("c0", include_meta=False)
+    assert [r.is_meta for r in table.rules_of("c0")] == [True]
+
+
+def test_match_index_consistent_after_mutations():
+    table = FlowTable("s0", max_rules=10)
+    table.install(rule(dst="d1", fwd="a", prt=5))
+    table.install(rule(dst="d1", fwd="b", prt=4))
+    table.delete_rules_of("c0")
+    assert table.matching("c0", "d1") == []
+    table.install(rule(dst="d1", fwd="c", prt=3))
+    assert [r.forward_to for r in table.matching("c0", "d1")] == ["c"]
+
+
+def test_unambiguous_single_rule_per_match():
+    table = FlowTable("s0", max_rules=10)
+    table.install(rule(prt=5, fwd="a"))
+    table.install(rule(prt=4, fwd="b"))
+    assert table.is_unambiguous()
+
+
+def test_ambiguous_same_priority_different_action():
+    table = FlowTable("s0", max_rules=10)
+    table.install(rule(cid="c0", prt=5, fwd="a"))
+    table.install(rule(cid="c1", prt=5, fwd="b"))
+    assert not table.is_unambiguous()
+
+
+def test_unambiguous_with_operational_filter():
+    table = FlowTable("s0", max_rules=10)
+    table.install(rule(cid="c0", prt=5, fwd="a"))
+    table.install(rule(cid="c1", prt=5, fwd="b"))
+    # Only one of the conflicting out-ports is usable.
+    assert table.is_unambiguous(operational=["a"])
+
+
+def test_detour_rules_have_distinct_keys():
+    table = FlowTable("s0", max_rules=10)
+    table.install(rule(prt=5, fwd="a", detour=None))
+    table.install(rule(prt=5, fwd="a", detour=1))
+    assert len(table) == 2
+
+
+def test_clear():
+    table = FlowTable("s0", max_rules=10)
+    table.install(rule())
+    table.clear()
+    assert len(table) == 0
+    assert table.matching("c0", "s9") == []
+
+
+def test_corrupt_with_respects_bound():
+    table = FlowTable("s0", max_rules=3)
+    table.corrupt_with([rule(dst=f"d{i}") for i in range(10)])
+    assert len(table) <= 3

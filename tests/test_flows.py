@@ -1,0 +1,179 @@
+"""Unit tests for κ-fault-resilient flow computation."""
+
+import pytest
+
+from repro.net.topology import Topology, edge
+from repro.net.topologies import random_k_connected, b4
+from repro.flows.paths import (
+    edge_disjoint_paths,
+    first_shortest_path,
+    is_simple_path,
+    path_edges,
+)
+from repro.flows.resilient import ResilientFlow, compute_resilient_flow
+from repro.flows.failover import (
+    PRIMARY_PRIORITY,
+    plan_flow_rules,
+    rules_by_switch,
+)
+
+
+def ring(n=6):
+    topo = Topology()
+    names = [f"s{i}" for i in range(n)]
+    for name in names:
+        topo.add_switch(name)
+    for i in range(n):
+        topo.add_link(names[i], names[(i + 1) % n])
+    return topo, names
+
+
+def test_edge_disjoint_paths_on_ring():
+    topo, names = ring(6)
+    paths = edge_disjoint_paths(topo, names[0], names[3], 2)
+    assert len(paths) == 2
+    edges0 = set(path_edges(paths[0]))
+    edges1 = set(path_edges(paths[1]))
+    assert edges0.isdisjoint(edges1)
+    assert all(p[0] == names[0] and p[-1] == names[3] for p in paths)
+    assert all(is_simple_path(p) for p in paths)
+
+
+def test_edge_disjoint_paths_shortest_first():
+    topo, names = ring(6)
+    paths = edge_disjoint_paths(topo, names[0], names[2], 2)
+    assert len(paths[0]) <= len(paths[1])
+    assert len(paths[0]) == 3  # s0-s1-s2
+
+
+def test_edge_disjoint_respects_connectivity_limit():
+    topo, names = ring(6)
+    paths = edge_disjoint_paths(topo, names[0], names[3], 5)
+    assert len(paths) == 2  # ring is only 2-edge-connected
+
+
+def test_edge_disjoint_requires_distinct_endpoints():
+    topo, names = ring()
+    with pytest.raises(ValueError):
+        edge_disjoint_paths(topo, names[0], names[0], 1)
+
+
+def test_edge_disjoint_none_when_disconnected():
+    topo = Topology()
+    topo.add_switch("a")
+    topo.add_switch("b")
+    assert edge_disjoint_paths(topo, "a", "b", 1) == []
+
+
+def test_edge_disjoint_paths_avoid_controller_relays():
+    """Controllers cannot forward packets, so paths may not run through
+    them (except as endpoints)."""
+    topo = Topology()
+    for s in ("s1", "s2", "s3"):
+        topo.add_switch(s)
+    topo.add_controller("c0")
+    # s1-c0-s2 would be a shortcut; the legal path is s1-s3-s2.
+    topo.add_link("s1", "c0")
+    topo.add_link("c0", "s2")
+    topo.add_link("s1", "s3")
+    topo.add_link("s3", "s2")
+    paths = edge_disjoint_paths(topo, "s1", "s2", 1)
+    assert paths == [["s1", "s3", "s2"]]
+
+
+def test_compute_resilient_flow_kappa1_on_harary():
+    topo = random_k_connected(12, 2, seed=3)
+    nodes = topo.switches
+    flow = compute_resilient_flow(topo, nodes[0], nodes[5], kappa=1)
+    assert flow.resilience >= 1
+    assert flow.primary[0] == nodes[0] and flow.primary[-1] == nodes[5]
+
+
+def test_resilient_flow_surviving_path():
+    topo, names = ring(6)
+    flow = compute_resilient_flow(topo, names[0], names[3], kappa=1)
+    primary_edges = path_edges(list(flow.primary))
+    survivor = flow.surviving_path({primary_edges[0]})
+    assert survivor is not None
+    assert primary_edges[0] not in path_edges(list(survivor))
+
+
+def test_resilient_flow_raises_when_disconnected():
+    topo = Topology()
+    topo.add_switch("a")
+    topo.add_switch("b")
+    with pytest.raises(ValueError):
+        compute_resilient_flow(topo, "a", "b", kappa=1)
+
+
+# -- failover rule planning -------------------------------------------------
+
+
+def test_plan_primary_rules_both_directions():
+    topo, names = ring(4)
+    rules = plan_flow_rules(topo, names[0], names[2], kappa=0)
+    primaries = [r for r in rules if r.priority == PRIMARY_PRIORITY]
+    # Forward: s0->s1->s2 needs rules at s0, s1; reverse at s2, s1.
+    forward = [r for r in primaries if r.dst == names[2]]
+    backward = [r for r in primaries if r.dst == names[0]]
+    assert {r.switch for r in forward} == {names[0], names[1]}
+    assert {r.switch for r in backward} == {names[2], names[1]}
+
+
+def test_plan_detours_exist_for_every_primary_edge():
+    topo, names = ring(6)
+    rules = plan_flow_rules(topo, names[0], names[3], kappa=1)
+    forward_detours = {
+        r.detour for r in rules if r.dst == names[3] and r.detour is not None
+    }
+    # Primary s0..s3 has 3 edges -> detour ids 0, 1, 2.
+    assert forward_detours == {0, 1, 2}
+
+
+def test_detour_priorities_descend_from_primary():
+    topo, names = ring(6)
+    rules = plan_flow_rules(topo, names[0], names[3], kappa=1)
+    for r in rules:
+        if r.detour is not None:
+            assert r.priority == PRIMARY_PRIORITY - 1 - r.detour
+
+
+def test_each_detour_has_exactly_one_start():
+    topo, names = ring(6)
+    rules = plan_flow_rules(topo, names[0], names[3], kappa=1)
+    for direction_dst in (names[3], names[0]):
+        per_detour = {}
+        for r in rules:
+            if r.dst == direction_dst and r.detour is not None and r.detour_start:
+                per_detour.setdefault(r.detour, []).append(r.switch)
+        for detour, starts in per_detour.items():
+            assert len(set(starts)) == 1
+
+
+def test_kappa0_plans_no_detours():
+    topo, names = ring(6)
+    rules = plan_flow_rules(topo, names[0], names[3], kappa=0)
+    assert all(r.detour is None for r in rules)
+
+
+def test_rules_by_switch_groups():
+    topo, names = ring(6)
+    rules = plan_flow_rules(topo, names[0], names[3], kappa=1)
+    grouped = rules_by_switch(rules)
+    assert set(grouped) <= set(names)
+    assert sum(len(v) for v in grouped.values()) == len(rules)
+
+
+def test_plan_empty_when_no_path():
+    topo = Topology()
+    topo.add_switch("a")
+    topo.add_switch("b")
+    assert plan_flow_rules(topo, "a", "b", kappa=1) == []
+
+
+def test_first_shortest_path_deterministic():
+    topo = b4()
+    switches = topo.switches
+    p1 = first_shortest_path(topo, switches[0], switches[-1])
+    p2 = first_shortest_path(topo, switches[0], switches[-1])
+    assert p1 == p2

@@ -1,0 +1,106 @@
+"""Unit tests for data-plane forwarding and detour stamping."""
+
+from repro.switch.flow_table import FlowTable, Rule
+from repro.switch.forwarding import next_hop, select_rule
+
+
+def rule(fwd, prt=5, detour=None, start=False, src="a", dst="z"):
+    return Rule(
+        cid="c0",
+        sid="s0",
+        src=src,
+        dst=dst,
+        priority=prt,
+        forward_to=fwd,
+        detour=detour,
+        detour_start=start,
+    )
+
+
+def table_with(*rules):
+    table = FlowTable("s0", max_rules=50)
+    for r in rules:
+        table.install(r)
+    return table
+
+
+def test_direct_neighbor_relay_beats_rules():
+    table = table_with(rule("s1"))
+    hop, stamp = next_hop(table, "a", "z", operational_neighbors=["z", "s1"])
+    assert hop == "z"
+
+
+def test_primary_rule_applies_when_link_up():
+    table = table_with(rule("s1", prt=10), rule("s2", prt=9, detour=0, start=True))
+    hop, stamp = next_hop(table, "a", "z", ["s1", "s2"])
+    assert hop == "s1"
+    assert stamp is None
+
+
+def test_failover_to_detour_stamps_packet():
+    table = table_with(rule("s1", prt=10), rule("s2", prt=9, detour=0, start=True))
+    hop, stamp = next_hop(table, "a", "z", ["s2"])  # s1 link down
+    assert hop == "s2"
+    assert stamp == 0
+
+
+def test_stamped_packet_prefers_own_detour():
+    table = table_with(
+        rule("s1", prt=10),  # primary points elsewhere
+        rule("s3", prt=8, detour=1),
+        rule("s4", prt=9, detour=0),
+    )
+    hop, stamp = next_hop(table, "a", "z", ["s1", "s3", "s4"], stamp=1)
+    assert hop == "s3"
+    assert stamp == 1
+
+
+def test_stamped_packet_ignores_foreign_detour():
+    """A stamped packet must not follow another detour's higher-priority
+    rule (the bouncing bug this scheme exists to prevent)."""
+    table = table_with(rule("s4", prt=9, detour=0))  # foreign detour only
+    hop, stamp = next_hop(table, "a", "z", ["s4"], stamp=1)
+    assert hop is None  # drop rather than bounce
+
+
+def test_stamped_packet_rejoins_primary_and_unstamps():
+    table = table_with(rule("s1", prt=10))
+    hop, stamp = next_hop(table, "a", "z", ["s1"], stamp=2)
+    assert hop == "s1"
+    assert stamp is None
+
+
+def test_stamped_packet_restamps_at_detour_start_as_last_resort():
+    table = table_with(rule("s2", prt=7, detour=3, start=True))
+    hop, stamp = next_hop(table, "a", "z", ["s2"], stamp=0)
+    assert hop == "s2"
+    assert stamp == 3
+
+
+def test_no_applicable_rule_drops():
+    table = table_with(rule("s1"))
+    hop, stamp = next_hop(table, "a", "z", ["s9"])  # s1 down, no backup
+    assert hop is None
+
+
+def test_unstamped_ignores_non_start_detour_rules():
+    table = table_with(rule("s3", prt=9, detour=0, start=False))
+    hop, stamp = next_hop(table, "a", "z", ["s3"])
+    assert hop is None
+
+
+def test_select_rule_priority_order():
+    table = table_with(rule("low", prt=1), rule("high", prt=9))
+    chosen = select_rule(table, "a", "z", ["low", "high"])
+    assert chosen.forward_to == "high"
+
+
+def test_select_rule_conditional_on_operational():
+    table = table_with(rule("low", prt=1), rule("high", prt=9))
+    chosen = select_rule(table, "a", "z", ["low"])
+    assert chosen.forward_to == "low"
+
+
+def test_select_rule_none_for_unknown_header():
+    table = table_with(rule("s1"))
+    assert select_rule(table, "x", "y", ["s1"]) is None

@@ -1,0 +1,96 @@
+"""Unit tests for the unreliable link layer and its fault model."""
+
+import pytest
+
+from repro.net.link import LinkLayer, LinkFaultModel
+from repro.sim.engine import Simulator
+
+
+def make_link(fault_model=None, link_up=None):
+    sim = Simulator()
+    delivered = []
+    up = {"value": True} if link_up is None else link_up
+
+    layer = LinkLayer(
+        sim,
+        deliver=lambda receiver, sender, payload: delivered.append(
+            (receiver, sender, payload)
+        ),
+        is_link_usable=lambda u, v: up["value"],
+        latency=0.001,
+        fault_model=fault_model,
+    )
+    return sim, layer, delivered, up
+
+
+def test_basic_transmission():
+    sim, layer, delivered, _ = make_link()
+    layer.transmit("a", "b", "hello")
+    sim.run()
+    assert delivered == [("b", "a", "hello")]
+    assert layer.delivered_count == 1
+
+
+def test_down_link_drops():
+    sim, layer, delivered, up = make_link()
+    up["value"] = False
+    layer.transmit("a", "b", "x")
+    sim.run()
+    assert delivered == []
+    assert layer.dropped_count == 1
+
+
+def test_mid_flight_failure_drops():
+    sim, layer, delivered, up = make_link()
+    layer.transmit("a", "b", "x")
+    up["value"] = False  # link dies while the datagram is in flight
+    sim.run()
+    assert delivered == []
+
+
+def test_omission_probability_one_drops_everything():
+    model = LinkFaultModel(omission_prob=1.0)
+    sim, layer, delivered, _ = make_link(fault_model=model)
+    for _ in range(10):
+        layer.transmit("a", "b", "x")
+    sim.run()
+    assert delivered == []
+    assert layer.dropped_count == 10
+
+
+def test_duplication_probability_one_duplicates():
+    model = LinkFaultModel(duplication_prob=1.0)
+    sim, layer, delivered, _ = make_link(fault_model=model)
+    layer.transmit("a", "b", "x")
+    sim.run()
+    assert len(delivered) == 2
+
+
+def test_reordering_changes_delivery_order():
+    model = LinkFaultModel(reorder_prob=1.0, reorder_extra_latency=0.5, seed=3)
+    sim, layer, delivered, _ = make_link(fault_model=model)
+    for i in range(20):
+        layer.transmit("a", "b", i)
+    sim.run()
+    payloads = [p for _, _, p in delivered]
+    assert sorted(payloads) == list(range(20))
+    assert payloads != list(range(20))  # at least one overtake
+
+
+def test_invalid_probability_rejected():
+    with pytest.raises(ValueError):
+        LinkFaultModel(omission_prob=1.5)
+
+
+def test_invalid_latency_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        LinkLayer(sim, deliver=lambda *a: None, is_link_usable=lambda u, v: True, latency=0)
+
+
+def test_fault_model_deterministic_per_seed():
+    a = LinkFaultModel(omission_prob=0.5, seed=1)
+    b = LinkFaultModel(omission_prob=0.5, seed=1)
+    fates_a = [len(a.copies_and_delays(0.001)) for _ in range(50)]
+    fates_b = [len(b.copies_and_delays(0.001)) for _ in range(50)]
+    assert fates_a == fates_b

@@ -1,0 +1,66 @@
+"""Unit tests for the bounded manager set (Section 2.1.1)."""
+
+import pytest
+
+from repro.switch.managers import ManagerSet
+
+
+def test_add_and_membership():
+    managers = ManagerSet(max_managers=4)
+    managers.add("c0")
+    assert "c0" in managers
+    assert managers.members() == ["c0"]
+
+
+def test_remove():
+    managers = ManagerSet(max_managers=4)
+    managers.add("c0")
+    assert managers.remove("c0")
+    assert not managers.remove("c0")
+    assert len(managers) == 0
+
+
+def test_eviction_of_stalest():
+    managers = ManagerSet(max_managers=2)
+    managers.add("c0")
+    managers.add("c1")
+    managers.add("c0")  # refresh c0
+    managers.add("c2")  # evicts c1
+    assert managers.members() == ["c0", "c2"]
+    assert managers.evictions == 1
+
+
+def test_refreshing_manager_survives_clogging():
+    managers = ManagerSet(max_managers=2)
+    managers.add("keeper")
+    for i in range(10):
+        managers.add("keeper")
+        managers.add(f"noise{i}")
+    assert "keeper" in managers
+
+
+def test_add_existing_refreshes_without_eviction():
+    managers = ManagerSet(max_managers=2)
+    managers.add("c0")
+    managers.add("c1")
+    managers.add("c1")
+    assert managers.evictions == 0
+    assert len(managers) == 2
+
+
+def test_clear():
+    managers = ManagerSet(max_managers=2)
+    managers.add("c0")
+    managers.clear()
+    assert len(managers) == 0
+
+
+def test_corrupt_with_respects_bound():
+    managers = ManagerSet(max_managers=3)
+    managers.corrupt_with([f"g{i}" for i in range(10)])
+    assert len(managers) <= 3
+
+
+def test_invalid_bound_rejected():
+    with pytest.raises(ValueError):
+        ManagerSet(max_managers=0)

@@ -1,0 +1,124 @@
+"""Unit tests for metrics and fault injection plumbing."""
+
+import random
+
+import pytest
+
+from repro.sim.metrics import (
+    MetricsRecorder,
+    median,
+    quartiles,
+    summarize,
+    trimmed,
+)
+from repro.sim.faults import FaultPlan, random_link, random_switch
+from repro.net.topology import Topology
+
+
+def test_median_odd_even():
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+
+def test_median_empty_raises():
+    with pytest.raises(ValueError):
+        median([])
+
+
+def test_quartiles():
+    q1, med, q3 = quartiles([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert med == 3.0
+    assert q1 == 2.0 and q3 == 4.0
+
+
+def test_trimmed_drops_extrema_when_enough_data():
+    values = [10.0, 1.0, 5.0, 6.0, 7.0, 2.0]
+    out = trimmed(values)
+    assert 10.0 not in out and 1.0 not in out
+    assert len(out) == 4
+
+
+def test_trimmed_keeps_small_samples():
+    assert trimmed([1.0, 2.0, 3.0]) == [1.0, 2.0, 3.0]
+
+
+def test_summarize_fields():
+    s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert s["min"] == 1.0 and s["max"] == 5.0
+    assert s["median"] == 3.0 and s["n"] == 5.0
+
+
+def test_metrics_recovery_time():
+    m = MetricsRecorder()
+    m.mark_fault(10.0)
+    m.mark_convergence(13.5)
+    assert m.recovery_time == 3.5
+
+
+def test_metrics_recovery_time_none_without_fault():
+    m = MetricsRecorder()
+    m.mark_convergence(5.0)
+    assert m.recovery_time is None
+
+
+def test_max_load_per_node_per_iteration():
+    m = MetricsRecorder()
+    m.record_batch("c0", hops=4)
+    m.record_reply("c0", hops=4)
+    m.record_batch("c1", hops=1)
+    load = m.max_load_per_node_per_iteration({"c0": 2, "c1": 2}, n_nodes=2)
+    assert load == pytest.approx(8 / 2 / 2)
+
+
+def test_fault_plan_fluent_builders():
+    plan = (
+        FaultPlan()
+        .fail_link(1.0, "a", "b")
+        .recover_link(2.0, "a", "b")
+        .remove_link(3.0, "a", "b")
+        .fail_node(4.0, "n")
+        .recover_node(5.0, "n")
+        .corrupt_controller(6.0, "c0")
+    )
+    kinds = [a.kind for a in plan.actions]
+    assert kinds == [
+        "fail_link",
+        "recover_link",
+        "remove_link",
+        "fail_node",
+        "recover_node",
+        "corrupt_controller",
+    ]
+
+
+def ring(n=6):
+    topo = Topology()
+    names = [f"s{i}" for i in range(n)]
+    for name in names:
+        topo.add_switch(name)
+    for i in range(n):
+        topo.add_link(names[i], names[(i + 1) % n])
+    return topo
+
+
+def test_random_link_protects_connectivity():
+    topo = ring()
+    u, v = random_link(topo, random.Random(1), protect_connectivity=True)
+    probe = topo.copy()
+    probe.remove_link(u, v)
+    assert probe.connected()
+
+
+def test_random_link_raises_on_tree():
+    topo = Topology()
+    for name in "abc":
+        topo.add_switch(name)
+    topo.add_link("a", "b")
+    topo.add_link("b", "c")
+    with pytest.raises(ValueError):
+        random_link(topo, random.Random(1), protect_connectivity=True)
+
+
+def test_random_switch_picks_switch():
+    topo = ring()
+    assert random_switch(topo, random.Random(0)).startswith("s")

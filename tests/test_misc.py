@@ -1,0 +1,84 @@
+"""Coverage for small helpers plus whole-run invariants."""
+
+import pytest
+
+from repro import build_network, NetworkSimulation, SimulationConfig
+from repro.net.topology import Topology, subgraph_reachable
+from repro.net.topologies import b4
+from repro.flows.resilient import compute_resilient_flow
+from repro.sim.events import EventKind
+
+
+def test_subgraph_reachable():
+    topo = Topology()
+    for name in "abcd":
+        topo.add_switch(name)
+    topo.add_link("a", "b")
+    topo.add_link("c", "d")
+    assert subgraph_reachable(topo, "a") == {"a", "b"}
+
+
+def test_eccentricity():
+    topo = b4()
+    some = topo.switches[0]
+    assert 1 <= topo.eccentricity(some) <= topo.diameter()
+
+
+def test_resilient_flow_all_edges():
+    topo = b4()
+    flow = compute_resilient_flow(topo, topo.switches[0], topo.switches[-1], kappa=1)
+    edges = flow.all_edges()
+    assert edges
+    for path in flow.paths:
+        for u, v in zip(path, path[1:]):
+            assert frozenset((u, v)) in edges
+
+
+def test_event_kinds_are_distinct():
+    values = [kind.value for kind in EventKind]
+    assert len(values) == len(set(values))
+
+
+def test_switch_invariants_hold_throughout_bootstrap():
+    """Whole-run invariant: at every sampled instant of a bootstrap, every
+    switch's table is within bounds and unambiguous w.r.t. its operational
+    ports, and its manager set is within bounds."""
+    topo = build_network("B4", n_controllers=3, seed=17)
+    sim = NetworkSimulation(topo, SimulationConfig(seed=17))
+    sim.start()
+    for _ in range(14):
+        sim.run_for(0.5)
+        for sid, switch in sim.switches.items():
+            assert len(switch.table) <= sim.rena_config.max_rules
+            assert len(switch.managers) <= sim.rena_config.max_managers
+            usable = sim.topology.operational_neighbors(sid)
+            assert switch.table.is_unambiguous(operational=usable), sid
+
+
+def test_controller_memory_invariant_throughout_bootstrap():
+    """Lemma 2: the reply store never exceeds maxReplies at any instant."""
+    topo = build_network("Clos", n_controllers=2, seed=19)
+    sim = NetworkSimulation(topo, SimulationConfig(seed=19))
+    sim.start()
+    for _ in range(14):
+        sim.run_for(0.5)
+        for controller in sim.controllers.values():
+            assert len(controller.replydb) <= sim.rena_config.max_replies
+
+
+def test_tag_uniqueness_invariant_throughout_bootstrap():
+    """Section 4.2: a controller's current tag is fresh — it never equals
+    its previous tag, and round tags advance on every completed round."""
+    topo = build_network("B4", n_controllers=2, seed=23)
+    sim = NetworkSimulation(topo, SimulationConfig(seed=23))
+    sim.start()
+    seen_per_controller = {cid: set() for cid in sim.controllers}
+    last_rounds = {cid: 0 for cid in sim.controllers}
+    for _ in range(14):
+        sim.run_for(0.5)
+        for cid, controller in sim.controllers.items():
+            assert controller.curr_tag != controller.prev_tag
+            if controller.rounds_completed > last_rounds[cid]:
+                assert controller.curr_tag not in seen_per_controller[cid]
+                seen_per_controller[cid].add(controller.curr_tag)
+                last_rounds[cid] = controller.rounds_completed

@@ -1,0 +1,108 @@
+"""Unit/integration tests for the simulation harness itself."""
+
+import pytest
+
+from repro import build_network, NetworkSimulation, SimulationConfig, FaultPlan
+from repro.net.link import LinkFaultModel
+from repro.net.topology import Topology
+
+
+def test_requires_controllers():
+    topo = Topology()
+    topo.add_switch("s0")
+    with pytest.raises(ValueError):
+        NetworkSimulation(topo, SimulationConfig())
+
+
+def test_renaissance_config_derived_from_network():
+    topo = build_network("B4", n_controllers=3, seed=0)
+    sim = NetworkSimulation(topo, SimulationConfig(theta=30))
+    assert sim.rena_config.max_managers >= 3
+    assert sim.rena_config.max_replies >= 2 * len(topo.nodes)
+    assert sim.rena_config.theta == 30
+
+
+def test_out_of_band_bootstrap_faster_than_in_band():
+    """Section 8.2: a dedicated management network removes the in-band
+    bootstrap constraint; convergence cannot be slower."""
+    topo1 = build_network("B4", n_controllers=2, seed=4)
+    in_band = NetworkSimulation(topo1, SimulationConfig(seed=4))
+    t_in = in_band.run_until_legitimate(timeout=120.0)
+    topo2 = build_network("B4", n_controllers=2, seed=4)
+    oob = NetworkSimulation(topo2, SimulationConfig(seed=4, out_of_band=True))
+    t_oob = oob.run_until_legitimate(timeout=120.0)
+    assert t_in is not None and t_oob is not None
+    assert t_oob <= t_in + 0.5
+
+
+def test_bootstrap_with_reliable_channels():
+    topo = build_network("B4", n_controllers=2, seed=5)
+    sim = NetworkSimulation(topo, SimulationConfig(seed=5, reliable_channels=True))
+    assert sim.run_until_legitimate(timeout=240.0) is not None
+
+
+def test_bootstrap_under_packet_faults():
+    """Communication fairness (Section 3.3.1): omission, duplication and
+    reordering do not prevent convergence — the do-forever loop is its own
+    retransmission layer."""
+    topo = build_network("B4", n_controllers=2, seed=6)
+    fault_model = LinkFaultModel(
+        omission_prob=0.2, duplication_prob=0.15, reorder_prob=0.2, seed=6
+    )
+    sim = NetworkSimulation(topo, SimulationConfig(seed=6, fault_model=fault_model))
+    assert sim.run_until_legitimate(timeout=300.0) is not None
+
+
+def test_bootstrap_with_channels_over_lossy_links():
+    topo = build_network("B4", n_controllers=2, seed=7)
+    fault_model = LinkFaultModel(omission_prob=0.15, duplication_prob=0.1, seed=7)
+    sim = NetworkSimulation(
+        topo,
+        SimulationConfig(seed=7, reliable_channels=True, fault_model=fault_model),
+    )
+    assert sim.run_until_legitimate(timeout=300.0) is not None
+
+
+def test_deterministic_given_seed():
+    results = []
+    for _ in range(2):
+        topo = build_network("B4", n_controllers=2, seed=9)
+        sim = NetworkSimulation(topo, SimulationConfig(seed=9))
+        results.append(sim.run_until_legitimate(timeout=120.0))
+    assert results[0] == results[1]
+
+
+def test_metrics_track_traffic():
+    topo = build_network("B4", n_controllers=2, seed=1)
+    sim = NetworkSimulation(topo, SimulationConfig(seed=1))
+    sim.run_for(5.0)
+    assert sim.metrics.loads  # controllers sent traffic
+    for load in sim.metrics.loads.values():
+        assert load.link_transmissions >= load.batches_sent
+
+
+def test_run_until_legitimate_timeout_returns_none():
+    topo = build_network("B4", n_controllers=2, seed=1)
+    sim = NetworkSimulation(topo, SimulationConfig(seed=1))
+    # 0.1 s is far too short to bootstrap.
+    assert sim.run_until_legitimate(timeout=0.1) is None
+
+
+def test_fault_injection_marks_time():
+    topo = build_network("B4", n_controllers=2, seed=1)
+    sim = NetworkSimulation(topo, SimulationConfig(seed=1))
+    sim.run_until_legitimate(timeout=120.0)
+    victim = topo.controllers[0]
+    sim.inject(FaultPlan().fail_node(sim.sim.now + 0.2, victim))
+    sim.run_for(0.5)
+    assert sim.metrics.fault_time is not None
+    assert sim.controllers[victim].failed
+
+
+def test_unknown_fault_kind_rejected():
+    from repro.sim.faults import FaultAction
+
+    topo = build_network("B4", n_controllers=2, seed=1)
+    sim = NetworkSimulation(topo, SimulationConfig(seed=1))
+    with pytest.raises(ValueError):
+        sim.apply_fault(FaultAction(0.0, "explode", ("b4-u0",)))

@@ -1,0 +1,70 @@
+"""Integration tests for runtime node additions (Lemma 8, ℓ > 0 cases)."""
+
+from repro import build_network, NetworkSimulation, SimulationConfig, FaultPlan
+
+
+def bootstrapped(n_controllers=2, seed=8):
+    topo = build_network("B4", n_controllers=n_controllers, seed=seed)
+    sim = NetworkSimulation(topo, SimulationConfig(seed=seed))
+    assert sim.run_until_legitimate(timeout=120.0) is not None
+    return sim
+
+
+def test_switch_addition_reaches_management():
+    """A new switch, attached dual-homed with empty memory, is discovered,
+    managed by every controller, and woven into the resilient flows."""
+    sim = bootstrapped()
+    anchors = sim.topology.switches[:2]
+    sim.inject(
+        FaultPlan().add_switch(sim.sim.now + 0.1, "newbie", tuple(anchors)),
+        mark_fault_time=True,
+    )
+    sim.run_for(0.2)
+    t = sim.run_until_legitimate(timeout=120.0)
+    assert t is not None
+    assert set(sim.switches["newbie"].managers.members()) == set(
+        sim.topology.controllers
+    )
+    assert len(sim.switches["newbie"].table) > 0
+    for cid in sim.topology.controllers:
+        assert "newbie" in sim.controllers[cid].current_view().nodes
+
+
+def test_controller_addition_bootstraps_itself():
+    """A new controller starting from an empty reply store discovers the
+    network and becomes a manager of every switch."""
+    sim = bootstrapped()
+    anchors = sim.topology.switches[:2]
+    sim.inject(
+        FaultPlan().add_controller(sim.sim.now + 0.1, "c-new", tuple(anchors)),
+        mark_fault_time=True,
+    )
+    sim.run_for(0.2)
+    t = sim.run_until_legitimate(timeout=120.0)
+    assert t is not None
+    for switch in sim.switches.values():
+        assert "c-new" in switch.managers.members()
+    assert len(sim.controllers["c-new"].current_view().nodes) == len(
+        sim.topology.nodes
+    )
+
+
+def test_simultaneous_addition_and_removal():
+    """Lemma 8's r > 0 ∧ ℓ > 0 case: a controller dies while a new one
+    joins; the system settles with the new membership."""
+    sim = bootstrapped(n_controllers=3)
+    victim = sim.topology.controllers[0]
+    anchors = sim.topology.switches[:2]
+    plan = (
+        FaultPlan()
+        .fail_node(sim.sim.now + 0.1, victim)
+        .add_controller(sim.sim.now + 0.1, "c-new", tuple(anchors))
+    )
+    sim.inject(plan)
+    sim.run_for(0.2)
+    t = sim.run_until_legitimate(timeout=120.0)
+    assert t is not None
+    for switch in sim.switches.values():
+        members = set(switch.managers.members())
+        assert "c-new" in members
+        assert victim not in members

@@ -1,0 +1,247 @@
+"""Property-based tests (hypothesis) for the core invariants (DESIGN.md §6)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tags import Tag, TagGenerator
+from repro.core.replydb import ReplyDB
+from repro.net.channel import ChannelPair
+from repro.net.failure_detector import ThetaFailureDetector
+from repro.net.topology import Topology, edge
+from repro.net.topologies import random_k_connected
+from repro.flows.paths import edge_disjoint_paths, path_edges, is_simple_path
+from repro.flows.failover import plan_flow_rules
+from repro.switch.abstract_switch import AbstractSwitch
+from repro.switch.flow_table import FlowTable, Rule
+from repro.switch.managers import ManagerSet
+from repro.switch.commands import QueryReply
+from repro.core.legitimacy import forwarding_path
+from repro.sim.metrics import quartiles, summarize
+
+
+# -- invariant 1: bounded switch memory ---------------------------------------
+
+
+@given(
+    bound=st.integers(min_value=1, max_value=8),
+    ops=st.lists(
+        st.tuples(st.sampled_from(["c0", "c1", "c2"]), st.integers(0, 9)),
+        max_size=60,
+    ),
+)
+def test_flow_table_never_exceeds_bound(bound, ops):
+    table = FlowTable("s0", max_rules=bound)
+    for cid, dst in ops:
+        table.install(
+            Rule(cid=cid, sid="s0", src=cid, dst=f"d{dst}", priority=1, forward_to="x")
+        )
+        assert len(table) <= bound
+
+
+@given(
+    bound=st.integers(min_value=1, max_value=5),
+    adds=st.lists(st.sampled_from([f"c{i}" for i in range(10)]), max_size=50),
+)
+def test_manager_set_never_exceeds_bound(bound, adds):
+    managers = ManagerSet(max_managers=bound)
+    for cid in adds:
+        managers.add(cid)
+        assert len(managers) <= bound
+
+
+# -- invariant 2: at most one C-reset -----------------------------------------
+
+
+@given(
+    bound=st.integers(min_value=2, max_value=6),
+    arrivals=st.lists(st.integers(0, 12), min_size=1, max_size=80),
+)
+def test_replydb_c_resets_bounded_by_arrival_pattern(bound, arrivals):
+    """A C-reset empties the store, so consecutive resets need ≥ bound
+    fresh nodes in between; the count can never exceed arrivals/bound."""
+    db = ReplyDB("c0", max_replies=bound)
+    tag = Tag("c0", 1)
+    for node in arrivals:
+        db.store(
+            QueryReply(node=f"s{node}", neighbors=(), managers=(), rules=()),
+            tag,
+            current_tag=tag,
+        )
+        assert len(db) <= bound
+    assert db.c_resets <= max(1, len(arrivals) // bound)
+
+
+# -- invariant 3: unambiguous rule sets -----------------------------------------
+
+
+@given(
+    rules=st.lists(
+        st.tuples(
+            st.sampled_from(["c0", "c1"]),
+            st.sampled_from(["d0", "d1", "d2"]),
+            st.integers(1, 4),
+            st.sampled_from(["n0", "n1"]),
+        ),
+        max_size=30,
+    )
+)
+def test_single_owner_tables_are_unambiguous_per_priority(rules):
+    """One controller's planner emits at most one action per
+    (match, priority); the table's identity key guarantees the rest."""
+    table = FlowTable("s0", max_rules=100)
+    seen = {}
+    for cid, dst, prt, fwd in rules:
+        key = (cid, dst, prt)
+        if key in seen and seen[key] != fwd:
+            continue  # planner never does this; skip the illegal insert
+        seen[key] = fwd
+        table.install(
+            Rule(cid=cid, sid="s0", src=cid, dst=dst, priority=prt, forward_to=fwd)
+        )
+    for cid in ("c0", "c1"):
+        # Per-owner unambiguity always holds.
+        owner_rules = [r for r in table.rules_of(cid) if not r.is_meta]
+        keys = [(r.src, r.dst, r.priority) for r in owner_rules]
+        assert len(keys) == len(set(keys))
+
+
+# -- invariant 4: κ-fault resilience on random graphs ----------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=6, max_value=14),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_planned_flows_survive_any_single_link_failure(n, seed):
+    """Install a κ=1 flow plan on a 2-edge-connected random graph and
+    verify forwarding survives every single-link failure."""
+    topo = random_k_connected(n, 2, seed=seed, extra_edge_prob=0.1)
+    rng = random.Random(seed)
+    nodes = topo.switches
+    src, dst = rng.sample(nodes, 2)
+    switches = {
+        s: AbstractSwitch(s, alive_neighbors=(lambda x: (lambda: topo.operational_neighbors(x)))(s))
+        for s in nodes
+    }
+    for hop_rule in plan_flow_rules(topo, src, dst, kappa=1):
+        switches[hop_rule.switch].table.install(
+            Rule(
+                cid="c",
+                sid=hop_rule.switch,
+                src=hop_rule.src,
+                dst=hop_rule.dst,
+                priority=hop_rule.priority,
+                forward_to=hop_rule.forward_to,
+                detour=hop_rule.detour,
+                detour_start=hop_rule.detour_start,
+            )
+        )
+    base = forwarding_path(topo, switches, src, dst)
+    assert base is not None
+    for u, v in topo.links:
+        assert (
+            forwarding_path(topo, switches, src, dst, extra_failed={edge(u, v)})
+            is not None
+        ), f"failed on {u}-{v}"
+
+
+# -- invariant 6: channel reliability under arbitrary benign faults ----------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_messages=st.integers(min_value=1, max_value=10),
+    omission=st.floats(min_value=0.0, max_value=0.6),
+    duplication=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_channel_delivers_in_order_despite_faults(seed, n_messages, omission, duplication):
+    rng = random.Random(seed)
+
+    def wire(datagram):
+        if rng.random() < omission:
+            return []
+        if rng.random() < duplication:
+            return [datagram, datagram]
+        return [datagram]
+
+    pair = ChannelPair("a", "b", wire_a_to_b=wire, wire_b_to_a=wire)
+    expected = [f"m{i}" for i in range(n_messages)]
+    for message in expected:
+        pair.a.offer(message)
+    pair.pump(rounds=800)
+    assert pair.delivered_at_b == expected
+
+
+# -- invariant: edge-disjoint paths are really disjoint and simple -----------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=6, max_value=16),
+    k=st.sampled_from([2, 3, 4]),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_edge_disjoint_paths_properties(n, k, seed):
+    if n <= k:
+        return
+    topo = random_k_connected(n, k, seed=seed)
+    rng = random.Random(seed)
+    src, dst = rng.sample(topo.switches, 2)
+    paths = edge_disjoint_paths(topo, src, dst, k)
+    assert len(paths) >= min(k, 2)
+    used = set()
+    for path in paths:
+        assert is_simple_path(path)
+        assert path[0] == src and path[-1] == dst
+        for e in path_edges(path):
+            assert e not in used
+            used.add(e)
+
+
+# -- detector: dead neighbours always eventually suspected ---------------------------
+
+
+@given(
+    theta=st.integers(min_value=1, max_value=10),
+    live=st.integers(min_value=1, max_value=5),
+)
+def test_detector_eventually_suspects_dead_neighbor(theta, live):
+    neighbors = [f"n{i}" for i in range(live)] + ["dead"]
+    detector = ThetaFailureDetector(theta=theta, neighbors=neighbors)
+    for _ in range(theta + 2):
+        for v in neighbors[:-1]:
+            detector.record_reply(v)
+    assert "dead" in detector.suspected()
+    assert all(v not in detector.suspected() for v in neighbors[:-1])
+
+
+# -- tags: uniqueness under arbitrary observation sets ----------------------------
+
+
+@given(
+    observed=st.lists(st.integers(min_value=0, max_value=31), max_size=20),
+    start=st.integers(min_value=0, max_value=31),
+)
+def test_next_tag_avoids_observed(observed, start):
+    gen = TagGenerator("c0", domain=32, start=start)
+    tags = [Tag("c0", v) for v in observed]
+    fresh = gen.next_tag(observed=tags)
+    assert fresh.value not in set(observed)
+
+
+# -- statistics helpers -----------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+def test_summary_orderings(values):
+    s = summarize(values)
+    assert s["min"] <= s["q1"] <= s["median"] <= s["q3"] <= s["max"]
+
+
+@given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=40))
+def test_quartiles_within_range(values):
+    q1, med, q3 = quartiles(values)
+    assert min(values) <= q1 <= q3 <= max(values)

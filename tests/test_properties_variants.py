@@ -1,0 +1,51 @@
+"""Property tests for reply-store fusion semantics and variant invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.replydb import ReplyDB
+from repro.core.tags import Tag
+from repro.switch.commands import QueryReply
+
+
+T1 = Tag("c0", 1)
+T2 = Tag("c0", 2)
+
+
+def reply(node, marker):
+    return QueryReply(node=node, neighbors=(marker,), managers=(), rules=())
+
+
+@given(
+    prev_nodes=st.lists(st.integers(0, 8), unique=True, max_size=8),
+    curr_nodes=st.lists(st.integers(0, 8), unique=True, max_size=8),
+)
+def test_fusion_covers_union_and_prefers_current(prev_nodes, curr_nodes):
+    db = ReplyDB("c0", max_replies=64)
+    for n in prev_nodes:
+        db.store(reply(f"s{n}", "old"), T1, current_tag=T1)
+    for n in curr_nodes:
+        db.store(reply(f"s{n}", "new"), T2, current_tag=T2)
+    merged = {r.node: r for r in db.fusion(current=T2, previous=T1)}
+    # Union coverage…
+    assert set(merged) == {f"s{n}" for n in set(prev_nodes) | set(curr_nodes)}
+    # …with current-round replies winning on overlap.
+    for n in curr_nodes:
+        assert merged[f"s{n}"].neighbors == ("new",)
+    for n in set(prev_nodes) - set(curr_nodes):
+        assert merged[f"s{n}"].neighbors == ("old",)
+
+
+@given(
+    arrivals=st.lists(
+        st.tuples(st.integers(0, 5), st.sampled_from([T1, T2])), max_size=40
+    )
+)
+def test_res_partitions_replydb(arrivals):
+    """res(T1) and res(T2) are disjoint and jointly cover the store."""
+    db = ReplyDB("c0", max_replies=64)
+    for n, tag in arrivals:
+        db.store(reply(f"s{n}", "x"), tag, current_tag=tag)
+    r1 = {r.node for r in db.res(T1)}
+    r2 = {r.node for r in db.res(T2)}
+    assert r1.isdisjoint(r2)
+    assert r1 | r2 == set(db.nodes())

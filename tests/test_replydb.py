@@ -1,0 +1,118 @@
+"""Unit tests for the controller's bounded reply store (Algorithm 2)."""
+
+import pytest
+
+from repro.core.replydb import ReplyDB
+from repro.core.tags import Tag
+from repro.switch.commands import QueryReply
+
+
+def reply(node, neighbors=("x",)):
+    return QueryReply(node=node, neighbors=tuple(neighbors), managers=(), rules=())
+
+
+T1 = Tag("c0", 1)
+T2 = Tag("c0", 2)
+T3 = Tag("c0", 3)
+
+
+def test_store_with_matching_tag():
+    db = ReplyDB("c0", max_replies=8)
+    assert not db.store(reply("s1"), T1, current_tag=T1)
+    assert "s1" in db
+    assert db.get("s1").tag == T1
+
+
+def test_store_with_stale_tag_discarded():
+    db = ReplyDB("c0", max_replies=8)
+    db.store(reply("s1"), T1, current_tag=T2)
+    assert "s1" not in db
+
+
+def test_store_replaces_previous_from_same_node():
+    db = ReplyDB("c0", max_replies=8)
+    db.store(reply("s1", ["a"]), T1, current_tag=T1)
+    db.store(reply("s1", ["b"]), T1, current_tag=T1)
+    assert len(db) == 1
+    assert db.get("s1").reply.neighbors == ("b",)
+
+
+def test_c_reset_on_overflow():
+    db = ReplyDB("c0", max_replies=2)
+    db.store(reply("s1"), T1, current_tag=T1)
+    db.store(reply("s2"), T1, current_tag=T1)
+    was_reset = db.store(reply("s3"), T1, current_tag=T1)
+    assert was_reset
+    assert db.c_resets == 1
+    # After the reset only the new arrival is present.
+    assert db.nodes() == ["s3"]
+
+
+def test_no_reset_when_replacing_existing():
+    db = ReplyDB("c0", max_replies=2)
+    db.store(reply("s1"), T1, current_tag=T1)
+    db.store(reply("s2"), T1, current_tag=T1)
+    was_reset = db.store(reply("s1"), T1, current_tag=T1)
+    assert not was_reset
+
+
+def test_res_filters_by_tag():
+    db = ReplyDB("c0", max_replies=8)
+    db.store(reply("s1"), T1, current_tag=T1)
+    db.store(reply("s2"), T2, current_tag=T2)
+    assert [r.node for r in db.res(T1)] == ["s1"]
+    assert [r.node for r in db.res(T2)] == ["s2"]
+
+
+def test_fusion_prefers_current_round():
+    db = ReplyDB("c0", max_replies=8)
+    db.store(reply("s1", ["old"]), T1, current_tag=T1)
+    db.store(reply("s2", ["only-prev"]), T1, current_tag=T1)
+    db.store(reply("s1", ["new"]), T2, current_tag=T2)
+    merged = {r.node: r for r in db.fusion(current=T2, previous=T1)}
+    assert merged["s1"].neighbors == ("new",)
+    assert merged["s2"].neighbors == ("only-prev",)
+
+
+def test_prune_drops_stale_tags():
+    db = ReplyDB("c0", max_replies=8)
+    db.store(reply("s1"), T1, current_tag=T1)
+    db.prune(keep_tags={T2, T3}, reachable={})
+    assert "s1" not in db
+
+
+def test_prune_drops_unreachable_senders():
+    db = ReplyDB("c0", max_replies=8)
+    db.store(reply("s1"), T1, current_tag=T1)
+    db.store(reply("s2"), T1, current_tag=T1)
+    db.prune(keep_tags={T1}, reachable={T1: {"s1"}})
+    assert db.nodes() == ["s1"]
+
+
+def test_drop_tag():
+    db = ReplyDB("c0", max_replies=8)
+    db.store(reply("s1"), T1, current_tag=T1)
+    db.store(reply("s2"), T2, current_tag=T2)
+    db.drop_tag(T1)
+    assert db.nodes() == ["s2"]
+
+
+def test_at_most_one_c_reset_under_steady_arrivals():
+    """Lemma 2 part 3: after the first C-reset the store never again
+    exceeds the bound (arrivals replace, then evict via reset at most
+    once)."""
+    db = ReplyDB("c0", max_replies=4)
+    for i in range(20):
+        db.store(reply(f"s{i % 4}"), T1, current_tag=T1)
+    assert db.c_resets <= 1
+
+
+def test_too_small_bound_rejected():
+    with pytest.raises(ValueError):
+        ReplyDB("c0", max_replies=1)
+
+
+def test_corrupt_respects_bound():
+    db = ReplyDB("c0", max_replies=3)
+    db.corrupt([(reply(f"s{i}"), T1) for i in range(10)])
+    assert len(db) <= 3

@@ -1,0 +1,68 @@
+"""Unit tests for the bounded unique-tag generator (Section 4.2)."""
+
+import pytest
+
+from repro.core.tags import Tag, TagGenerator, DELTA_SYNCH
+
+
+def test_tags_unique_in_sequence():
+    gen = TagGenerator("c0", domain=64)
+    tags = [gen.next_tag() for _ in range(50)]
+    assert len(set(tags)) == 50
+
+
+def test_tag_owner_recorded():
+    gen = TagGenerator("c7", domain=64)
+    assert gen.next_tag().owner == "c7"
+
+
+def test_observed_tags_skipped():
+    gen = TagGenerator("c0", domain=8)
+    observed = [Tag("c0", v) for v in (1, 2, 3)]
+    tag = gen.next_tag(observed=observed)
+    assert tag.value not in (1, 2, 3)
+
+
+def test_other_owners_tags_do_not_block():
+    gen = TagGenerator("c0", domain=8, start=0)
+    observed = [Tag("c1", 1)]
+    tag = gen.next_tag(observed=observed)
+    assert tag.value == 1  # c1's value 1 is irrelevant to c0
+
+
+def test_wraps_around_domain():
+    gen = TagGenerator("c0", domain=8, start=6)
+    values = [gen.next_tag().value for _ in range(4)]
+    assert values == [7, 0, 1, 2]
+
+
+def test_exhausted_domain_raises():
+    gen = TagGenerator("c0", domain=8)
+    observed = [Tag("c0", v) for v in range(8)]
+    with pytest.raises(RuntimeError):
+        gen.next_tag(observed=observed)
+
+
+def test_corruption_does_not_break_uniqueness():
+    """Self-stabilization: after corrupting the counter, fresh tags still
+    avoid everything observed as live."""
+    gen = TagGenerator("c0", domain=16)
+    live = [gen.next_tag() for _ in range(3)]
+    gen.corrupt(live[0].value)  # counter points at a live tag
+    fresh = gen.next_tag(observed=live)
+    assert fresh not in live
+
+
+def test_tiny_domain_rejected():
+    with pytest.raises(ValueError):
+        TagGenerator("c0", domain=2)
+
+
+def test_tag_equality_by_value():
+    assert Tag("c0", 5) == Tag("c0", 5)
+    assert Tag("c0", 5) != Tag("c1", 5)
+    assert Tag("c0", 5) != Tag("c0", 6)
+
+
+def test_delta_synch_is_small_constant():
+    assert 1 <= DELTA_SYNCH <= 5

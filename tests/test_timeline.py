@@ -1,0 +1,69 @@
+"""Tests for the convergence timeline sampler."""
+
+import pytest
+
+from repro import build_network, NetworkSimulation, SimulationConfig
+from repro.sim.timeline import ConvergenceTimeline
+
+
+def make():
+    topo = build_network("B4", n_controllers=2, seed=3)
+    sim = NetworkSimulation(topo, SimulationConfig(seed=3))
+    timeline = ConvergenceTimeline(sim, interval=1.0)
+    timeline.attach()
+    return sim, timeline
+
+
+def test_samples_accumulate():
+    sim, timeline = make()
+    sim.run_for(5.0)
+    assert len(timeline.samples) >= 4
+    assert timeline.samples[0].time <= timeline.samples[-1].time
+
+
+def test_discovery_grows_monotonically_during_bootstrap():
+    sim, timeline = make()
+    sim.run_for(6.0)
+    for cid in sim.controllers:
+        counts = [c for _, c in timeline.discovery_series(cid)]
+        assert counts[-1] >= counts[0]
+        assert counts[-1] == len(sim.topology.nodes)  # full discovery
+
+
+def test_first_legitimate_at_matches_convergence():
+    sim, timeline = make()
+    t = sim.run_until_legitimate(timeout=120.0)
+    sim.run_for(2.0)  # take a couple more samples
+    legit_at = timeline.first_legitimate_at()
+    assert legit_at is not None
+    assert legit_at >= t - 1.5  # within one sampling interval
+
+
+def test_rules_series_grows():
+    sim, timeline = make()
+    sim.run_for(6.0)
+    rules = [r for _, r in timeline.rules_series()]
+    assert rules[-1] > 0
+
+
+def test_render_produces_chart():
+    sim, timeline = make()
+    sim.run_until_legitimate(timeout=120.0)
+    sim.run_for(1.5)
+    chart = timeline.render()
+    assert "c0" in chart and "|" in chart
+
+
+def test_attach_idempotent():
+    sim, timeline = make()
+    timeline.attach()
+    sim.run_for(3.0)
+    times = [s.time for s in timeline.samples]
+    assert len(times) == len(set(times))  # no double sampling
+
+
+def test_invalid_interval():
+    topo = build_network("B4", n_controllers=2, seed=1)
+    sim = NetworkSimulation(topo, SimulationConfig(seed=1))
+    with pytest.raises(ValueError):
+        ConvergenceTimeline(sim, interval=0)

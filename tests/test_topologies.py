@@ -1,0 +1,102 @@
+"""Tests for the topology zoo against the paper's Table 8."""
+
+import pytest
+
+from repro.net.topologies import (
+    EXODUS_EXPECTED,
+    TABLE8_EXPECTED,
+    TOPOLOGY_BUILDERS,
+    attach_controllers,
+    exodus,
+    random_k_connected,
+)
+
+
+def test_exodus_standin_statistics():
+    """Table 17 evaluates throughput on Exodus (Rocketfuel 3967)."""
+    topo = exodus()
+    nodes, diameter = EXODUS_EXPECTED
+    assert len(topo.switches) == nodes
+    assert topo.diameter() == diameter
+    assert topo.edge_connectivity() >= 2
+
+
+@pytest.mark.parametrize("name", sorted(TABLE8_EXPECTED))
+def test_table8_node_counts(name):
+    nodes, _ = TABLE8_EXPECTED[name]
+    topo = TOPOLOGY_BUILDERS[name]()
+    assert len(topo.switches) == nodes
+
+
+@pytest.mark.parametrize("name", sorted(TABLE8_EXPECTED))
+def test_table8_diameters(name):
+    _, diameter = TABLE8_EXPECTED[name]
+    topo = TOPOLOGY_BUILDERS[name]()
+    assert topo.diameter() == diameter
+
+
+@pytest.mark.parametrize("name", sorted(TABLE8_EXPECTED))
+def test_evaluation_networks_support_kappa1(name):
+    """κ=1 fault-resilient flows need 2-edge-connectivity (Section 2.2.2)."""
+    topo = TOPOLOGY_BUILDERS[name]()
+    assert topo.edge_connectivity() >= 2
+
+
+@pytest.mark.parametrize("name", sorted(TABLE8_EXPECTED))
+def test_builders_are_deterministic(name):
+    a = TOPOLOGY_BUILDERS[name]()
+    b = TOPOLOGY_BUILDERS[name]()
+    assert a.nodes == b.nodes
+    assert a.links == b.links
+
+
+def test_attach_controllers_preserves_connectivity():
+    """Dual-homed controllers keep λ >= 2 and add at most one hop to the
+    diameter (Table 8's diameters count the switch network only)."""
+    topo = TOPOLOGY_BUILDERS["Telstra"]()
+    diameter = topo.diameter()
+    attach_controllers(topo, 7, seed=3)
+    assert len(topo.controllers) == 7
+    assert diameter <= topo.diameter() <= diameter + 1
+    assert topo.edge_connectivity() >= 2
+
+
+def test_attach_controllers_dual_homed():
+    topo = TOPOLOGY_BUILDERS["B4"]()
+    cids = attach_controllers(topo, 3, seed=0)
+    for cid in cids:
+        assert topo.degree(cid) == 2
+
+
+def test_attach_controllers_deterministic_per_seed():
+    t1 = TOPOLOGY_BUILDERS["B4"]()
+    t2 = TOPOLOGY_BUILDERS["B4"]()
+    attach_controllers(t1, 3, seed=5)
+    attach_controllers(t2, 3, seed=5)
+    assert t1.links == t2.links
+
+
+def test_attach_zero_controllers_rejected():
+    topo = TOPOLOGY_BUILDERS["B4"]()
+    with pytest.raises(ValueError):
+        attach_controllers(topo, 0)
+
+
+@pytest.mark.parametrize("n,k", [(8, 2), (11, 2), (12, 4), (15, 3)])
+def test_random_k_connected_connectivity(n, k):
+    topo = random_k_connected(n, k, seed=1)
+    assert len(topo.switches) == n
+    assert topo.edge_connectivity() >= k
+
+
+def test_random_k_connected_extra_edges():
+    sparse = random_k_connected(12, 2, seed=1)
+    dense = random_k_connected(12, 2, seed=1, extra_edge_prob=0.3)
+    assert len(dense.links) > len(sparse.links)
+
+
+def test_random_k_connected_validates_input():
+    with pytest.raises(ValueError):
+        random_k_connected(3, 4)
+    with pytest.raises(ValueError):
+        random_k_connected(10, 1)

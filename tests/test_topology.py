@@ -1,0 +1,171 @@
+"""Unit tests for the topology model (Gc / Go separation, algorithms)."""
+
+import pytest
+
+from repro.net.topology import Topology, NodeKind, edge
+
+
+def ring(n=6):
+    topo = Topology()
+    names = [f"s{i}" for i in range(n)]
+    for name in names:
+        topo.add_switch(name)
+    for i in range(n):
+        topo.add_link(names[i], names[(i + 1) % n])
+    return topo, names
+
+
+def test_add_and_query_nodes():
+    topo = Topology()
+    topo.add_controller("c0")
+    topo.add_switch("s0")
+    assert topo.controllers == ["c0"]
+    assert topo.switches == ["s0"]
+    assert topo.is_controller("c0") and topo.is_switch("s0")
+    assert "c0" in topo and "missing" not in topo
+
+
+def test_duplicate_node_rejected():
+    topo = Topology()
+    topo.add_switch("s0")
+    with pytest.raises(ValueError):
+        topo.add_switch("s0")
+
+
+def test_self_loop_rejected():
+    topo = Topology()
+    topo.add_switch("s0")
+    with pytest.raises(ValueError):
+        topo.add_link("s0", "s0")
+
+
+def test_duplicate_link_rejected():
+    topo, names = ring()
+    with pytest.raises(ValueError):
+        topo.add_link(names[0], names[1])
+
+
+def test_link_to_unknown_node_rejected():
+    topo = Topology()
+    topo.add_switch("s0")
+    with pytest.raises(KeyError):
+        topo.add_link("s0", "ghost")
+
+
+def test_neighbors_sorted_and_cached():
+    topo = Topology()
+    for name in ("s2", "s0", "s1"):
+        topo.add_switch(name)
+    topo.add_link("s1", "s0")
+    topo.add_link("s1", "s2")
+    assert topo.neighbors("s1") == ["s0", "s2"]
+    # Mutation invalidates the cache.
+    topo.remove_link("s1", "s0")
+    assert topo.neighbors("s1") == ["s2"]
+
+
+def test_operational_vs_communication_neighborhood():
+    topo, names = ring()
+    topo.set_link_up(names[0], names[1], False)
+    assert names[1] in topo.neighbors(names[0])  # still in Gc
+    assert names[1] not in topo.operational_neighbors(names[0])  # not in Go
+
+
+def test_node_down_blocks_links():
+    topo, names = ring()
+    topo.set_node_up(names[1], False)
+    assert not topo.link_operational(names[0], names[1])
+    assert topo.operational_neighbors(names[1]) == []
+
+
+def test_remove_link_permanent():
+    topo, names = ring()
+    topo.remove_link(names[0], names[1])
+    assert not topo.has_link(names[0], names[1])
+    assert names[1] not in topo.neighbors(names[0])
+
+
+def test_remove_node_removes_links():
+    topo, names = ring()
+    topo.remove_node(names[0])
+    assert names[0] not in topo
+    assert names[0] not in topo.neighbors(names[1])
+
+
+def test_bfs_distances_on_ring():
+    topo, names = ring(6)
+    dist = topo.bfs_layers(names[0])
+    assert dist[names[3]] == 3
+    assert dist[names[1]] == 1 and dist[names[5]] == 1
+
+
+def test_bfs_operational_only_respects_failures():
+    topo, names = ring(6)
+    topo.set_link_up(names[0], names[1], False)
+    dist = topo.bfs_layers(names[0], operational_only=True)
+    assert dist[names[1]] == 5  # the long way round
+
+
+def test_shortest_path_first_shortest_tiebreak():
+    # Diamond: a-b-d and a-c-d; 'b' < 'c' so the b-route wins.
+    topo = Topology()
+    for name in "abcd":
+        topo.add_switch(name)
+    topo.add_link("a", "b")
+    topo.add_link("a", "c")
+    topo.add_link("b", "d")
+    topo.add_link("c", "d")
+    assert topo.shortest_path("a", "d") == ["a", "b", "d"]
+
+
+def test_shortest_path_none_when_disconnected():
+    topo = Topology()
+    topo.add_switch("a")
+    topo.add_switch("b")
+    assert topo.shortest_path("a", "b") is None
+
+
+def test_diameter_of_ring():
+    topo, _ = ring(6)
+    assert topo.diameter() == 3
+
+
+def test_diameter_raises_when_disconnected():
+    topo = Topology()
+    topo.add_switch("a")
+    topo.add_switch("b")
+    with pytest.raises(ValueError):
+        topo.diameter()
+
+
+def test_edge_connectivity_ring_is_two():
+    topo, _ = ring(6)
+    assert topo.edge_connectivity() == 2
+
+
+def test_edge_connectivity_tree_is_one():
+    topo = Topology()
+    for name in "abc":
+        topo.add_switch(name)
+    topo.add_link("a", "b")
+    topo.add_link("b", "c")
+    assert topo.edge_connectivity() == 1
+
+
+def test_edge_connectivity_disconnected_is_zero():
+    topo = Topology()
+    topo.add_switch("a")
+    topo.add_switch("b")
+    assert topo.edge_connectivity() == 0
+
+
+def test_copy_is_independent():
+    topo, names = ring()
+    clone = topo.copy()
+    clone.remove_link(names[0], names[1])
+    assert topo.has_link(names[0], names[1])
+    assert not clone.has_link(names[0], names[1])
+
+
+def test_edge_key_is_unordered():
+    assert edge("a", "b") == edge("b", "a")

@@ -1,0 +1,102 @@
+"""Integration tests for the traffic workloads (Figures 15-20 protocol)."""
+
+import pytest
+
+from repro.net.topologies import b4, telstra
+from repro.transport.traffic import (
+    FlowMaintainer,
+    TrafficRun,
+    middle_primary_link,
+    place_hosts_at_max_distance,
+    standalone_switches,
+)
+from repro.transport.stats import pearson
+from repro.core.legitimacy import forwarding_path
+
+
+def test_host_placement_at_diameter():
+    topo = b4()
+    pair = place_hosts_at_max_distance(topo)
+    assert pair.distance == topo.diameter()
+    assert topo.is_switch(pair.a) and topo.is_switch(pair.b)
+
+
+def test_middle_link_is_on_primary_and_safe():
+    topo = b4()
+    pair = place_hosts_at_max_distance(topo)
+    u, v = middle_primary_link(topo, pair)
+    path = topo.shortest_path(pair.a, pair.b)
+    hops = set(zip(path, path[1:])) | set(zip(path[1:], path))
+    assert (u, v) in hops
+    probe = topo.copy()
+    probe.remove_link(u, v)
+    assert probe.connected()
+
+
+def test_flow_maintainer_installs_working_flow():
+    topo = b4()
+    pair = place_hosts_at_max_distance(topo)
+    switches = standalone_switches(topo)
+    installed = FlowMaintainer(topo, switches, pair).install()
+    assert installed > 0
+    assert forwarding_path(topo, switches, pair.a, pair.b) is not None
+    assert forwarding_path(topo, switches, pair.b, pair.a) is not None
+
+
+def test_flow_survives_single_mid_path_failure():
+    topo = b4()
+    pair = place_hosts_at_max_distance(topo)
+    switches = standalone_switches(topo)
+    FlowMaintainer(topo, switches, pair).install()
+    u, v = middle_primary_link(topo, pair)
+    topo.set_link_up(u, v, False)
+    assert forwarding_path(topo, switches, pair.a, pair.b) is not None
+
+
+def test_traffic_run_produces_30_seconds():
+    topo = b4()
+    pair = place_hosts_at_max_distance(topo)
+    stats = TrafficRun(topo, standalone_switches(topo), pair).run()
+    assert len(stats.throughput_series()) >= 29
+
+
+def test_traffic_valley_at_failure_second():
+    topo = telstra()
+    pair = place_hosts_at_max_distance(topo)
+    stats = TrafficRun(topo, standalone_switches(topo), pair).run()
+    series = stats.throughput_series()
+    pre = sum(series[4:9]) / 5
+    valley = min(series[9:13])
+    post = sum(series[-5:]) / 5
+    assert valley < pre * 0.95  # a visible dip
+    assert post > pre * 0.9  # full recovery
+
+
+def test_retransmission_spike_in_paper_band():
+    topo = telstra()
+    pair = place_hosts_at_max_distance(topo)
+    stats = TrafficRun(topo, standalone_switches(topo), pair).run()
+    retrans = stats.retransmission_series()
+    assert max(retrans[:9]) < 2.0
+    assert 5.0 <= max(retrans[9:14]) <= 30.0
+
+
+def test_recovery_and_norecovery_strongly_correlated():
+    """Table 17: the two modes correlate at >= ~0.9."""
+    topo1 = telstra()
+    pair1 = place_hosts_at_max_distance(topo1)
+    with_rec = TrafficRun(topo1, standalone_switches(topo1), pair1, recovery=True).run()
+    topo2 = telstra()
+    pair2 = place_hosts_at_max_distance(topo2)
+    without = TrafficRun(topo2, standalone_switches(topo2), pair2, recovery=False).run()
+    r = pearson(with_rec.throughput_series(), without.throughput_series())
+    assert r > 0.85
+
+
+def test_no_recovery_still_flows_via_detours():
+    topo = b4()
+    pair = place_hosts_at_max_distance(topo)
+    switches = standalone_switches(topo)
+    stats = TrafficRun(topo, switches, pair, recovery=False).run()
+    series = stats.throughput_series()
+    assert series[-1] > 300.0  # backup path carries traffic to the end

@@ -1,0 +1,50 @@
+"""Unit tests for the per-second traffic statistics."""
+
+import pytest
+
+from repro.transport.stats import SecondStats, TrafficStats
+
+
+def test_bucket_by_second():
+    stats = TrafficStats(mbits_per_segment=0.01)
+    stats.bucket(1.2).segments_delivered += 5
+    stats.bucket(1.9).segments_delivered += 5
+    stats.bucket(2.1).segments_delivered += 7
+    seconds = stats.seconds()
+    assert [s.second for s in seconds] == [1, 2]
+    assert seconds[0].segments_delivered == 10
+
+
+def test_throughput_series_scales_by_segment_size():
+    stats = TrafficStats(mbits_per_segment=0.5)
+    stats.bucket(0.0).segments_delivered = 100
+    assert stats.throughput_series() == [50.0]
+
+
+def test_percentages_guard_division_by_zero():
+    second = SecondStats(second=0)
+    assert second.pct(5) == 0.0
+
+
+def test_bad_tcp_is_retrans_plus_dupacks():
+    second = SecondStats(second=0, retransmissions=7, duplicate_acks=3)
+    assert second.bad_tcp == 10
+
+
+def test_series_alignment():
+    stats = TrafficStats(mbits_per_segment=0.01)
+    for t in range(5):
+        bucket = stats.bucket(float(t))
+        bucket.segments_sent = 100
+        bucket.retransmissions = t
+        bucket.out_of_order = 2 * t
+    assert stats.retransmission_series() == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert stats.out_of_order_series() == [0.0, 2.0, 4.0, 6.0, 8.0]
+    assert len(stats.bad_tcp_series()) == 5
+
+
+def test_sparse_seconds_sorted():
+    stats = TrafficStats(mbits_per_segment=0.01)
+    stats.bucket(9.0)
+    stats.bucket(3.0)
+    assert [s.second for s in stats.seconds()] == [3, 9]

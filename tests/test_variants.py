@@ -1,0 +1,116 @@
+"""Unit tests for the algorithm variants (Sections 6.2 and 8.1)."""
+
+from repro.core.config import RenaissanceConfig
+from repro.core.tags import Tag
+from repro.core.variants import (
+    EvictingReplyDB,
+    NonAdaptiveController,
+    ThreeTagController,
+)
+from repro.switch.abstract_switch import AbstractSwitch
+from repro.switch.commands import QueryReply
+from repro.switch.flow_table import Rule
+
+
+def make(cls, cid="c0", neighbors=("s1",)):
+    config = RenaissanceConfig.for_network(2, 4, kappa=1)
+    return cls(cid, config, alive_neighbors=lambda: list(neighbors))
+
+
+T1 = Tag("c0", 1)
+T2 = Tag("c0", 2)
+
+
+def reply(node, neighbors=("x",)):
+    return QueryReply(node=node, neighbors=tuple(neighbors), managers=(), rules=())
+
+
+# -- non-memory-adaptive variant (Section 8.1) ---------------------------------
+
+
+def test_evicting_replydb_never_c_resets():
+    db = EvictingReplyDB("c0", max_replies=2)
+    for i in range(10):
+        db.store(reply(f"s{i}"), T1, current_tag=T1)
+    assert db.c_resets == 0
+    assert len(db) <= 2
+
+
+def test_non_adaptive_sends_no_deletions():
+    switch = AbstractSwitch("s1", alive_neighbors=lambda: ["c0"])
+    ghost = Rule(cid="ghost", sid="s1", src="ghost", dst="x", priority=5, forward_to="c0")
+    switch.corrupt(rules=(ghost,), managers=("ghost",))
+    controller = make(NonAdaptiveController)
+    for _ in range(10):
+        for dst, batch in controller.iterate():
+            if dst == "s1":
+                r = switch.handle_batch(batch)
+                if r is not None:
+                    controller.on_reply(r)
+    # Stale state is never actively deleted by this variant...
+    kinds = {type(c).__name__ for _, b in [("s1", None)] for c in ()}
+    assert "ghost" in switch.managers.members()
+    # ...and the deletion log shows no deletions at all.
+    assert switch.deletion_log == []
+
+
+def test_non_adaptive_still_installs_rules():
+    switch = AbstractSwitch("s1", alive_neighbors=lambda: ["c0", "s2"])
+    controller = make(NonAdaptiveController)
+    for _ in range(6):
+        for dst, batch in controller.iterate():
+            if dst == "s1":
+                r = switch.handle_batch(batch)
+                if r is not None:
+                    controller.on_reply(r)
+    assert switch.table.rules_of("c0")
+    assert "c0" in switch.managers.members()
+
+
+# -- three-tag variant (Section 6.2) ---------------------------------------------
+
+
+class Fabric:
+    """c0 - s1 - s2 line driven synchronously for a given controller."""
+
+    def __init__(self, cls):
+        self.s1 = AbstractSwitch("s1", alive_neighbors=lambda: ["c0", "s2"])
+        self.s2 = AbstractSwitch("s2", alive_neighbors=lambda: ["s1"])
+        self.controller = make(cls, neighbors=("s1",))
+
+    def step(self):
+        for dst, batch in self.controller.iterate():
+            switch = {"s1": self.s1, "s2": self.s2}.get(dst)
+            if switch is None:
+                continue
+            r = switch.handle_batch(batch)
+            if r is not None:
+                self.controller.on_reply(r)
+
+
+def test_three_tag_retains_previous_round_rules():
+    fabric = Fabric(ThreeTagController)
+    for _ in range(8):
+        fabric.step()
+    tags = {r.tag for r in fabric.s1.table.rules_of("c0") if not r.is_meta}
+    # Both the current and the previous round's tags are present...
+    assert fabric.controller.curr_tag in tags or fabric.controller.prev_tag in tags
+    # ...but nothing older than the previous round survives.
+    live = {fabric.controller.curr_tag, fabric.controller.prev_tag}
+    assert tags <= live
+
+
+def test_three_tag_converges_like_base():
+    fabric = Fabric(ThreeTagController)
+    for _ in range(8):
+        fabric.step()
+    assert "s2" in fabric.controller.current_view().nodes
+    assert fabric.s2.table.rules_of("c0")
+
+
+def test_three_tag_no_duplicate_keys():
+    fabric = Fabric(ThreeTagController)
+    for _ in range(8):
+        fabric.step()
+    keys = [r.key() for r in fabric.s1.table.rules_of("c0")]
+    assert len(keys) == len(set(keys))
