@@ -7,6 +7,13 @@ properties the paper reports.  ``pytest benchmarks/ --benchmark-only``
 runs the whole evaluation; per-figure wall time is dominated by the
 simulated bootstraps of the larger Rocketfuel networks.
 
+Benchmarks execute through the experiment orchestration subsystem
+(:mod:`repro.exp`): :func:`run_figure` resolves the figure id in the spec
+registry and hands it to the parallel repetition runner.  Set
+``REPRO_WORKERS=N`` to fan repetitions out over N worker processes — the
+regenerated series are bit-identical to a serial run, only faster on
+multi-core machines.
+
 The regenerated rows are the actual deliverable, so :func:`emit` writes
 them both to the live terminal (bypassing pytest's capture) and to
 ``benchmarks/results/<figure>.txt`` for later inspection.
@@ -19,10 +26,27 @@ import re
 import sys
 from typing import Dict, List
 
-from repro.analysis.experiments import ExperimentResult
+from repro.exp.runner import run_spec
+from repro.exp.spec import ExperimentResult
 from repro.sim.metrics import median
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Keyword arguments consumed by the runner itself; everything else a
+#: benchmark passes is forwarded to the spec's case builder.
+_RUNNER_ARGS = frozenset({"reps", "networks", "workers", "base_seed"})
+
+
+def run_figure(figure: str, **kwargs) -> ExperimentResult:
+    """Run one registered figure/table spec through the repetition runner.
+
+    Spec-specific knobs (``controller_counts``, ``delays``, ``kill_counts``,
+    ``fail_counts``, ...) ride along as spec params; the runner resolves
+    the worker count (``REPRO_WORKERS`` override) when none is passed.
+    """
+    params = {k: v for k, v in kwargs.items() if k not in _RUNNER_ARGS}
+    runner_kwargs = {k: v for k, v in kwargs.items() if k in _RUNNER_ARGS}
+    return run_spec(figure, params=params or None, **runner_kwargs)
 
 
 def emit(result: ExperimentResult) -> Dict[str, List[float]]:

@@ -5,14 +5,14 @@ bootstrap time of the same network.  Detection is Θ-bound, so networks
 with Θ=30 recover more slowly than Θ=10 ones.
 """
 
-from repro.analysis.experiments import fig5_bootstrap, fig10_controller_failure
 
-from conftest import emit, med
+from conftest import emit, med, run_figure
 
 
 def test_fig10(benchmark):
     result = benchmark.pedantic(
-        fig10_controller_failure,
+        run_figure,
+        args=("fig10",),
         kwargs={"reps": 2, "networks": ("B4", "Clos", "Telstra")},
         rounds=1,
         iterations=1,

@@ -4,14 +4,14 @@ Paper's shape: no clear relation between the number of failed controllers
 and the recovery time.
 """
 
-from repro.analysis.experiments import fig11_multi_controller_failure
 
-from conftest import emit, med
+from conftest import emit, med, run_figure
 
 
 def test_fig11(benchmark):
     result = benchmark.pedantic(
-        fig11_multi_controller_failure,
+        run_figure,
+        args=("fig11",),
         kwargs={"reps": 1, "networks": ("Telstra",), "kill_counts": (1, 3, 6)},
         rounds=1,
         iterations=1,

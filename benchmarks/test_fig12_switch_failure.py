@@ -4,14 +4,14 @@ Paper's shape: O(D) recovery with large variance (the failed switch is
 picked at random); the longest recoveries grow with the diameter.
 """
 
-from repro.analysis.experiments import fig12_switch_failure
 
-from conftest import emit, med
+from conftest import emit, med, run_figure
 
 
 def test_fig12(benchmark):
     result = benchmark.pedantic(
-        fig12_switch_failure,
+        run_figure,
+        args=("fig12",),
         kwargs={"reps": 2, "networks": ("B4", "Clos", "Telstra")},
         rounds=1,
         iterations=1,

@@ -3,14 +3,14 @@
 Paper's shape: O(D) recovery, a few seconds on every network.
 """
 
-from repro.analysis.experiments import fig13_link_failure
 
-from conftest import emit
+from conftest import emit, run_figure
 
 
 def test_fig13(benchmark):
     result = benchmark.pedantic(
-        fig13_link_failure,
+        run_figure,
+        args=("fig13",),
         kwargs={"reps": 2, "networks": ("B4", "Clos", "Telstra")},
         rounds=1,
         iterations=1,

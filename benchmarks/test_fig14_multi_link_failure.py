@@ -4,14 +4,14 @@ Paper's shape: the number of simultaneous failures plays no significant
 role in the recovery time.
 """
 
-from repro.analysis.experiments import fig14_multi_link_failure
 
-from conftest import emit, med
+from conftest import emit, med, run_figure
 
 
 def test_fig14(benchmark):
     result = benchmark.pedantic(
-        fig14_multi_link_failure,
+        run_figure,
+        args=("fig14",),
         kwargs={"reps": 1, "networks": ("B4", "Clos", "Telstra"), "fail_counts": (2, 4, 6)},
         rounds=1,
         iterations=1,

@@ -4,14 +4,13 @@ Paper's shape: a ~500 Mbit/s plateau, one valley at the failure second
 (dropping to roughly 480-510 in the paper), full recovery afterwards.
 """
 
-from repro.analysis.experiments import fig15_throughput_with_recovery
 
-from conftest import emit
+from conftest import emit, run_figure
 
 
 def test_fig15(benchmark):
     result = benchmark.pedantic(
-        fig15_throughput_with_recovery, rounds=1, iterations=1
+        run_figure, args=("fig15",), rounds=1, iterations=1
     )
     series = emit(result)
     for network, values in series.items():

@@ -4,14 +4,13 @@ Paper's shape: almost identical to Figure 15 — the backup paths alone
 sustain the plateau after the single failure.
 """
 
-from repro.analysis.experiments import fig16_throughput_without_recovery
 
-from conftest import emit
+from conftest import emit, run_figure
 
 
 def test_fig16(benchmark):
     result = benchmark.pedantic(
-        fig16_throughput_without_recovery, rounds=1, iterations=1
+        run_figure, args=("fig16",), rounds=1, iterations=1
     )
     series = emit(result)
     for network, values in series.items():

@@ -4,13 +4,12 @@ Paper's shape: below 1% before the failure, a spike into the 10-15% band
 in the second after the failure, quick de-escalation.
 """
 
-from repro.analysis.experiments import fig18_retransmissions
 
-from conftest import emit
+from conftest import emit, run_figure
 
 
 def test_fig18(benchmark):
-    result = benchmark.pedantic(fig18_retransmissions, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_figure, args=("fig18",), rounds=1, iterations=1)
     series = emit(result)
     for network, values in series.items():
         baseline = max(values[2:9])

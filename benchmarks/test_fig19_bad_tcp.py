@@ -4,15 +4,14 @@ Paper's shape: like the retransmissions, a spike to the 10-18% band after
 the failure; BAD TCP always dominates pure retransmissions.
 """
 
-from repro.analysis.experiments import fig18_retransmissions, fig19_bad_tcp
 
-from conftest import emit
+from conftest import emit, run_figure
 
 
 def test_fig19(benchmark):
-    result = benchmark.pedantic(fig19_bad_tcp, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_figure, args=("fig19",), rounds=1, iterations=1)
     series = emit(result)
-    retrans = fig18_retransmissions().series
+    retrans = run_figure("fig18").series
     for network, values in series.items():
         spike = max(values[9:14])
         assert 5.0 <= spike <= 35.0, (network, spike)

@@ -4,13 +4,12 @@ Paper's shape: 'a much smaller presence' than the retransmissions — a bump
 of up to ~3% right after the failure, negligible otherwise.
 """
 
-from repro.analysis.experiments import fig20_out_of_order
 
-from conftest import emit
+from conftest import emit, run_figure
 
 
 def test_fig20(benchmark):
-    result = benchmark.pedantic(fig20_out_of_order, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_figure, args=("fig20",), rounds=1, iterations=1)
     series = emit(result)
     for network, values in series.items():
         baseline = max(values[2:9])

@@ -5,14 +5,13 @@ network dimensions.  Absolute values differ on the simulator; the ordering
 small-networks-fast / large-networks-slow must hold.
 """
 
-from repro.analysis.experiments import fig5_bootstrap
 
-from conftest import emit, med
+from conftest import emit, med, run_figure
 
 
 def test_fig5(benchmark):
     result = benchmark.pedantic(
-        fig5_bootstrap, kwargs={"reps": 2}, rounds=1, iterations=1
+        run_figure, args=("fig5",), kwargs={"reps": 2}, rounds=1, iterations=1
     )
     series = emit(result)
     for network, values in series.items():

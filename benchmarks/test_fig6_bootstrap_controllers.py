@@ -4,14 +4,14 @@ Paper's shape: bootstrap grows with the network and only mildly with the
 controller count (more controllers ⇒ slightly longer, never dramatic).
 """
 
-from repro.analysis.experiments import fig6_bootstrap_vs_controllers
 
-from conftest import emit, med
+from conftest import emit, med, run_figure
 
 
 def test_fig6(benchmark):
     result = benchmark.pedantic(
-        fig6_bootstrap_vs_controllers,
+        run_figure,
+        args=("fig6",),
         kwargs={"reps": 1, "controller_counts": (1, 7)},
         rounds=1,
         iterations=1,

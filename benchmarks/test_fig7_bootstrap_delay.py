@@ -6,14 +6,14 @@ delays come from real-switch queueing, which the simulator does not model;
 the small-delay end flattens here instead — recorded in EXPERIMENTS.md.)
 """
 
-from repro.analysis.experiments import fig7_bootstrap_vs_task_delay
 
-from conftest import emit, med
+from conftest import emit, med, run_figure
 
 
 def test_fig7(benchmark):
     result = benchmark.pedantic(
-        fig7_bootstrap_vs_task_delay,
+        run_figure,
+        args=("fig7",),
         kwargs={
             "reps": 1,
             "networks": ("B4", "Clos", "Telstra"),

@@ -5,14 +5,14 @@ node is of the same order across all networks (~5-25), slightly higher for
 the largest ones.
 """
 
-from repro.analysis.experiments import fig9_communication_overhead
 
-from conftest import emit, med
+from conftest import emit, med, run_figure
 
 
 def test_fig9(benchmark):
     result = benchmark.pedantic(
-        fig9_communication_overhead,
+        run_figure,
+        args=("fig9",),
         kwargs={"reps": 1, "networks": ("B4", "Clos", "Telstra", "EBONE")},
         rounds=1,
         iterations=1,

@@ -3,13 +3,12 @@
 Paper's values: 0.92-0.96 across the networks.
 """
 
-from repro.analysis.experiments import table17_correlation
 
-from conftest import emit
+from conftest import emit, run_figure
 
 
 def test_table17(benchmark):
-    result = benchmark.pedantic(table17_correlation, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_figure, args=("table17",), rounds=1, iterations=1)
     series = emit(result)
     for network, values in series.items():
         assert values[0] >= 0.85, (network, values[0])

@@ -1,13 +1,12 @@
 """Table 8: node counts and diameters of the evaluation networks."""
 
-from repro.analysis.experiments import table8_topologies
 from repro.net.topologies import TABLE8_EXPECTED, TOPOLOGY_BUILDERS
 
-from conftest import emit
+from conftest import emit, run_figure
 
 
 def test_table8(benchmark):
-    result = benchmark.pedantic(table8_topologies, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_figure, args=("table8",), rounds=1, iterations=1)
     series = emit(result)
     for network, (nodes, diameter) in TABLE8_EXPECTED.items():
         assert series[f"{network} nodes"] == [float(nodes)]

@@ -1,5 +1,13 @@
 """Reproduction of every table and figure in the paper's Section 6.
 
+This module is the stable, figure-shaped API over the experiment
+orchestration subsystem: each ``figN_*``/``tableN_*`` function resolves to
+a declarative :class:`~repro.exp.spec.ExperimentSpec` in the registry and
+executes it through :func:`~repro.exp.runner.run_spec`.  The heavy lifting
+— case expansion, per-repetition seed derivation, optional fan-out over a
+process pool — lives in :mod:`repro.exp`; results are bit-identical no
+matter how many workers execute them.
+
 All experiments follow the paper's protocol (Section 6.3/6.4): task delay
 500 ms, Θ = 10 for B4/Clos and 30 for the Rocketfuel networks, N
 repetitions per data point with the two extrema dismissed, and violin
@@ -10,194 +18,56 @@ time reasonable; shapes are stable from ~5 repetitions on.
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-from repro.net.topologies import TOPOLOGY_BUILDERS, TABLE8_EXPECTED, attach_controllers
-from repro.sim.network_sim import NetworkSimulation, SimulationConfig
-from repro.sim.faults import FaultAction, FaultPlan, random_link
-from repro.sim.metrics import summarize, trimmed
-from repro.transport.traffic import (
-    TrafficRun,
-    place_hosts_at_max_distance,
-    standalone_switches,
+from repro.exp.runner import run_spec
+from repro.exp.spec import (
+    ALL_NETWORKS,
+    ExperimentResult,
+    ROCKETFUEL_NETWORKS,
+    SMALL_NETWORKS,
+    TABLE17_NETWORKS,
+    THETA,
+    TIMEOUT,
 )
-from repro.transport.stats import TrafficStats, pearson
-
-#: The paper's Θ per network (Section 6.3).
-THETA: Dict[str, int] = {
-    "B4": 10,
-    "Clos": 10,
-    "Telstra": 30,
-    "AT&T": 30,
-    "EBONE": 30,
-    "Exodus": 30,
-}
-
-#: Convergence timeouts, scaled to network size.
-TIMEOUT: Dict[str, float] = {
-    "B4": 120.0,
-    "Clos": 120.0,
-    "Telstra": 240.0,
-    "AT&T": 600.0,
-    "EBONE": 600.0,
-    "Exodus": 240.0,
-}
-
-SMALL_NETWORKS = ("B4", "Clos")
-ROCKETFUEL_NETWORKS = ("Telstra", "AT&T", "EBONE")
-ALL_NETWORKS = SMALL_NETWORKS + ROCKETFUEL_NETWORKS
-#: Table 17's network list (the paper swaps AT&T for Exodus there).
-TABLE17_NETWORKS = ("Clos", "B4", "Telstra", "EBONE", "Exodus")
 
 
-@dataclass
-class ExperimentResult:
-    """One figure's regenerated data: label → repetition measurements."""
-
-    name: str
-    series: Dict[str, List[float]] = field(default_factory=dict)
-    notes: str = ""
-
-    def summary(self) -> Dict[str, Dict[str, float]]:
-        return {label: summarize(vals) for label, vals in self.series.items() if vals}
-
-    def rows(self) -> List[str]:
-        """Printable rows in the style of the paper's figures."""
-        lines = [f"== {self.name} =="]
-        for label, values in self.series.items():
-            if not values:
-                lines.append(f"{label:>24}: (no data)")
-                continue
-            s = summarize(values)
-            lines.append(
-                f"{label:>24}: median={s['median']:8.2f}  "
-                f"q1={s['q1']:8.2f}  q3={s['q3']:8.2f}  "
-                f"min={s['min']:8.2f}  max={s['max']:8.2f}  n={int(s['n'])}"
-            )
-        if self.notes:
-            lines.append(f"   note: {self.notes}")
-        return lines
-
-
-# ---------------------------------------------------------------------------
-# shared machinery
-# ---------------------------------------------------------------------------
-
-
-def _make_simulation(
-    network: str,
-    n_controllers: int,
-    seed: int,
-    task_delay: float = 0.5,
-) -> NetworkSimulation:
-    topology = TOPOLOGY_BUILDERS[network]()
-    attach_controllers(topology, n_controllers, seed=seed)
-    config = SimulationConfig(
-        task_delay=task_delay,
-        discovery_delay=task_delay,
-        theta=THETA[network],
-        seed=seed,
-    )
-    return NetworkSimulation(topology, config)
-
-
-def _bootstrap_time(
-    network: str,
-    n_controllers: int,
-    seed: int,
-    task_delay: float = 0.5,
-) -> Tuple[Optional[float], NetworkSimulation]:
-    sim = _make_simulation(network, n_controllers, seed, task_delay=task_delay)
-    t = sim.run_until_legitimate(timeout=TIMEOUT[network])
-    return t, sim
-
-
-def _recovery_time(
-    network: str,
-    n_controllers: int,
-    seed: int,
-    fault_builder: Callable[[NetworkSimulation, random.Random], FaultPlan],
-) -> Optional[float]:
-    """Bootstrap to a legitimate state, inject the fault plan, and measure
-    the time back to legitimacy (the paper's recovery protocol)."""
-    sim = _make_simulation(network, n_controllers, seed)
-    t0 = sim.run_until_legitimate(timeout=TIMEOUT[network])
-    if t0 is None:
-        return None
-    rng = random.Random(seed * 7919 + 13)
-    plan = fault_builder(sim, rng)
-    sim.inject(plan)
-    fault_at = max(action.at for action in plan.actions)
-    # Let the fault take effect before probing for re-convergence.
-    sim.run_for(max(0.0, fault_at - sim.sim.now) + 0.01)
-    t1 = sim.run_until_legitimate(timeout=TIMEOUT[network])
-    if t1 is None:
-        return None
-    return t1 - fault_at
-
-
-def _collect(
-    reps: int, runner: Callable[[int], Optional[float]]
-) -> List[float]:
-    values = [runner(seed) for seed in range(reps)]
-    return [v for v in values if v is not None]
-
-
-# ---------------------------------------------------------------------------
-# Table 8 — network statistics
-# ---------------------------------------------------------------------------
-
-
-def table8_topologies() -> ExperimentResult:
+def table8_topologies(
+    workers: Optional[int] = None,
+) -> ExperimentResult:
     """Node counts and diameters of the five evaluation networks."""
-    result = ExperimentResult(name="Table 8: topology statistics")
-    for network, (nodes, diameter) in TABLE8_EXPECTED.items():
-        topo = TOPOLOGY_BUILDERS[network]()
-        result.series[f"{network} nodes"] = [float(len(topo.switches))]
-        result.series[f"{network} diameter"] = [float(topo.diameter())]
-        result.series[f"{network} edge connectivity"] = [float(topo.edge_connectivity())]
-    result.notes = "paper: B4 12/5, Clos 20/4, Telstra 57/8, AT&T 172/10, EBONE 208/11"
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Figure 5 / Figure 6 — bootstrap time
-# ---------------------------------------------------------------------------
+    return run_spec("table8", workers=workers)
 
 
 def fig5_bootstrap(
-    reps: int = 20, networks: Sequence[str] = ALL_NETWORKS
+    reps: int = 20,
+    networks: Sequence[str] = ALL_NETWORKS,
+    workers: Optional[int] = None,
+    base_seed: int = 0,
 ) -> ExperimentResult:
     """Bootstrap time with 3 controllers on each network (Figure 5)."""
-    result = ExperimentResult(name="Figure 5: bootstrap time, 3 controllers")
-    for network in networks:
-        times = _collect(reps, lambda s: _bootstrap_time(network, 3, s)[0])
-        result.series[network] = trimmed(times)
-    result.notes = "paper medians roughly 5-55 s growing with network size/diameter"
-    return result
+    return run_spec(
+        "fig5", reps=reps, networks=networks, workers=workers, base_seed=base_seed
+    )
 
 
 def fig6_bootstrap_vs_controllers(
     reps: int = 20,
     networks: Sequence[str] = ROCKETFUEL_NETWORKS,
     controller_counts: Sequence[int] = (1, 3, 5, 7),
+    workers: Optional[int] = None,
+    base_seed: int = 0,
 ) -> ExperimentResult:
     """Bootstrap time for 1–7 controllers on the Rocketfuel networks
     (Figure 6)."""
-    result = ExperimentResult(name="Figure 6: bootstrap vs controller count")
-    for network in networks:
-        for n_ctrl in controller_counts:
-            times = _collect(reps, lambda s: _bootstrap_time(network, n_ctrl, s)[0])
-            result.series[f"{network} x{n_ctrl}"] = trimmed(times)
-    result.notes = "paper: grows with network size; mildly with controller count"
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Figure 7 — bootstrap time vs task delay
-# ---------------------------------------------------------------------------
+    return run_spec(
+        "fig6",
+        reps=reps,
+        networks=networks,
+        workers=workers,
+        base_seed=base_seed,
+        params={"controller_counts": tuple(controller_counts)},
+    )
 
 
 def fig7_bootstrap_vs_task_delay(
@@ -205,273 +75,158 @@ def fig7_bootstrap_vs_task_delay(
     networks: Sequence[str] = ALL_NETWORKS,
     delays: Sequence[float] = (1.0, 0.9, 0.7, 0.5, 0.3, 0.1, 0.08, 0.06, 0.04, 0.02, 0.005),
     n_controllers: int = 7,
+    workers: Optional[int] = None,
+    base_seed: int = 0,
 ) -> ExperimentResult:
     """Bootstrap time as a function of the task delay (Figure 7)."""
-    result = ExperimentResult(name="Figure 7: bootstrap vs task delay")
-    for network in networks:
-        for delay in delays:
-            times = _collect(
-                reps,
-                lambda s: _bootstrap_time(network, n_controllers, s, task_delay=delay)[0],
-            )
-            result.series[f"{network} d={delay}"] = trimmed(times)
-    result.notes = (
-        "paper: proportional to the delay until congestion raises the small-"
-        "delay end; the simulator has no queueing so the small-delay end "
-        "flattens instead of peaking"
+    return run_spec(
+        "fig7",
+        reps=reps,
+        networks=networks,
+        workers=workers,
+        base_seed=base_seed,
+        params={"delays": tuple(delays), "n_controllers": n_controllers},
     )
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Figure 9 — communication overhead
-# ---------------------------------------------------------------------------
 
 
 def fig9_communication_overhead(
-    reps: int = 20, networks: Sequence[str] = ALL_NETWORKS
+    reps: int = 20,
+    networks: Sequence[str] = ALL_NETWORKS,
+    workers: Optional[int] = None,
+    base_seed: int = 0,
 ) -> ExperimentResult:
     """Per-node message cost of the most loaded controller, normalized by
     the iterations to converge (Figure 9)."""
-    result = ExperimentResult(name="Figure 9: communication cost per node")
-
-    def one(network: str, seed: int) -> Optional[float]:
-        n_ctrl = 3 if network in SMALL_NETWORKS else 7
-        t, sim = _bootstrap_time(network, n_ctrl, seed)
-        if t is None:
-            return None
-        n_nodes = len(sim.topology.nodes)
-        return sim.metrics.max_load_per_node_per_iteration(
-            sim.controller_iterations(), n_nodes
-        )
-
-    for network in networks:
-        values = _collect(reps, lambda s: one(network, s))
-        result.series[network] = trimmed(values)
-    result.notes = "paper: ~5-25 messages per node per iteration, similar across networks"
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Figures 10-14 — recovery from benign failures
-# ---------------------------------------------------------------------------
+    return run_spec(
+        "fig9", reps=reps, networks=networks, workers=workers, base_seed=base_seed
+    )
 
 
 def fig10_controller_failure(
-    reps: int = 20, networks: Sequence[str] = ALL_NETWORKS
+    reps: int = 20,
+    networks: Sequence[str] = ALL_NETWORKS,
+    workers: Optional[int] = None,
+    base_seed: int = 0,
 ) -> ExperimentResult:
     """Recovery time after the fail-stop of one random controller
     (Figure 10)."""
-    result = ExperimentResult(name="Figure 10: recovery after controller fail-stop")
-
-    def fault(sim: NetworkSimulation, rng: random.Random) -> FaultPlan:
-        victim = rng.choice(sim.topology.controllers)
-        return FaultPlan().fail_node(sim.sim.now + 0.05, victim)
-
-    for network in networks:
-        n_ctrl = 3
-        times = _collect(reps, lambda s: _recovery_time(network, n_ctrl, s, fault))
-        result.series[network] = trimmed(times)
-    result.notes = "paper: O(D) — a few seconds, well below bootstrap time"
-    return result
+    return run_spec(
+        "fig10", reps=reps, networks=networks, workers=workers, base_seed=base_seed
+    )
 
 
 def fig11_multi_controller_failure(
     reps: int = 20,
     networks: Sequence[str] = ROCKETFUEL_NETWORKS,
     kill_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    workers: Optional[int] = None,
+    base_seed: int = 0,
 ) -> ExperimentResult:
     """Recovery after simultaneously failing 1–6 of 7 controllers
     (Figure 11)."""
-    result = ExperimentResult(name="Figure 11: recovery after multi-controller fail-stop")
-
-    def make_fault(kill: int):
-        def fault(sim: NetworkSimulation, rng: random.Random) -> FaultPlan:
-            victims = rng.sample(sim.topology.controllers, kill)
-            plan = FaultPlan()
-            for victim in victims:
-                plan.fail_node(sim.sim.now + 0.05, victim)
-            return plan
-
-        return fault
-
-    for network in networks:
-        for kill in kill_counts:
-            times = _collect(
-                reps, lambda s: _recovery_time(network, 7, s, make_fault(kill))
-            )
-            result.series[f"{network} kill={kill}"] = trimmed(times)
-    result.notes = "paper: no clear relation between kill count and recovery time"
-    return result
+    return run_spec(
+        "fig11",
+        reps=reps,
+        networks=networks,
+        workers=workers,
+        base_seed=base_seed,
+        params={"kill_counts": tuple(kill_counts)},
+    )
 
 
 def fig12_switch_failure(
-    reps: int = 20, networks: Sequence[str] = ALL_NETWORKS
+    reps: int = 20,
+    networks: Sequence[str] = ALL_NETWORKS,
+    workers: Optional[int] = None,
+    base_seed: int = 0,
 ) -> ExperimentResult:
     """Recovery after permanently removing one random switch (Figure 12)."""
-    result = ExperimentResult(name="Figure 12: recovery after switch failure")
-
-    def fault(sim: NetworkSimulation, rng: random.Random) -> FaultPlan:
-        candidates = list(sim.topology.switches)
-        rng.shuffle(candidates)
-        for victim in candidates:
-            probe = sim.topology.copy()
-            probe.remove_node(victim)
-            if probe.connected():
-                plan = FaultPlan()
-                plan.actions.append(
-                    FaultAction(sim.sim.now + 0.05, "remove_node", (victim,))
-                )
-                return plan
-        raise ValueError("no switch removable without disconnection")
-
-    for network in networks:
-        times = _collect(reps, lambda s: _recovery_time(network, 3, s, fault))
-        result.series[network] = trimmed(times)
-    result.notes = "paper: O(D), grows with diameter, large variance"
-    return result
+    return run_spec(
+        "fig12", reps=reps, networks=networks, workers=workers, base_seed=base_seed
+    )
 
 
 def fig13_link_failure(
-    reps: int = 20, networks: Sequence[str] = ALL_NETWORKS
+    reps: int = 20,
+    networks: Sequence[str] = ALL_NETWORKS,
+    workers: Optional[int] = None,
+    base_seed: int = 0,
 ) -> ExperimentResult:
     """Recovery after permanently removing one random link (Figure 13)."""
-    result = ExperimentResult(name="Figure 13: recovery after link failure")
-
-    def fault(sim: NetworkSimulation, rng: random.Random) -> FaultPlan:
-        u, v = random_link(sim.topology, rng, protect_connectivity=True)
-        return FaultPlan().remove_link(sim.sim.now + 0.05, u, v)
-
-    for network in networks:
-        times = _collect(reps, lambda s: _recovery_time(network, 3, s, fault))
-        result.series[network] = trimmed(times)
-    result.notes = "paper: O(D)"
-    return result
+    return run_spec(
+        "fig13", reps=reps, networks=networks, workers=workers, base_seed=base_seed
+    )
 
 
 def fig14_multi_link_failure(
     reps: int = 20,
     networks: Sequence[str] = ALL_NETWORKS,
     fail_counts: Sequence[int] = (2, 4, 6),
+    workers: Optional[int] = None,
+    base_seed: int = 0,
 ) -> ExperimentResult:
     """Recovery after 2/4/6 simultaneous permanent link failures
     (Figure 14)."""
-    result = ExperimentResult(name="Figure 14: recovery after multiple link failures")
-
-    def make_fault(count: int):
-        def fault(sim: NetworkSimulation, rng: random.Random) -> FaultPlan:
-            plan = FaultPlan()
-            probe = sim.topology.copy()
-            picked = 0
-            links = list(probe.links)
-            rng.shuffle(links)
-            for u, v in links:
-                if picked >= count:
-                    break
-                trial = probe.copy()
-                trial.remove_link(u, v)
-                if trial.connected():
-                    probe = trial
-                    plan.remove_link(sim.sim.now + 0.05, u, v)
-                    picked += 1
-            return plan
-
-        return fault
-
-    for network in networks:
-        for count in fail_counts:
-            times = _collect(
-                reps, lambda s: _recovery_time(network, 3, s, make_fault(count))
-            )
-            result.series[f"{network} k={count}"] = trimmed(times)
-    result.notes = "paper: failure count does not significantly change recovery time"
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Figures 15/16, Table 17, Figures 18-20 — traffic under failure
-# ---------------------------------------------------------------------------
-
-
-def _traffic_stats(network: str, recovery: bool, seed: int = 0) -> TrafficStats:
-    topology = TOPOLOGY_BUILDERS[network]()
-    pair = place_hosts_at_max_distance(topology)
-    switches = standalone_switches(topology)
-    run = TrafficRun(topology, switches, pair, recovery=recovery)
-    return run.run()
+    return run_spec(
+        "fig14",
+        reps=reps,
+        networks=networks,
+        workers=workers,
+        base_seed=base_seed,
+        params={"fail_counts": tuple(fail_counts)},
+    )
 
 
 def fig15_throughput_with_recovery(
     networks: Sequence[str] = ALL_NETWORKS,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Per-second TCP throughput, link failure at t=10 s, with Renaissance
     recovery via tag-based consistent updates (Figure 15)."""
-    result = ExperimentResult(name="Figure 15: throughput with recovery")
-    for network in networks:
-        stats = _traffic_stats(network, recovery=True)
-        result.series[network] = stats.throughput_series()
-    result.notes = "series are per-second Mbit/s; expect one valley at second 10"
-    return result
+    return run_spec("fig15", networks=networks, workers=workers)
 
 
 def fig16_throughput_without_recovery(
     networks: Sequence[str] = ALL_NETWORKS,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Per-second throughput using only the pre-installed backup paths
     (Figure 16)."""
-    result = ExperimentResult(name="Figure 16: throughput without recovery")
-    for network in networks:
-        stats = _traffic_stats(network, recovery=False)
-        result.series[network] = stats.throughput_series()
-    result.notes = "paper: nearly identical to Figure 15"
-    return result
+    return run_spec("fig16", networks=networks, workers=workers)
 
 
 def table17_correlation(
     networks: Sequence[str] = TABLE17_NETWORKS,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Pearson correlation between the Figure 15 and Figure 16 series
     (Table 17; paper reports 0.92-0.96 for Clos, B4, Telstra, EBONE,
     Exodus)."""
-    result = ExperimentResult(name="Table 17: recovery vs no-recovery correlation")
-    for network in networks:
-        with_rec = _traffic_stats(network, recovery=True).throughput_series()
-        without = _traffic_stats(network, recovery=False).throughput_series()
-        result.series[network] = [pearson(with_rec, without)]
-    result.notes = "paper: 0.92-0.96"
-    return result
+    return run_spec("table17", networks=networks, workers=workers)
 
 
 def fig18_retransmissions(
     networks: Sequence[str] = ALL_NETWORKS,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Retransmission percentage per second (Figure 18)."""
-    result = ExperimentResult(name="Figure 18: retransmission rate")
-    for network in networks:
-        stats = _traffic_stats(network, recovery=True)
-        result.series[network] = stats.retransmission_series()
-    result.notes = "paper: <1% baseline, 10-15% spike after the failure, fast decay"
-    return result
+    return run_spec("fig18", networks=networks, workers=workers)
 
 
-def fig19_bad_tcp(networks: Sequence[str] = ALL_NETWORKS) -> ExperimentResult:
+def fig19_bad_tcp(
+    networks: Sequence[str] = ALL_NETWORKS,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
     """BAD-TCP-flag percentage per second (Figure 19)."""
-    result = ExperimentResult(name="Figure 19: BAD TCP flags")
-    for network in networks:
-        stats = _traffic_stats(network, recovery=True)
-        result.series[network] = stats.bad_tcp_series()
-    result.notes = "paper: spike to 10-18% at the failure second"
-    return result
+    return run_spec("fig19", networks=networks, workers=workers)
 
 
-def fig20_out_of_order(networks: Sequence[str] = ALL_NETWORKS) -> ExperimentResult:
+def fig20_out_of_order(
+    networks: Sequence[str] = ALL_NETWORKS,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
     """Out-of-order packet percentage per second (Figure 20)."""
-    result = ExperimentResult(name="Figure 20: out-of-order packets")
-    for network in networks:
-        stats = _traffic_stats(network, recovery=True)
-        result.series[network] = stats.out_of_order_series()
-    result.notes = "paper: much smaller presence, up to ~3%"
-    return result
+    return run_spec("fig20", networks=networks, workers=workers)
 
 
 __all__ = [
@@ -481,6 +236,7 @@ __all__ = [
     "ALL_NETWORKS",
     "SMALL_NETWORKS",
     "ROCKETFUEL_NETWORKS",
+    "TABLE17_NETWORKS",
     "table8_topologies",
     "fig5_bootstrap",
     "fig6_bootstrap_vs_controllers",

@@ -7,9 +7,13 @@ Usage::
     python -m repro.cli recover --network Telstra --fault link
     python -m repro.cli traffic --network Telstra [--no-recovery]
     python -m repro.cli figure fig5 --reps 3
+    python -m repro.cli sweep --figure fig5 --network Telstra --reps 8 --workers 4
 
 ``figure`` runs any of the paper's figure/table experiments by id and
-prints the regenerated rows.
+prints the regenerated rows.  ``sweep`` runs a registered experiment spec
+through the parallel repetition runner: repetitions fan out over a worker
+pool with deterministic per-repetition seeding, so the series are
+bit-identical whatever ``--workers`` is.
 """
 
 from __future__ import annotations
@@ -17,9 +21,12 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+import time
 from typing import Callable, Dict
 
 from repro.analysis import experiments as exp
+from repro.exp.runner import run_spec
+from repro.exp.spec import list_specs
 from repro.net.topologies import TOPOLOGY_BUILDERS, attach_controllers
 from repro.sim.network_sim import NetworkSimulation, SimulationConfig
 from repro.sim.faults import FaultAction, FaultPlan, random_link
@@ -141,9 +148,35 @@ def cmd_traffic(args: argparse.Namespace) -> int:
 def cmd_figure(args: argparse.Namespace) -> int:
     fn = FIGURES[args.id]
     kwargs = {"reps": args.reps} if args.id in TAKES_REPS else {}
+    if args.workers:
+        kwargs["workers"] = args.workers
     result = fn(**kwargs)
     for line in result.rows():
         print(line)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run one experiment spec through the parallel repetition runner."""
+    networks = tuple(args.network) if args.network else None
+    started = time.perf_counter()
+    result = run_spec(
+        args.figure,
+        reps=args.reps,
+        networks=networks,
+        workers=args.workers,
+        base_seed=args.seed,
+    )
+    elapsed = time.perf_counter() - started
+    for line in result.rows():
+        print(line)
+    print(
+        f"-- sweep {args.figure} reps={args.reps} seed={args.seed} "
+        f"workers={args.workers}: {elapsed:.2f} s wall"
+    )
+    if not any(result.series.values()):
+        print("no data produced (all repetitions timed out?)")
+        return 1
     return 0
 
 
@@ -178,7 +211,27 @@ def build_parser() -> argparse.ArgumentParser:
     fig = sub.add_parser("figure", help="regenerate a paper figure/table")
     fig.add_argument("id", choices=sorted(FIGURES))
     fig.add_argument("--reps", type=int, default=3)
+    fig.add_argument("--workers", type=int, default=0,
+                     help="repetition worker processes (0 = library default)")
     fig.set_defaults(fn=cmd_figure)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment spec via the parallel repetition runner",
+    )
+    sweep.add_argument("--figure", required=True, choices=list_specs())
+    sweep.add_argument(
+        "--network",
+        action="append",
+        choices=sorted(TOPOLOGY_BUILDERS),
+        help="restrict to one network (repeatable); default: the spec's own list",
+    )
+    sweep.add_argument("--reps", type=int, default=None,
+                       help="repetitions per data point (default: the spec's)")
+    sweep.add_argument("--workers", type=int, default=1)
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="base seed; repetition i runs with a seed derived from (seed, i)")
+    sweep.set_defaults(fn=cmd_sweep)
 
     return parser
 

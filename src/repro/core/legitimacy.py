@@ -20,7 +20,7 @@ planner, and re-walk under injected link failures (:func:`flow_is_resilient`)
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.net.topology import Topology, EdgeId, edge
 from repro.switch.abstract_switch import AbstractSwitch
@@ -45,11 +45,18 @@ def forwarding_path(
     """
     failed = extra_failed or set()
 
-    def usable(u: str, v: str) -> bool:
-        return topology.link_operational(u, v) and edge(u, v) not in failed
+    if not failed:
+        # Fast path: No(node) is cached inside the topology until the next
+        # mutation, saving the per-hop link_operational scan.
+        operational_neighbors = topology.operational_neighbors
+    else:
 
-    def operational_neighbors(node: str) -> List[str]:
-        return [v for v in topology.neighbors(node) if usable(node, v)]
+        def operational_neighbors(node: str) -> List[str]:
+            return [
+                v
+                for v in topology.operational_neighbors(node)
+                if edge(node, v) not in failed
+            ]
 
     if src == dst:
         return [src]
@@ -91,6 +98,64 @@ def forwarding_path(
     return None
 
 
+class RouteCache:
+    """Epoch-validated memo of :func:`forwarding_path` results.
+
+    ``network_sim.py`` re-resolves the in-band route for every control
+    packet, and the legitimacy probe re-walks every controller↔node pair a
+    few times per simulated second — almost always against unchanged rule
+    tables and operational state.  The cache keys on the full walk input
+    ``(src, dst, ttl, extra_failed)`` and validates itself against a single
+    integer *epoch*: the sum of the topology's mutation counter and every
+    switch table's mutation counter.  Each counter is monotone, so any
+    mutation anywhere strictly increases the epoch and the next lookup
+    drops the whole memo.  Cached paths are shared — callers must not
+    mutate the returned lists.
+    """
+
+    def __init__(self, topology: Topology, switches: Dict[str, AbstractSwitch]) -> None:
+        self.topology = topology
+        self.switches = switches
+        self._paths: Dict[Tuple, Optional[List[str]]] = {}
+        self._epoch: Optional[int] = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def epoch(self) -> int:
+        """Current mutation epoch of the routing state."""
+        return self.topology.version + sum(
+            switch.table.version for switch in self.switches.values()
+        )
+
+    def path(
+        self,
+        src: str,
+        dst: str,
+        ttl: int = 64,
+        extra_failed: Optional[Set[EdgeId]] = None,
+    ) -> Optional[List[str]]:
+        """Cached equivalent of :func:`forwarding_path`."""
+        epoch = self.epoch()
+        if epoch != self._epoch:
+            if self._paths:
+                self.invalidations += 1
+            self._paths.clear()
+            self._epoch = epoch
+        key = (src, dst, ttl, frozenset(extra_failed) if extra_failed else None)
+        try:
+            result = self._paths[key]
+        except KeyError:
+            self.misses += 1
+            result = forwarding_path(
+                self.topology, self.switches, src, dst, ttl=ttl, extra_failed=extra_failed
+            )
+            self._paths[key] = result
+        else:
+            self.hits += 1
+        return result
+
+
 def flow_is_resilient(
     topology: Topology,
     switches: Dict[str, AbstractSwitch],
@@ -99,6 +164,7 @@ def flow_is_resilient(
     kappa: int,
     ttl: int = 64,
     _failed: Optional[Set[EdgeId]] = None,
+    cache: Optional[RouteCache] = None,
 ) -> bool:
     """Does forwarding survive every combination of ≤ κ further failures?
 
@@ -108,7 +174,12 @@ def flow_is_resilient(
     polynomial for the κ used in the paper's experiments (κ = 1).
     """
     failed = _failed or set()
-    path = forwarding_path(topology, switches, src, dst, ttl=ttl, extra_failed=failed)
+    if cache is not None:
+        path = cache.path(src, dst, ttl=ttl, extra_failed=failed)
+    else:
+        path = forwarding_path(
+            topology, switches, src, dst, ttl=ttl, extra_failed=failed
+        )
     if path is None:
         return False
     if kappa == 0:
@@ -116,7 +187,14 @@ def flow_is_resilient(
     for u, v in zip(path, path[1:]):
         e = edge(u, v)
         if not flow_is_resilient(
-            topology, switches, src, dst, kappa - 1, ttl=ttl, _failed=failed | {e}
+            topology,
+            switches,
+            src,
+            dst,
+            kappa - 1,
+            ttl=ttl,
+            _failed=failed | {e},
+            cache=cache,
         ):
             return False
     return True
@@ -131,11 +209,18 @@ class LegitimacyChecker:
         switches: Dict[str, AbstractSwitch],
         controllers: Dict[str, "RenaissanceController"],
         kappa: int,
+        route_cache: Optional[RouteCache] = None,
     ) -> None:
         self.topology = topology
         self.switches = switches
         self.controllers = controllers
         self.kappa = kappa
+        self.route_cache = route_cache
+
+    def _path(self, src: str, dst: str) -> Optional[List[str]]:
+        if self.route_cache is not None:
+            return self.route_cache.path(src, dst)
+        return forwarding_path(self.topology, self.switches, src, dst)
 
     # -- live sets -------------------------------------------------------------
 
@@ -202,9 +287,9 @@ class LegitimacyChecker:
             for node in live_nodes:
                 if node == cid:
                     continue
-                if forwarding_path(self.topology, self.switches, cid, node) is None:
+                if self._path(cid, node) is None:
                     return False
-                if forwarding_path(self.topology, self.switches, node, cid) is None:
+                if self._path(node, cid) is None:
                     return False
         return True
 
@@ -217,7 +302,12 @@ class LegitimacyChecker:
                 if node == cid:
                     continue
                 if not flow_is_resilient(
-                    self.topology, self.switches, cid, node, kappa
+                    self.topology,
+                    self.switches,
+                    cid,
+                    node,
+                    kappa,
+                    cache=self.route_cache,
                 ):
                     return False
         return True
@@ -256,4 +346,4 @@ class LegitimacyChecker:
         return True
 
 
-__all__ = ["LegitimacyChecker", "forwarding_path", "flow_is_resilient"]
+__all__ = ["LegitimacyChecker", "RouteCache", "forwarding_path", "flow_is_resilient"]

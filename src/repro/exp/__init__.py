@@ -1,0 +1,28 @@
+"""Experiment orchestration: declarative specs + parallel repetition runner.
+
+The layer splits *what* an experiment measures from *how* it is executed,
+the same architecture simulation frameworks use to get scenario diversity
+and throughput:
+
+* :mod:`repro.exp.spec` — declarative :class:`~repro.exp.spec.ExperimentSpec`
+  descriptions of every figure/table in the paper's Section 6, in a
+  registry keyed by figure id;
+* :mod:`repro.exp.runner` — executes a spec's repetitions serially or over
+  a ``multiprocessing`` pool, with bit-identical results either way;
+* :mod:`repro.exp.seeding` — deterministic per-repetition seed derivation.
+"""
+
+from repro.exp.seeding import derive_seed, fault_rng
+from repro.exp.spec import CaseSpec, ExperimentSpec, ExperimentResult, get_spec, list_specs
+from repro.exp.runner import run_spec
+
+__all__ = [
+    "CaseSpec",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "derive_seed",
+    "fault_rng",
+    "get_spec",
+    "list_specs",
+    "run_spec",
+]

@@ -1,0 +1,141 @@
+"""Parallel repetition runner for declarative experiment specs.
+
+The runner expands an :class:`~repro.exp.spec.ExperimentSpec` into a flat
+list of repetition tasks, executes them — in-process or fanned out over a
+``multiprocessing`` pool — and merges the outcomes into an
+:class:`~repro.exp.spec.ExperimentResult`.
+
+**Determinism contract.**  A repetition's measurement is a pure function
+of ``(spec name, networks, params, case index, seed)``: the seed is
+derived from ``(base_seed, rep_index)`` by :mod:`repro.exp.seeding`, the
+measurement callable is rebuilt from the registry inside whichever
+process runs the task, and outcomes are merged by ``(case, repetition)``
+index rather than completion order.  Serial and parallel execution of the
+same spec therefore produce bit-identical series — the property the
+determinism tests pin down.
+
+Workers receive only primitive task tuples; nothing closure-shaped ever
+crosses the process boundary, so the runner works under both ``fork`` and
+``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exp.seeding import derive_seed
+from repro.exp.spec import ExperimentResult, Measurement, get_spec, trimmed
+
+
+@dataclass(frozen=True)
+class RepetitionTask:
+    """One unit of work: a single repetition of a single case."""
+
+    spec_name: str
+    networks: Optional[Tuple[str, ...]]
+    params: Tuple[Tuple[str, object], ...]  # sorted (key, value) pairs
+    case_index: int
+    rep_index: int
+    seed: int
+
+
+def _execute_task(task: RepetitionTask) -> Tuple[int, int, Measurement]:
+    """Run one repetition; top-level so worker processes can unpickle it."""
+    spec = get_spec(task.spec_name)
+    cases = spec.cases(networks=task.networks, **dict(task.params))
+    value = cases[task.case_index].measure(task.seed)
+    return task.case_index, task.rep_index, value
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not choose one.
+
+    ``REPRO_WORKERS`` overrides (the benchmark suite sets it); the default
+    of 1 keeps library calls serial unless parallelism is asked for.
+    """
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        return max(1, int(env))
+    return 1
+
+
+def run_spec(
+    name: str,
+    reps: Optional[int] = None,
+    networks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
+    base_seed: int = 0,
+    params: Optional[Dict[str, object]] = None,
+) -> ExperimentResult:
+    """Execute one registered experiment spec and merge its series.
+
+    ``reps`` defaults to the spec's own repetition count; ``networks``
+    restricts the case list; ``params`` forwards spec-specific knobs
+    (e.g. ``controller_counts`` for fig6).  ``workers > 1`` fans the
+    repetitions out over a process pool; results are identical to
+    ``workers=1`` for the same ``base_seed``.
+    """
+    spec = get_spec(name)
+    networks_key = tuple(networks) if networks else None
+    params = dict(params or {})
+    params_key = tuple(sorted(params.items()))
+    cases = spec.cases(networks=networks_key, **params)
+    effective_reps = reps if reps is not None else spec.default_reps
+
+    tasks: List[RepetitionTask] = []
+    for case_index, case in enumerate(cases):
+        n_reps = 1 if case.series else effective_reps
+        for rep in range(n_reps):
+            tasks.append(
+                RepetitionTask(
+                    spec_name=name,
+                    networks=networks_key,
+                    params=params_key,
+                    case_index=case_index,
+                    rep_index=rep,
+                    seed=derive_seed(base_seed, rep),
+                )
+            )
+
+    n_workers = workers if workers is not None else default_workers()
+    outcomes = _execute(tasks, n_workers)
+
+    grid: Dict[Tuple[int, int], Measurement] = {
+        (case_index, rep): value for case_index, rep, value in outcomes
+    }
+    result = ExperimentResult(name=spec.title, notes=spec.notes)
+    for case_index, case in enumerate(cases):
+        if case.series:
+            value = grid.get((case_index, 0))
+            result.series[case.label] = list(value) if value else []
+            continue
+        values = [
+            grid[(case_index, rep)]
+            for rep in range(effective_reps)
+            if grid.get((case_index, rep)) is not None
+        ]
+        result.series[case.label] = trimmed(values) if case.trim else values
+    return result
+
+
+def _execute(
+    tasks: List[RepetitionTask], workers: int
+) -> List[Tuple[int, int, Measurement]]:
+    if workers <= 1 or len(tasks) <= 1:
+        return [_execute_task(task) for task in tasks]
+    ctx = _pool_context()
+    with ctx.Pool(processes=min(workers, len(tasks))) as pool:
+        # chunksize 1: repetition cost varies by orders of magnitude across
+        # networks, so fine-grained dispatch keeps the pool balanced.
+        return pool.map(_execute_task, tasks, chunksize=1)
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+__all__ = ["RepetitionTask", "run_spec", "default_workers"]

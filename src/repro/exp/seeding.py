@@ -1,0 +1,49 @@
+"""Deterministic seed derivation for parallel experiment repetitions.
+
+Every repetition of every experiment case derives its simulation seed from
+``(base_seed, rep_index)`` alone — never from a module-global ``random``
+state — so a repetition computes the same measurement no matter which
+worker process runs it, in which order.  That invariant is what makes the
+parallel runner's series bit-identical to serial execution.
+
+The derivation is affine rather than hashed on purpose: with the default
+``base_seed = 0`` it reproduces the seed sequence ``0, 1, 2, …`` the
+original serial harness used, so regenerated figures stay comparable
+across versions of this repository.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Stride between base-seed streams; repetition counts in this repo are
+#: far below it, so distinct base seeds yield disjoint seed sequences.
+_BASE_STRIDE = 1_000_003
+
+
+def derive_seed(base_seed: int, rep_index: int) -> int:
+    """Seed of repetition ``rep_index`` under ``base_seed``.
+
+    ``derive_seed(0, i) == i`` — the historical serial seeds.
+    """
+    if rep_index < 0:
+        raise ValueError(f"negative repetition index: {rep_index}")
+    return base_seed * _BASE_STRIDE + rep_index
+
+
+def rep_rng(base_seed: int, rep_index: int) -> random.Random:
+    """A fresh, injectable randomness source for one repetition."""
+    return random.Random(derive_seed(base_seed, rep_index))
+
+
+def fault_rng(seed: int) -> random.Random:
+    """The fault-plan randomness stream of one repetition.
+
+    Decorrelated from the simulation's own stream by the historical affine
+    step (kept verbatim so regenerated recovery figures match earlier
+    versions of this repository).
+    """
+    return random.Random(seed * 7919 + 13)
+
+
+__all__ = ["derive_seed", "rep_rng", "fault_rng"]

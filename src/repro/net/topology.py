@@ -52,8 +52,22 @@ class Topology:
         # Cache of sorted adjacency lists: neighbours() sits on the hot path
         # of every BFS and every forwarding walk.
         self._sorted_adj: Dict[NodeId, List[NodeId]] = {}
+        # Monotone mutation counter: bumped on every change to Gc or Go so
+        # derived caches (e.g. the in-band route cache) can validate
+        # themselves with one integer comparison.
+        self._version = 0
+        # Operational-neighbour cache (forwarding walks query No(node)
+        # thousands of times between mutations), validated by _version.
+        self._op_adj: Dict[NodeId, List[NodeId]] = {}
+        self._op_adj_version = -1
+
+    @property
+    def version(self) -> int:
+        """Monotone counter of membership and operational-state mutations."""
+        return self._version
 
     def _invalidate(self, *nodes: NodeId) -> None:
+        self._version += 1
         for node in nodes:
             self._sorted_adj.pop(node, None)
 
@@ -65,6 +79,7 @@ class Topology:
         self._kind[node] = kind
         self._adj[node] = set()
         self._node_up[node] = True
+        self._version += 1
 
     def add_controller(self, node: NodeId) -> None:
         self.add_node(node, NodeKind.CONTROLLER)
@@ -159,11 +174,13 @@ class Topology:
         if e not in self._link_up:
             raise KeyError(f"no such link: {u}-{v}")
         self._link_up[e] = up
+        self._version += 1
 
     def set_node_up(self, node: NodeId, up: bool) -> None:
         if node not in self._node_up:
             raise KeyError(f"no such node: {node}")
         self._node_up[node] = up
+        self._version += 1
 
     def link_is_up(self, u: NodeId, v: NodeId) -> bool:
         return self._link_up.get(edge(u, v), False)
@@ -180,10 +197,24 @@ class Topology:
         )
 
     def operational_neighbors(self, node: NodeId) -> List[NodeId]:
-        """``No(node)``: neighbours reachable over currently-usable links."""
-        if not self.node_is_up(node):
-            return []
-        return sorted(v for v in self._adj[node] if self.link_operational(node, v))
+        """``No(node)``: neighbours reachable over currently-usable links.
+
+        Cached per node until the next mutation; callers must not mutate
+        the returned list.
+        """
+        if self._op_adj_version != self._version:
+            self._op_adj.clear()
+            self._op_adj_version = self._version
+        cached = self._op_adj.get(node)
+        if cached is None:
+            if not self.node_is_up(node):
+                cached = []
+            else:
+                cached = sorted(
+                    v for v in self._adj[node] if self.link_operational(node, v)
+                )
+            self._op_adj[node] = cached
+        return cached
 
     def failed_links(self) -> List[Tuple[NodeId, NodeId]]:
         return sorted(tuple(sorted(e)) for e, up in self._link_up.items() if not up)
@@ -340,6 +371,7 @@ class Topology:
         clone._link_up = dict(self._link_up)
         clone._node_up = dict(self._node_up)
         clone._sorted_adj = {}
+        clone._version = self._version
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -62,7 +62,18 @@ class EventQueue:
         return event
 
     def pop(self) -> Event:
-        return heapq.heappop(self._heap)
+        """Pop the earliest *live* event, draining cancelled ones.
+
+        Cancelled events must never surface: a caller that pops without a
+        preceding :meth:`peek_time` (which also drains) would otherwise
+        receive an event whose callback must not run, breaking ordering
+        assumptions downstream.  Raises :class:`IndexError` when no live
+        event remains, matching ``heapq.heappop`` on an empty heap.
+        """
+        while True:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the earliest pending event, or ``None``."""
@@ -160,8 +171,6 @@ class Simulator:
                 self.now = until
                 break
             event = self.queue.pop()
-            if event.cancelled:
-                continue
             self.now = event.time
             event.callback()
             self.steps += 1

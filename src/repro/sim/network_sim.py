@@ -33,7 +33,7 @@ from repro.net.channel import SelfStabilizingChannel, Datagram
 from repro.net.discovery import LocalDiscovery
 from repro.core.config import RenaissanceConfig
 from repro.core.controller import RenaissanceController
-from repro.core.legitimacy import LegitimacyChecker, forwarding_path
+from repro.core.legitimacy import LegitimacyChecker, RouteCache, forwarding_path
 from repro.switch.abstract_switch import AbstractSwitch
 from repro.switch.commands import CommandBatch, QueryReply
 from repro.sim.engine import Simulator
@@ -67,6 +67,13 @@ class SimulationConfig:
     renaissance: Optional[RenaissanceConfig] = None
     out_of_band: bool = False
     reliable_channels: bool = False
+    #: Memoize in-band route resolution behind an epoch-validated cache
+    #: (identical routes, large speedup on the bigger networks).
+    route_cache: bool = True
+    #: Injected randomness source; ``None`` derives one from ``seed``.
+    #: Experiment runners inject a per-repetition instance so repetitions
+    #: stay reproducible when fanned out over worker processes.
+    rng: Optional[random.Random] = None
 
 
 class NetworkSimulation:
@@ -79,7 +86,7 @@ class NetworkSimulation:
         self.config = config
         self.sim = Simulator()
         self.metrics = MetricsRecorder()
-        self._rng = random.Random(config.seed)
+        self._rng = config.rng or random.Random(config.seed)
         self._fault_model = config.fault_model
 
         n_controllers = len(topology.controllers)
@@ -113,8 +120,15 @@ class NetworkSimulation:
                 cid, self.rena_config, self._make_alive_fn(cid)
             )
 
+        self.route_cache: Optional[RouteCache] = (
+            RouteCache(self.topology, self.switches) if config.route_cache else None
+        )
         self.checker = LegitimacyChecker(
-            self.topology, self.switches, self.controllers, self.rena_config.kappa
+            self.topology,
+            self.switches,
+            self.controllers,
+            self.rena_config.kappa,
+            route_cache=self.route_cache,
         )
         self._started = False
         self._illegit_seen: Dict[str, int] = {sid: 0 for sid in self.switches}
@@ -305,6 +319,8 @@ class NetworkSimulation:
             # Section 8.2's dedicated management network: every control
             # packet is one logical hop, independent of the rule tables.
             return [src, dst]
+        if self.route_cache is not None:
+            return self.route_cache.path(src, dst, ttl=self.config.packet_ttl)
         return forwarding_path(
             self.topology, self.switches, src, dst, ttl=self.config.packet_ttl
         )

@@ -72,6 +72,13 @@ class FlowTable:
         self._by_match: Dict[Tuple[str, str], List[Tuple]] = {}
         self._clock = itertools.count()
         self.evictions = 0
+        # Monotone mutation counter of *forwarding-relevant* state: bumped
+        # whenever the set of rules — as seen by the data plane — changes,
+        # letting route caches detect staleness without diffing tables.
+        # Idempotent refreshes (same key re-installed to stay LRU-fresh,
+        # meta-rule tag rotation) deliberately do not bump it: they cannot
+        # change any forwarding decision.
+        self.version = 0
 
     def _index_add(self, key: Tuple, rule: Rule) -> None:
         if rule.is_meta:
@@ -95,6 +102,7 @@ class FlowTable:
         rule = self._rules.pop(key)
         del self._touched[key]
         self._index_remove(key, rule)
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._rules)
@@ -115,13 +123,19 @@ class FlowTable:
         if rule.sid != self.sid:
             raise ValueError(f"rule for switch {rule.sid} offered to {self.sid}")
         key = rule.key()
-        if key not in self._rules and len(self._rules) >= self.max_rules:
+        prior = self._rules.get(key)
+        if prior is None and len(self._rules) >= self.max_rules:
             self._evict_one()
-        if key in self._rules:
-            self._index_remove(key, self._rules[key])
+        if prior is not None:
+            self._index_remove(key, prior)
         self._rules[key] = rule
         self._touched[key] = next(self._clock)
         self._index_add(key, rule)
+        # The key carries every forwarding-relevant field except
+        # ``detour_start``; a same-key refresh differing only in tag (the
+        # newRound meta-rule rotation) leaves forwarding untouched.
+        if prior is None or prior.detour_start != rule.detour_start:
+            self.version += 1
 
     def _evict_one(self) -> None:
         victim = min(self._touched, key=self._touched.get)
@@ -130,12 +144,24 @@ class FlowTable:
 
     def replace_rules_of(self, cid: str, new_rules: Iterable[Rule]) -> None:
         """The ``updateRule`` command: replace all of ``cid``'s rules
-        (except meta-rules, which ``newRound`` manages)."""
-        for key in [k for k, r in self._rules.items() if r.cid == cid and not r.is_meta]:
-            self._delete_key(key)
-        for rule in new_rules:
+        (except meta-rules, which ``newRound`` manages).
+
+        Delta-based: rules surviving the update are refreshed in place
+        rather than deleted and reinstalled, so an idempotent periodic
+        update does not invalidate route caches.
+        """
+        incoming = list(new_rules)
+        for rule in incoming:
             if rule.cid != cid:
                 raise ValueError(f"rule owned by {rule.cid} in update for {cid}")
+        keep = {rule.key() for rule in incoming}
+        for key in [
+            k
+            for k, r in self._rules.items()
+            if r.cid == cid and not r.is_meta and k not in keep
+        ]:
+            self._delete_key(key)
+        for rule in incoming:
             self.install(rule)
 
     def delete_rules_of(self, cid: str, include_meta: bool = True) -> int:
@@ -153,6 +179,7 @@ class FlowTable:
         self._rules.clear()
         self._touched.clear()
         self._by_match.clear()
+        self.version += 1
 
     # -- lookup ---------------------------------------------------------------
 

@@ -48,3 +48,26 @@ def test_all_figures_registered():
 def test_parser_rejects_unknown_network():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["bootstrap", "--network", "nope"])
+
+
+def test_sweep_command(capsys):
+    assert main([
+        "sweep", "--figure", "fig5", "--network", "B4", "--reps", "2", "--workers", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "workers=2" in out
+
+
+def test_sweep_serial_and_parallel_rows_match(capsys):
+    main(["sweep", "--figure", "fig5", "--network", "Clos", "--reps", "2", "--workers", "1"])
+    serial = capsys.readouterr().out.splitlines()
+    main(["sweep", "--figure", "fig5", "--network", "Clos", "--reps", "2", "--workers", "3"])
+    parallel = capsys.readouterr().out.splitlines()
+    strip = lambda lines: [l for l in lines if not l.startswith("-- sweep")]
+    assert strip(serial) == strip(parallel)
+
+
+def test_sweep_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "--figure", "fig99"])

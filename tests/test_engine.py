@@ -131,3 +131,30 @@ def test_event_queue_peek_skips_cancelled():
     queue.push(2.0, lambda: None)
     first.cancel()
     assert queue.peek_time() == 2.0
+
+
+def test_event_queue_pop_skips_cancelled():
+    """Regression: pop() without a preceding peek_time() must never
+    surface a cancelled event."""
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    second = queue.push(2.0, lambda: None)
+    first.cancel()
+    assert queue.pop() is second
+
+
+def test_event_queue_pop_cancel_then_pop_ordering():
+    queue = EventQueue()
+    events = [queue.push(float(t), lambda: None, note=str(t)) for t in (1, 2, 3, 4)]
+    events[0].cancel()
+    events[2].cancel()
+    assert [queue.pop().time for _ in range(2)] == [2.0, 4.0]
+    assert len(queue) == 0
+
+
+def test_event_queue_pop_empty_after_cancellations_raises():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    event.cancel()
+    with pytest.raises(IndexError):
+        queue.pop()

@@ -1,0 +1,128 @@
+"""Tests for the experiment orchestration subsystem (repro.exp)."""
+
+import pytest
+
+from repro.exp.runner import RepetitionTask, _execute_task, default_workers, run_spec
+from repro.exp.seeding import derive_seed, fault_rng, rep_rng
+from repro.exp.spec import ExperimentSpec, get_spec, list_specs, register
+
+
+# -- seeding ----------------------------------------------------------------
+
+
+def test_derive_seed_matches_legacy_serial_seeds():
+    assert [derive_seed(0, i) for i in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_derive_seed_base_streams_disjoint():
+    a = {derive_seed(0, i) for i in range(100)}
+    b = {derive_seed(1, i) for i in range(100)}
+    assert not a & b
+
+
+def test_derive_seed_rejects_negative_rep():
+    with pytest.raises(ValueError):
+        derive_seed(0, -1)
+
+
+def test_rep_rng_reproducible():
+    assert rep_rng(3, 7).random() == rep_rng(3, 7).random()
+
+
+def test_fault_rng_matches_historical_stream():
+    import random
+
+    assert fault_rng(5).random() == random.Random(5 * 7919 + 13).random()
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_registry_contains_every_figure():
+    expected = {
+        "table8", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11",
+        "fig12", "fig13", "fig14", "fig15", "fig16", "table17",
+        "fig18", "fig19", "fig20",
+    }
+    assert expected <= set(list_specs())
+
+
+def test_get_spec_unknown_name():
+    with pytest.raises(KeyError):
+        get_spec("fig99")
+
+
+def test_register_rejects_duplicates():
+    spec = get_spec("fig5")
+    with pytest.raises(ValueError):
+        register(spec)
+
+
+def test_spec_case_filtering_by_network():
+    cases = get_spec("fig5").cases(networks=("Telstra",))
+    assert [c.label for c in cases] == ["Telstra"]
+
+
+def test_spec_params_forwarded():
+    cases = get_spec("fig6").cases(networks=("Telstra",), controller_counts=(1, 7))
+    assert [c.label for c in cases] == ["Telstra x1", "Telstra x7"]
+
+
+# -- runner ------------------------------------------------------------------
+
+
+def test_runner_serial_matches_parallel():
+    """Acceptance: same seed ⇒ bit-identical series, serial vs 4 workers."""
+    serial = run_spec("fig5", reps=3, networks=("B4",), workers=1)
+    parallel = run_spec("fig5", reps=3, networks=("B4",), workers=4)
+    assert serial.series == parallel.series
+    assert serial.series["B4"], "no repetitions completed"
+
+
+def test_runner_seed_changes_series():
+    base0 = run_spec("fig5", reps=2, networks=("B4",), workers=1, base_seed=0)
+    base1 = run_spec("fig5", reps=2, networks=("B4",), workers=1, base_seed=1)
+    assert base0.series != base1.series
+
+
+def test_runner_series_spec_ignores_reps():
+    result = run_spec("table8", reps=7, networks=("B4",), workers=1)
+    assert result.series["B4 nodes"] == [12.0]
+    assert result.series["B4 diameter"] == [5.0]
+
+
+def test_runner_network_filter():
+    result = run_spec("fig5", reps=1, networks=("Clos",), workers=1)
+    assert list(result.series) == ["Clos"]
+
+
+def test_execute_task_is_pure_and_addressable():
+    """A repetition task rebuilt from primitives yields the same value as
+    the in-process case call — the property pool workers rely on."""
+    task = RepetitionTask(
+        spec_name="fig5",
+        networks=("B4",),
+        params=(),
+        case_index=0,
+        rep_index=0,
+        seed=0,
+    )
+    case_index, rep_index, value = _execute_task(task)
+    assert (case_index, rep_index) == (0, 0)
+    direct = get_spec("fig5").cases(networks=("B4",))[0].measure(0)
+    assert value == direct
+
+
+def test_default_workers_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    assert default_workers() == 3
+    monkeypatch.setenv("REPRO_WORKERS", "")
+    assert default_workers() == 1
+
+
+def test_wrapper_functions_delegate_to_runner():
+    from repro.analysis.experiments import fig5_bootstrap
+
+    wrapped = fig5_bootstrap(reps=2, networks=("B4",))
+    direct = run_spec("fig5", reps=2, networks=("B4",))
+    assert wrapped.series == direct.series

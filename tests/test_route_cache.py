@@ -1,0 +1,141 @@
+"""Tests for the epoch-based in-band route cache.
+
+The cache must be *observationally invisible*: every path it returns must
+equal what a direct :func:`forwarding_path` walk computes at that instant,
+across rule-table rewrites, link failures/recoveries, and node faults.
+"""
+
+import pytest
+
+from repro.core.legitimacy import RouteCache, forwarding_path
+from repro.net.topologies import TOPOLOGY_BUILDERS, attach_controllers
+from repro.sim.network_sim import NetworkSimulation, SimulationConfig
+from repro.switch.flow_table import FlowTable, Rule
+
+
+def _bootstrap(network="B4", cache=True, seed=0):
+    topology = TOPOLOGY_BUILDERS[network]()
+    attach_controllers(topology, 3, seed=seed)
+    config = SimulationConfig(seed=seed, theta=10, route_cache=cache)
+    sim = NetworkSimulation(topology, config)
+    t = sim.run_until_legitimate(timeout=120.0)
+    assert t is not None, "bootstrap timed out"
+    return sim
+
+
+def _all_pairs(sim):
+    nodes = sim.topology.nodes
+    return [(a, b) for a in nodes for b in nodes if a != b]
+
+
+def _assert_cache_transparent(sim):
+    """Every cached path equals a fresh uncached walk."""
+    for src, dst in _all_pairs(sim):
+        cached = sim.route_cache.path(src, dst)
+        direct = forwarding_path(sim.topology, sim.switches, src, dst)
+        assert cached == direct, (src, dst, cached, direct)
+
+
+def test_cache_transparent_after_bootstrap():
+    sim = _bootstrap()
+    _assert_cache_transparent(sim)
+
+
+def test_cache_transparent_across_link_failure_and_recovery():
+    sim = _bootstrap()
+    u, v = next(iter(sim.topology.links))
+    sim.topology.set_link_up(u, v, up=False)
+    _assert_cache_transparent(sim)
+    sim.topology.set_link_up(u, v, up=True)
+    _assert_cache_transparent(sim)
+
+
+def test_cache_transparent_across_rule_table_rewrite():
+    sim = _bootstrap()
+    # Warm the cache, then rewrite one switch's table out from under it.
+    _assert_cache_transparent(sim)
+    sid = sim.topology.switches[0]
+    sim.switches[sid].table.clear()
+    _assert_cache_transparent(sim)
+
+
+def test_cache_on_off_runs_converge_identically():
+    """The simulation-level check: identical convergence instants and rule
+    counts with the cache enabled and disabled."""
+    on = _bootstrap(cache=True)
+    off = _bootstrap(cache=False)
+    assert on.sim.now == off.sim.now
+    assert on.total_rules_installed() == off.total_rules_installed()
+    for src, dst in _all_pairs(on):
+        assert on.route_cache.path(src, dst) == forwarding_path(
+            off.topology, off.switches, src, dst
+        )
+
+
+def test_cache_hit_returns_same_object_until_mutation():
+    sim = _bootstrap()
+    cid = sim.topology.controllers[0]
+    sid = sim.topology.switches[-1]
+    first = sim.route_cache.path(cid, sid)
+    hits_before = sim.route_cache.hits
+    again = sim.route_cache.path(cid, sid)
+    assert again is first
+    assert sim.route_cache.hits == hits_before + 1
+
+
+def test_epoch_bumps_on_operational_and_table_mutations():
+    sim = _bootstrap()
+    cache = sim.route_cache
+    epoch = cache.epoch()
+    u, v = next(iter(sim.topology.links))
+    sim.topology.set_link_up(u, v, up=False)
+    assert cache.epoch() > epoch
+    epoch = cache.epoch()
+    sid = sim.topology.switches[0]
+    sim.switches[sid].table.clear()
+    assert cache.epoch() > epoch
+
+
+def test_idempotent_refresh_does_not_invalidate():
+    """Re-installing an identical rule (an LRU refresh) must not flush the
+    cache — only forwarding-relevant changes may."""
+    table = FlowTable("s1", max_rules=8)
+    rule = Rule(cid="c0", sid="s1", src="a", dst="b", priority=2, forward_to="s2")
+    table.install(rule)
+    version = table.version
+    table.install(rule)  # idempotent refresh
+    assert table.version == version
+    table.install(Rule(cid="c0", sid="s1", src="a", dst="b", priority=2, forward_to="s3"))
+    assert table.version > version
+
+
+def test_delta_replace_preserves_semantics_and_version():
+    table = FlowTable("s1", max_rules=8)
+    keep = Rule(cid="c0", sid="s1", src="a", dst="b", priority=2, forward_to="s2")
+    drop = Rule(cid="c0", sid="s1", src="a", dst="c", priority=2, forward_to="s3")
+    table.replace_rules_of("c0", [keep, drop])
+    version = table.version
+    # Idempotent periodic update: same rule set, no version change.
+    table.replace_rules_of("c0", [keep, drop])
+    assert table.version == version
+    assert {r.key() for r in table.rules_of("c0")} == {keep.key(), drop.key()}
+    # Real update: one rule dropped.
+    table.replace_rules_of("c0", [keep])
+    assert table.version > version
+    assert [r.key() for r in table.rules_of("c0")] == [keep.key()]
+
+
+def test_cache_respects_extra_failed_key():
+    sim = _bootstrap()
+    cid = sim.topology.controllers[0]
+    sid = sim.topology.switches[-1]
+    plain = sim.route_cache.path(cid, sid)
+    assert plain is not None
+    failed_edge = frozenset(plain[:2])
+    detoured = sim.route_cache.path(cid, sid, extra_failed={failed_edge})
+    direct = forwarding_path(
+        sim.topology, sim.switches, cid, sid, extra_failed={failed_edge}
+    )
+    assert detoured == direct
+    # The hypothetical failure must not pollute the plain entry.
+    assert sim.route_cache.path(cid, sid) == plain
