@@ -1,0 +1,45 @@
+"""Scenario campaign benchmarks: generated topologies × fault workloads.
+
+Beyond the paper's Section 6 figures: recovery-time distributions for
+randomized fault campaigns on generated topologies, run through the same
+parallel repetition runner as every figure (``REPRO_WORKERS`` applies).
+Every repetition derives its topology, controller placement, and
+campaign from its own seed, so the regenerated rows are deterministic.
+"""
+
+from conftest import emit, med, run_figure
+
+
+def _emit_named(result, topology, campaign):
+    """Both benchmarks run the same 'scenario' spec; qualify the result
+    name so emit() persists them to distinct files."""
+    result.name = f"{result.name} — {topology} {campaign}"
+    return emit(result)
+
+
+def test_scenario_churn_on_jellyfish(benchmark):
+    result = benchmark.pedantic(
+        run_figure,
+        args=("scenario",),
+        kwargs={"reps": 3, "topology": "jellyfish:20", "campaign": "churn"},
+        rounds=1,
+        iterations=1,
+    )
+    series = _emit_named(result, "jellyfish:20", "churn")
+    values = series["jellyfish:20 churn"]
+    assert values, "no repetition re-converged"
+    assert all(0 <= v < 120 for v in values)
+
+
+def test_scenario_mixed_on_fat_tree(benchmark):
+    result = benchmark.pedantic(
+        run_figure,
+        args=("scenario",),
+        kwargs={"reps": 3, "topology": "fattree:4", "campaign": "mixed"},
+        rounds=1,
+        iterations=1,
+    )
+    series = _emit_named(result, "fattree:4", "mixed")
+    values = series["fattree:4 mixed"]
+    assert values, "no repetition re-converged"
+    assert med(values) < 60

@@ -24,9 +24,11 @@ from repro.analysis.experiments import (
     fig19_bad_tcp,
     fig20_out_of_order,
 )
+from repro.analysis.scenarios import scenario_campaign
 
 __all__ = [
     "ExperimentResult",
+    "scenario_campaign",
     "table8_topologies",
     "fig5_bootstrap",
     "fig6_bootstrap_vs_controllers",

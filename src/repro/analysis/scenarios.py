@@ -1,0 +1,47 @@
+"""Figure-shaped API over the scenario campaign subsystem.
+
+:func:`scenario_campaign` is to the ``scenario`` spec what
+``fig5_bootstrap`` is to ``fig5``: a stable wrapper that resolves the
+spec in the registry and executes it through the parallel repetition
+runner, bit-identical at any worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exp.runner import run_spec
+from repro.exp.spec import ExperimentResult
+
+
+def scenario_campaign(
+    topology: str = "jellyfish:20",
+    campaign: str = "churn",
+    reps: int = 8,
+    n_controllers: int = 3,
+    workers: Optional[int] = None,
+    base_seed: int = 0,
+    task_delay: float = 0.5,
+    theta: int = 10,
+    timeout: float = 240.0,
+) -> ExperimentResult:
+    """Recovery-time distribution of one fault campaign on one generated
+    topology; each repetition derives its topology (for randomized
+    families), controller placement, and campaign from its own seed."""
+    return run_spec(
+        "scenario",
+        reps=reps,
+        workers=workers,
+        base_seed=base_seed,
+        params={
+            "topology": topology,
+            "campaign": campaign,
+            "n_controllers": n_controllers,
+            "task_delay": task_delay,
+            "theta": theta,
+            "timeout": timeout,
+        },
+    )
+
+
+__all__ = ["scenario_campaign"]

@@ -8,12 +8,16 @@ Usage::
     python -m repro.cli traffic --network Telstra [--no-recovery]
     python -m repro.cli figure fig5 --reps 3
     python -m repro.cli sweep --figure fig5 --network Telstra --reps 8 --workers 4
+    python -m repro.cli scenario --topology jellyfish:20 --campaign churn --reps 4
 
 ``figure`` runs any of the paper's figure/table experiments by id and
 prints the regenerated rows.  ``sweep`` runs a registered experiment spec
 through the parallel repetition runner: repetitions fan out over a worker
 pool with deterministic per-repetition seeding, so the series are
-bit-identical whatever ``--workers`` is.
+bit-identical whatever ``--workers`` is.  ``scenario`` drives the scenario
+campaign subsystem through the same runner: a generated topology
+(fat-tree, Jellyfish, ring, grid, or a Table-8 network) under a
+composable randomized fault campaign.
 """
 
 from __future__ import annotations
@@ -25,11 +29,14 @@ import time
 from typing import Callable, Dict
 
 from repro.analysis import experiments as exp
+from repro.analysis.scenarios import scenario_campaign
 from repro.exp.runner import run_spec
 from repro.exp.spec import list_specs
 from repro.net.topologies import TOPOLOGY_BUILDERS, attach_controllers
+from repro.scenarios.campaigns import CAMPAIGNS
+from repro.scenarios.generators import GENERATORS, parse_topology
 from repro.sim.network_sim import NetworkSimulation, SimulationConfig
-from repro.sim.faults import FaultAction, FaultPlan, random_link
+from repro.sim.faults import FaultPlan, random_link
 from repro.transport.traffic import (
     TrafficRun,
     place_hosts_at_max_distance,
@@ -61,6 +68,11 @@ TAKES_REPS = {"fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13"
 def cmd_list(_args: argparse.Namespace) -> int:
     print("networks:", ", ".join(sorted(TOPOLOGY_BUILDERS)))
     print("figures:", ", ".join(sorted(FIGURES)))
+    print(
+        "scenario topologies:",
+        ", ".join(syntax for _, syntax in GENERATORS.values()),
+    )
+    print("campaigns:", ", ".join(sorted(CAMPAIGNS)))
     return 0
 
 
@@ -121,7 +133,7 @@ def cmd_recover(args: argparse.Namespace) -> int:
             probe.remove_node(victim)
             if probe.connected():
                 break
-        plan.actions.append(FaultAction(at, "remove_node", (victim,)))
+        plan.remove_node(at, victim)
     print(f"injecting {args.fault} fault on {victim}")
     sim.inject(plan)
     sim.run_for(0.2)
@@ -180,6 +192,49 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """Run one (topology, campaign) pair through the repetition runner."""
+    try:
+        # Fail fast on a malformed spec; without this a typo surfaces as a
+        # RemoteTraceback from inside a pool worker.
+        parse_topology(args.topology, seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    result = scenario_campaign(
+        topology=args.topology,
+        campaign=args.campaign,
+        reps=args.reps,
+        n_controllers=args.controllers,
+        workers=args.workers,
+        base_seed=args.seed,
+        task_delay=args.task_delay,
+        theta=args.theta,
+        timeout=args.timeout,
+    )
+    elapsed = time.perf_counter() - started
+    for line in result.rows():
+        print(line)
+    print(
+        f"-- scenario {args.topology} campaign={args.campaign} reps={args.reps} "
+        f"seed={args.seed} workers={args.workers}: {elapsed:.2f} s wall"
+    )
+    # Non-convergent repetitions are the whole point of this subsystem:
+    # the runner drops their None measurements from the series, so count
+    # them from the survivor tally and fail loudly instead of reporting a
+    # clean distribution of survivors.
+    completed = sum(len(values) for values in result.series.values())
+    if completed < args.reps:
+        print(
+            f"{args.reps - completed}/{args.reps} repetitions never reached "
+            f"a legitimate configuration (bootstrap or post-campaign "
+            f"re-convergence exceeded --timeout {args.timeout})"
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Renaissance reproduction experiments"
@@ -232,6 +287,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0,
                        help="base seed; repetition i runs with a seed derived from (seed, i)")
     sweep.set_defaults(fn=cmd_sweep)
+
+    scen = sub.add_parser(
+        "scenario",
+        help="run a fault campaign on a generated topology via the repetition runner",
+    )
+    scen.add_argument(
+        "--topology",
+        default="jellyfish:20",
+        help="a Table-8 name or a parametric spec: "
+        + ", ".join(syntax for _, syntax in GENERATORS.values()),
+    )
+    scen.add_argument("--campaign", default="churn", choices=sorted(CAMPAIGNS))
+    scen.add_argument("--controllers", type=int, default=3)
+    scen.add_argument("--reps", type=int, default=8)
+    scen.add_argument("--workers", type=int, default=1)
+    scen.add_argument("--seed", type=int, default=0,
+                      help="base seed; repetition i derives its topology, "
+                      "controller placement, and campaign from (seed, i)")
+    scen.add_argument("--task-delay", type=float, default=0.5)
+    scen.add_argument("--theta", type=int, default=10)
+    scen.add_argument("--timeout", type=float, default=240.0)
+    scen.set_defaults(fn=cmd_scenario)
 
     return parser
 

@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.exp.seeding import fault_rng
 from repro.net.topologies import TOPOLOGY_BUILDERS, TABLE8_EXPECTED, attach_controllers
 from repro.sim.network_sim import NetworkSimulation, SimulationConfig
-from repro.sim.faults import FaultAction, FaultPlan, random_link
+from repro.sim.faults import FaultPlan, random_link
 from repro.sim.metrics import summarize, trimmed
 from repro.transport.traffic import (
     TrafficRun,
@@ -138,6 +138,24 @@ class ExperimentSpec:
 
 SPECS: Dict[str, ExperimentSpec] = {}
 
+#: Modules that register further specs on import (the scenario subsystem
+#: lives above this layer).  Loaded lazily on first registry access so the
+#: registry is complete in *any* process — including ``spawn``-start pool
+#: workers that resolve specs by name — without creating an import cycle
+#: at package-init time.
+_DEFERRED_SPEC_MODULES: List[str] = ["repro.scenarios.spec"]
+
+
+def _load_deferred_specs() -> None:
+    import importlib
+
+    while _DEFERRED_SPEC_MODULES:
+        # Pop only after a successful import: a failing module stays queued
+        # so every registry access re-raises the root ImportError instead of
+        # a misleading "unknown spec".
+        importlib.import_module(_DEFERRED_SPEC_MODULES[-1])
+        _DEFERRED_SPEC_MODULES.pop()
+
 
 def register(spec: ExperimentSpec) -> ExperimentSpec:
     if spec.name in SPECS:
@@ -147,6 +165,7 @@ def register(spec: ExperimentSpec) -> ExperimentSpec:
 
 
 def get_spec(name: str) -> ExperimentSpec:
+    _load_deferred_specs()
     try:
         return SPECS[name]
     except KeyError:
@@ -156,6 +175,7 @@ def get_spec(name: str) -> ExperimentSpec:
 
 
 def list_specs() -> List[str]:
+    _load_deferred_specs()
     return sorted(SPECS)
 
 
@@ -471,11 +491,7 @@ def _switch_fault(sim: NetworkSimulation, rng: random.Random) -> FaultPlan:
         probe = sim.topology.copy()
         probe.remove_node(victim)
         if probe.connected():
-            plan = FaultPlan()
-            plan.actions.append(
-                FaultAction(sim.sim.now + 0.05, "remove_node", (victim,))
-            )
-            return plan
+            return FaultPlan().remove_node(sim.sim.now + 0.05, victim)
     raise ValueError("no switch removable without disconnection")
 
 

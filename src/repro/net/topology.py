@@ -315,6 +315,60 @@ class Topology:
             raise ValueError("graph is disconnected; eccentricity undefined")
         return max(dist.values())
 
+    def bridges(self) -> List[Tuple[NodeId, NodeId]]:
+        """All bridge edges of ``Gc`` (edges whose removal disconnects their
+        component), via the iterative Tarjan low-link algorithm.
+
+        Linear in ``|V| + |E|`` — unlike :meth:`edge_connectivity`'s max-flow
+        reduction — so generators can afford it inside rejection-sampling
+        loops on networks of hundreds of switches.
+        """
+        index: Dict[NodeId, int] = {}
+        low: Dict[NodeId, int] = {}
+        found: List[Tuple[NodeId, NodeId]] = []
+        counter = 0
+        for root in self.nodes:
+            if root in index:
+                continue
+            # Stack frames: (node, parent, iterator over neighbours).
+            stack = [(root, None, iter(self.neighbors(root)))]
+            index[root] = low[root] = counter
+            counter += 1
+            while stack:
+                node, parent, it = stack[-1]
+                advanced = False
+                for child in it:
+                    if child == parent:
+                        # Skip the tree edge back to the parent once; a
+                        # parallel edge would clear bridge status, but the
+                        # graph is multigraph-free by construction.
+                        parent = None
+                        stack[-1] = (node, parent, it)
+                        continue
+                    if child in index:
+                        low[node] = min(low[node], index[child])
+                        continue
+                    index[child] = low[child] = counter
+                    counter += 1
+                    stack.append((child, node, iter(self.neighbors(child))))
+                    advanced = True
+                    break
+                if not advanced:
+                    stack.pop()
+                    if stack:
+                        up, _, _ = stack[-1]
+                        low[up] = min(low[up], low[node])
+                        if low[node] > index[up]:
+                            found.append(tuple(sorted((up, node))))
+        return sorted(found)
+
+    def two_edge_connected(self) -> bool:
+        """True iff ``Gc`` is connected and bridgeless — the resilience
+        floor κ = 1 fault-resilient flows require (Section 2.2.2)."""
+        if len(self.nodes) < 2:
+            return False
+        return self.connected() and not self.bridges()
+
     # -- edge connectivity ----------------------------------------------------
 
     def _max_edge_disjoint_paths(self, source: NodeId, target: NodeId) -> int:

@@ -1,0 +1,56 @@
+"""Scenario campaigns: generated topologies × composable fault workloads.
+
+The paper evaluates convergence only on the five Table-8 networks under
+single, hand-picked faults.  This package opens the scenario axis:
+
+* :mod:`repro.scenarios.generators` — parametric topology families
+  (fat-tree, Jellyfish, ring, 2D grid) beyond the Table-8 zoo, all
+  guaranteeing the 2-edge-connectivity κ = 1 resilient flows require;
+* :mod:`repro.scenarios.campaigns` — composable randomized fault
+  campaigns (Poisson churn, correlated regional failures, flapping
+  links, controller churn, transient state corruption), each a pure
+  function of a seed;
+* :mod:`repro.scenarios.spec` — the ``scenario`` experiment spec that
+  runs any (topology, campaign) pair through the parallel repetition
+  runner with deterministic seeding;
+* :mod:`repro.scenarios.harness` — a seeded generate-and-shrink property
+  harness checking the paper's core claim: convergence to a legitimate
+  configuration from any fault sequence, within a bounded horizon.
+"""
+
+from repro.scenarios.generators import (
+    GENERATORS,
+    fat_tree,
+    grid2d,
+    harary,
+    jellyfish,
+    parse_topology,
+    ring,
+)
+from repro.scenarios.campaigns import CAMPAIGNS, Campaign, build_campaign, compose
+from repro.scenarios.harness import (
+    ConvergenceCase,
+    check_case,
+    generate_cases,
+    run_convergence_property,
+    shrink_case,
+)
+
+__all__ = [
+    "CAMPAIGNS",
+    "Campaign",
+    "ConvergenceCase",
+    "GENERATORS",
+    "build_campaign",
+    "check_case",
+    "compose",
+    "fat_tree",
+    "generate_cases",
+    "grid2d",
+    "harary",
+    "jellyfish",
+    "parse_topology",
+    "ring",
+    "run_convergence_property",
+    "shrink_case",
+]

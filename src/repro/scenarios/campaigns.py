@@ -1,0 +1,254 @@
+"""Composable randomized fault campaigns.
+
+A *campaign* is a pure function ``(topology, rng) -> FaultPlan``: given
+the ground-truth topology and an injected randomness source it emits a
+declarative fault schedule on a **relative clock** (t = 0 is the moment
+of injection; the scenario spec shifts it to the simulation's current
+time).  Purity in the rng is what lets the repetition runner re-derive an
+identical campaign in any worker process from the repetition seed alone.
+
+Every campaign here is *transient*: each fail has a matching recover no
+later than the campaign's last action, so the communication topology at
+``plan.last_at()`` equals the initial one and the self-stabilization
+claim applies — the system must re-converge to a legitimate
+configuration within a bounded horizon after the final fault.  (State
+corruption needs no undo; scrubbing it *is* the protocol's job.)
+
+Campaigns compose: :func:`compose` merges plans on the shared relative
+clock, and the ``mixed`` campaign is exactly such a composition.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.net.topology import Topology
+from repro.sim.faults import FaultAction, FaultPlan
+from repro.switch.flow_table import Rule
+
+
+def compose(*plans: FaultPlan) -> FaultPlan:
+    """Merge campaigns on the shared relative clock, ordered by time.
+
+    Sorted by time alone: the sort is stable, so same-instant actions keep
+    their (deterministic) per-plan order — and corruption targets carry
+    unorderable payloads, so they must never act as tie-breakers.
+    """
+    actions: List[FaultAction] = []
+    for plan in plans:
+        actions.extend(plan.actions)
+    return FaultPlan(sorted(actions, key=lambda a: a.at))
+
+
+def _recover_at(rng: random.Random, t: float, mttr: float, horizon: float) -> float:
+    """Repair time: exponential with mean ``mttr``, strictly after ``t``
+    and never past the horizon (campaigns must end all-up)."""
+    return min(horizon, t + max(0.05, rng.expovariate(1.0 / mttr)))
+
+
+def poisson_churn(
+    topology: Topology,
+    rng: random.Random,
+    horizon: float = 8.0,
+    mtbf: float = 1.5,
+    mttr: float = 1.0,
+    node_fraction: float = 0.3,
+) -> FaultPlan:
+    """Poisson link/node churn: failures arrive with mean spacing
+    ``mtbf``; each victim (a link, or a switch with probability
+    ``node_fraction``) repairs after an exponential ``mttr``."""
+    plan = FaultPlan()
+    links = topology.links
+    switches = topology.switches
+    down_until: Dict[object, float] = {}
+    t = 0.0
+    while True:
+        t += rng.expovariate(1.0 / mtbf)
+        if t >= horizon - mttr:
+            break
+        if switches and rng.random() < node_fraction:
+            victim = rng.choice(switches)
+            # A still-down victim would have its pending recover revive it
+            # mid-outage; drop the arrival instead (thinning the process).
+            if down_until.get(victim, 0.0) > t:
+                continue
+            repair = _recover_at(rng, t, mttr, horizon)
+            plan.fail_node(t, victim)
+            plan.recover_node(repair, victim)
+            down_until[victim] = repair
+        elif links:
+            u, v = rng.choice(links)
+            if down_until.get((u, v), 0.0) > t:
+                continue
+            repair = _recover_at(rng, t, mttr, horizon)
+            plan.fail_link(t, u, v)
+            plan.recover_link(repair, u, v)
+            down_until[(u, v)] = repair
+    return plan
+
+
+def regional_failure(
+    topology: Topology,
+    rng: random.Random,
+    at: float = 1.0,
+    radius: int = 1,
+    outage: float = 2.0,
+) -> FaultPlan:
+    """Correlated regional outage: every node within ``radius`` hops of a
+    random epicenter switch fails at once (taking its links down with it)
+    and the whole region comes back ``outage`` seconds later."""
+    center = rng.choice(topology.switches)
+    distances = topology.bfs_layers(center)
+    region = sorted(n for n, d in distances.items() if d <= radius)
+    plan = FaultPlan()
+    for node in region:
+        plan.fail_node(at, node)
+        plan.recover_node(at + outage, node)
+    return plan
+
+
+def flapping_links(
+    topology: Topology,
+    rng: random.Random,
+    n_links: int = 2,
+    period: float = 1.0,
+    cycles: int = 3,
+    start: float = 0.5,
+) -> FaultPlan:
+    """A few unstable links flap down/up with the given period; every
+    flap ends with the link restored."""
+    links = list(topology.links)
+    victims = rng.sample(links, min(n_links, len(links)))
+    plan = FaultPlan()
+    for u, v in victims:
+        for cycle in range(cycles):
+            down = start + cycle * period
+            plan.fail_link(down, u, v)
+            plan.recover_link(down + period / 2.0, u, v)
+    return plan
+
+
+def controller_churn(
+    topology: Topology,
+    rng: random.Random,
+    events: int = 3,
+    spacing: float = 1.5,
+    downtime: float = 1.0,
+    start: float = 0.5,
+) -> FaultPlan:
+    """Controllers fail-stop and recover one after another — the
+    Figure 10/11 scenario generalized to an ongoing stream."""
+    if not topology.controllers:
+        raise ValueError("controller churn needs controllers attached")
+    plan = FaultPlan()
+    down_until: Dict[str, float] = {}
+    t = start
+    for _ in range(events):
+        # Only pick controllers that are back up, so one outage window
+        # never truncates another (a pending recover is unconditional).
+        candidates = [
+            c for c in topology.controllers if down_until.get(c, 0.0) <= t
+        ]
+        if candidates:
+            victim = rng.choice(candidates)
+            plan.fail_node(t, victim)
+            plan.recover_node(t + downtime, victim)
+            down_until[victim] = t + downtime
+        t += spacing * (0.5 + rng.random())
+    return plan
+
+
+def state_corruption(
+    topology: Topology,
+    rng: random.Random,
+    events: int = 3,
+    horizon: float = 5.0,
+) -> FaultPlan:
+    """Rare transient faults (the paper's Figure 3 rightmost class):
+    switch tables are wiped or polluted with a ghost controller's rule,
+    and controller reply stores are corrupted."""
+    plan = FaultPlan()
+    times = sorted(rng.uniform(0.2, horizon) for _ in range(events))
+    for t in times:
+        roll = rng.random()
+        if roll < 0.4 or not topology.controllers:
+            sid = rng.choice(topology.switches)
+            plan.corrupt_switch(t, sid, clear_first=True)
+        elif roll < 0.7:
+            sid = rng.choice(topology.switches)
+            neighbor = rng.choice(topology.neighbors(sid))
+            ghost = Rule(
+                cid="zz-ghost",
+                sid=sid,
+                src="zz-ghost",
+                dst="zz-nowhere",
+                priority=1,
+                forward_to=neighbor,
+            )
+            plan.corrupt_switch(t, sid, rules=(ghost,), managers=("zz-ghost",))
+        else:
+            plan.corrupt_controller(t, rng.choice(topology.controllers))
+    return plan
+
+
+def mixed(topology: Topology, rng: random.Random, horizon: float = 8.0) -> FaultPlan:
+    """Churn + flapping + corruption at once — the kitchen-sink workload."""
+    return compose(
+        poisson_churn(topology, rng, horizon=horizon, mtbf=2.5),
+        flapping_links(topology, rng, n_links=1, cycles=2),
+        state_corruption(topology, rng, events=2, horizon=horizon * 0.6),
+    )
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A named, parameterizable fault-campaign generator."""
+
+    name: str
+    description: str
+    builder: Callable[..., FaultPlan]
+
+    def build(self, topology: Topology, rng: random.Random, **params) -> FaultPlan:
+        return self.builder(topology, rng, **params)
+
+
+CAMPAIGNS: Dict[str, Campaign] = {
+    campaign.name: campaign
+    for campaign in (
+        Campaign("churn", "Poisson link/node churn with MTBF/MTTR", poisson_churn),
+        Campaign("regional", "correlated regional outage around an epicenter", regional_failure),
+        Campaign("flapping", "periodically flapping links", flapping_links),
+        Campaign("controller-churn", "rolling controller fail-stop/recover", controller_churn),
+        Campaign("corruption", "transient state corruption of switches/controllers", state_corruption),
+        Campaign("mixed", "churn + flapping + corruption composed", mixed),
+    )
+}
+
+
+def build_campaign(
+    name: str, topology: Topology, rng: random.Random, **params
+) -> FaultPlan:
+    """Build the named campaign; raises on unknown names."""
+    try:
+        campaign = CAMPAIGNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown campaign {name!r}; known: {', '.join(sorted(CAMPAIGNS))}"
+        ) from None
+    return campaign.build(topology, rng, **params)
+
+
+__all__ = [
+    "CAMPAIGNS",
+    "Campaign",
+    "build_campaign",
+    "compose",
+    "controller_churn",
+    "flapping_links",
+    "mixed",
+    "poisson_churn",
+    "regional_failure",
+    "state_corruption",
+]

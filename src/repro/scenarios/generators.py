@@ -1,0 +1,226 @@
+"""Parametric topology generators beyond the Table-8 zoo.
+
+Five families, chosen to stress the protocol differently than the paper's
+ladder-ISP stand-ins:
+
+* :func:`fat_tree` — the canonical k-ary datacenter fat-tree (dense,
+  short diameter, massive path diversity);
+* :func:`jellyfish` — a random regular graph, the Jellyfish datacenter
+  proposal (expander-like, no structure for the planner to exploit);
+* :func:`ring` — the minimal 2-edge-connected graph (diameter n/2, the
+  worst case for in-band route stretch);
+* :func:`grid2d` — a rows × cols mesh (planar, moderate diversity);
+* :func:`harary` — the exactly k-edge-connected Harary graph H(k, n)
+  behind ``random_k_connected``, for κ-connectivity stress.
+
+Every generator returns a switch-only :class:`~repro.net.topology.Topology`
+that is **2-edge-connected** — the resilience floor κ = 1 fault-resilient
+flows require — and asserts so at build time via the linear-time bridge
+check.  Controllers are attached afterwards with
+:func:`repro.net.topologies.attach_controllers`, which preserves that
+invariant.
+
+:func:`parse_topology` turns CLI strings (``fattree:4``, ``jellyfish:20``,
+``jellyfish:20x4``, ``ring:16``, ``grid:4x5``, ``harary:10x3``, or a
+Table-8 name such as ``B4``) into topologies, so every scenario entry
+point shares one spec syntax.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from repro.net.topologies import TOPOLOGY_BUILDERS, random_k_connected
+from repro.net.topology import Topology
+
+
+def _checked(topo: Topology, family: str) -> Topology:
+    if not topo.two_edge_connected():
+        raise AssertionError(f"{family} generator produced a bridged graph")
+    return topo
+
+
+def fat_tree(k: int) -> Topology:
+    """The k-ary fat-tree of Al-Fares et al.: (k/2)² core switches and k
+    pods of k/2 aggregation + k/2 edge switches — 5k²/4 switches total.
+
+    ``k`` must be even and ≥ 4 (k = 2 gives edge switches a single
+    uplink, i.e. a bridge).
+    """
+    if k < 4 or k % 2:
+        raise ValueError(f"fat-tree arity must be even and >= 4 (got {k})")
+    half = k // 2
+    topo = Topology()
+    cores = [f"ft-c{i}" for i in range(half * half)]
+    for c in cores:
+        topo.add_switch(c)
+    for pod in range(k):
+        aggs = [f"ft-p{pod}-a{i}" for i in range(half)]
+        edges = [f"ft-p{pod}-e{i}" for i in range(half)]
+        for s in aggs + edges:
+            topo.add_switch(s)
+        for e in edges:
+            for a in aggs:
+                topo.add_link(e, a)
+        # Aggregation switch i uplinks to core group i (cores i*half ..).
+        for i, a in enumerate(aggs):
+            for j in range(half):
+                topo.add_link(a, cores[i * half + j])
+    return _checked(topo, "fat-tree")
+
+
+def jellyfish(n: int, degree: int = 3, seed: int = 0) -> Topology:
+    """A Jellyfish fabric: a uniformly random ``degree``-regular graph on
+    ``n`` switches, deterministic in ``seed``.
+
+    Built by configuration-model stub matching with whole-graph rejection
+    of self-loops, parallel edges, and bridged outcomes; random regular
+    graphs of degree ≥ 3 are asymptotically almost surely 3-connected, so
+    a handful of attempts suffices.
+    """
+    if degree < 3:
+        raise ValueError(f"jellyfish degree must be >= 3 (got {degree})")
+    if n <= degree:
+        raise ValueError(f"need n > degree (got n={n}, degree={degree})")
+    if (n * degree) % 2:
+        raise ValueError(f"n*degree must be even (got {n}x{degree})")
+    names = [f"jf{i}" for i in range(n)]
+    for attempt in range(1000):
+        rng = random.Random(seed * 1_000_003 + attempt)
+        stubs = [i for i in range(n) for _ in range(degree)]
+        rng.shuffle(stubs)
+        pairs = list(zip(stubs[0::2], stubs[1::2]))
+        if any(u == v for u, v in pairs):
+            continue
+        edges = {frozenset(p) for p in pairs}
+        if len(edges) < len(pairs):
+            continue
+        topo = Topology()
+        for name in names:
+            topo.add_switch(name)
+        for u, v in pairs:
+            topo.add_link(names[u], names[v])
+        if topo.two_edge_connected():
+            return topo
+    raise RuntimeError(f"no 2-edge-connected {degree}-regular graph on {n} nodes found")
+
+
+def ring(n: int) -> Topology:
+    """A cycle of ``n`` switches — exactly 2-edge-connected, diameter n//2."""
+    if n < 3:
+        raise ValueError(f"ring needs >= 3 switches (got {n})")
+    topo = Topology()
+    names = [f"r{i}" for i in range(n)]
+    for name in names:
+        topo.add_switch(name)
+    for i in range(n):
+        topo.add_link(names[i], names[(i + 1) % n])
+    return _checked(topo, "ring")
+
+
+def grid2d(rows: int, cols: int) -> Topology:
+    """A rows × cols mesh.  Both dimensions must be ≥ 2: every edge then
+    borders a unit square, so the (connected) grid is bridgeless."""
+    if rows < 2 or cols < 2:
+        raise ValueError(f"grid needs both dimensions >= 2 (got {rows}x{cols})")
+    topo = Topology()
+    name = lambda r, c: f"g{r}-{c}"
+    for r in range(rows):
+        for c in range(cols):
+            topo.add_switch(name(r, c))
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                topo.add_link(name(r, c), name(r, c + 1))
+            if r + 1 < rows:
+                topo.add_link(name(r, c), name(r + 1, c))
+    return _checked(topo, "grid")
+
+
+def harary(n: int, k: int, seed: int = 0) -> Topology:
+    """The Harary graph H(k, n) behind the property tests'
+    κ-connectivity stress — a scenario-spec wrapper over
+    :func:`repro.net.topologies.random_k_connected` (k ≥ 2 guarantees
+    the 2-edge-connectivity floor)."""
+    return _checked(random_k_connected(n, k, seed=seed), "harary")
+
+
+def _positive_ints(family: str, arg: str, count: int) -> List[int]:
+    parts = arg.split("x")
+    if len(parts) != count or not all(p.isdigit() for p in parts):
+        raise ValueError(f"bad {family} spec argument {arg!r}")
+    return [int(p) for p in parts]
+
+
+def _parse_fattree(arg: str, seed: int) -> Topology:
+    (k,) = _positive_ints("fattree", arg, 1)
+    return fat_tree(k)
+
+
+def _parse_jellyfish(arg: str, seed: int) -> Topology:
+    if "x" in arg:
+        n, degree = _positive_ints("jellyfish", arg, 2)
+    else:
+        (n,) = _positive_ints("jellyfish", arg, 1)
+        degree = 3
+    return jellyfish(n, degree, seed=seed)
+
+
+def _parse_ring(arg: str, seed: int) -> Topology:
+    (n,) = _positive_ints("ring", arg, 1)
+    return ring(n)
+
+
+def _parse_grid(arg: str, seed: int) -> Topology:
+    rows, cols = _positive_ints("grid", arg, 2)
+    return grid2d(rows, cols)
+
+
+def _parse_harary(arg: str, seed: int) -> Topology:
+    n, k = _positive_ints("harary", arg, 2)
+    return harary(n, k, seed=seed)
+
+
+#: Scenario families: name → (spec-argument parser, argument syntax).
+#: :func:`parse_topology` dispatches through this table, so registering a
+#: new family here is all it takes to expose it everywhere.
+GENERATORS: Dict[str, Tuple[Callable[[str, int], Topology], str]] = {
+    "fattree": (_parse_fattree, "fattree:K (even K >= 4)"),
+    "jellyfish": (_parse_jellyfish, "jellyfish:N or jellyfish:NxDEGREE"),
+    "ring": (_parse_ring, "ring:N"),
+    "grid": (_parse_grid, "grid:ROWSxCOLS"),
+    "harary": (_parse_harary, "harary:NxK (K >= 2)"),
+}
+
+
+def parse_topology(spec: str, seed: int = 0) -> Topology:
+    """Build the topology named by ``spec``.
+
+    Accepts the Table-8 names (``B4``, ``Clos``, ...) and the parametric
+    families of this module (``fattree:4``, ``jellyfish:20``,
+    ``jellyfish:20x4``, ``ring:16``, ``grid:4x5``, ``harary:10x3``).
+    ``seed`` only affects the randomized families.
+    """
+    if spec in TOPOLOGY_BUILDERS:
+        return TOPOLOGY_BUILDERS[spec]()
+    family, sep, arg = spec.partition(":")
+    family = family.replace("_", "").replace("-", "").lower()
+    if not sep or family not in GENERATORS:
+        known = sorted(TOPOLOGY_BUILDERS) + [
+            syntax for _, syntax in GENERATORS.values()
+        ]
+        raise ValueError(f"unknown topology {spec!r}; known: {', '.join(known)}")
+    parser, _ = GENERATORS[family]
+    return parser(arg, seed)
+
+
+__all__ = [
+    "GENERATORS",
+    "fat_tree",
+    "grid2d",
+    "harary",
+    "jellyfish",
+    "parse_topology",
+    "ring",
+]

@@ -18,10 +18,30 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.sim.events import EventKind
 from repro.switch.flow_table import Rule
+
+
+#: Explicit fault-kind → trace-event classification.  The mapping doubles
+#: as the registry of valid kinds: anything outside it is rejected at
+#: :class:`FaultAction` construction time rather than silently pattern-
+#: matched into the wrong event class.
+EVENT_KIND_OF_FAULT: Dict[str, EventKind] = {
+    "fail_link": EventKind.LINK_FAILURE,
+    "remove_link": EventKind.LINK_FAILURE,
+    "recover_link": EventKind.LINK_RECOVERY,
+    "fail_node": EventKind.NODE_FAILURE,
+    "remove_node": EventKind.NODE_FAILURE,
+    "recover_node": EventKind.NODE_RECOVERY,
+    "add_switch": EventKind.NODE_RECOVERY,
+    "add_controller": EventKind.NODE_RECOVERY,
+    "corrupt_switch": EventKind.STATE_CORRUPTION,
+    "corrupt_controller": EventKind.STATE_CORRUPTION,
+}
+
+KNOWN_FAULT_KINDS = frozenset(EVENT_KIND_OF_FAULT)
 
 
 @dataclass(frozen=True)
@@ -29,9 +49,15 @@ class FaultAction:
     """One scheduled fault: ``at`` seconds, apply ``kind`` to ``target``."""
 
     at: float
-    kind: str  # fail_link | recover_link | fail_node | recover_node |
-    #            remove_link | remove_node | corrupt_switch | corrupt_controller
+    kind: str  # one of KNOWN_FAULT_KINDS
     target: Tuple
+
+    def __post_init__(self) -> None:
+        if self.kind not in KNOWN_FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: "
+                f"{', '.join(sorted(KNOWN_FAULT_KINDS))}"
+            )
 
 
 @dataclass
@@ -63,6 +89,10 @@ class FaultPlan:
         self.actions.append(FaultAction(at, "recover_node", (node,)))
         return self
 
+    def remove_node(self, at: float, node: str) -> "FaultPlan":
+        self.actions.append(FaultAction(at, "remove_node", (node,)))
+        return self
+
     def add_switch(self, at: float, sid: str, links: Tuple[str, ...]) -> "FaultPlan":
         self.actions.append(FaultAction(at, "add_switch", (sid, list(links))))
         return self
@@ -81,6 +111,18 @@ class FaultPlan:
     def corrupt_controller(self, at: float, cid: str) -> "FaultPlan":
         self.actions.append(FaultAction(at, "corrupt_controller", (cid,)))
         return self
+
+    def shifted(self, offset: float) -> "FaultPlan":
+        """A copy of the plan with every action delayed by ``offset``
+        seconds — campaigns are built on a relative clock and shifted to
+        the simulation's current time at injection."""
+        return FaultPlan(
+            [FaultAction(a.at + offset, a.kind, a.target) for a in self.actions]
+        )
+
+    def last_at(self) -> float:
+        """Time of the final scheduled action (0.0 for an empty plan)."""
+        return max((a.at for a in self.actions), default=0.0)
 
 
 class FaultInjector:
@@ -101,11 +143,10 @@ class FaultInjector:
 
     @staticmethod
     def _event_kind(kind: str) -> EventKind:
-        if "link" in kind:
-            return EventKind.LINK_FAILURE if "fail" in kind or "remove" in kind else EventKind.LINK_RECOVERY
-        if "corrupt" in kind:
-            return EventKind.STATE_CORRUPTION
-        return EventKind.NODE_FAILURE if "fail" in kind or "remove" in kind else EventKind.NODE_RECOVERY
+        try:
+            return EVENT_KIND_OF_FAULT[kind]
+        except KeyError:
+            raise ValueError(f"unknown fault kind: {kind!r}") from None
 
     def _make_executor(self, action: FaultAction, mark: bool) -> Callable[[], None]:
         simulation = self._simulation
@@ -139,4 +180,12 @@ def random_link(topology, rng: random.Random, protect_connectivity: bool = True)
     raise ValueError("no link can fail without disconnecting the network")
 
 
-__all__ = ["FaultAction", "FaultPlan", "FaultInjector", "random_switch", "random_link"]
+__all__ = [
+    "EVENT_KIND_OF_FAULT",
+    "KNOWN_FAULT_KINDS",
+    "FaultAction",
+    "FaultPlan",
+    "FaultInjector",
+    "random_switch",
+    "random_link",
+]

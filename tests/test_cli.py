@@ -71,3 +71,55 @@ def test_sweep_serial_and_parallel_rows_match(capsys):
 def test_sweep_rejects_unknown_figure():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["sweep", "--figure", "fig99"])
+
+
+SCENARIO_FAST = ["--task-delay", "0.1", "--theta", "4", "--controllers", "2"]
+
+
+def test_scenario_command(capsys):
+    assert main([
+        "scenario", "--topology", "ring:8", "--campaign", "flapping",
+        "--reps", "2", "--workers", "2", "--seed", "0", *SCENARIO_FAST,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "ring:8 flapping" in out
+    assert "workers=2" in out
+
+
+def test_scenario_serial_and_parallel_rows_match(capsys):
+    base = ["scenario", "--topology", "jellyfish:8", "--campaign", "churn",
+            "--reps", "2", "--seed", "0", *SCENARIO_FAST]
+    main(base + ["--workers", "1"])
+    serial = capsys.readouterr().out.splitlines()
+    main(base + ["--workers", "3"])
+    parallel = capsys.readouterr().out.splitlines()
+    strip = lambda lines: [l for l in lines if not l.startswith("-- scenario")]
+    assert strip(serial) == strip(parallel)
+
+
+def test_scenario_rejects_unknown_campaign():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["scenario", "--campaign", "tsunami"])
+
+
+def test_scenario_reports_non_convergent_repetitions(capsys):
+    """Repetitions the runner drops (None measurements) must be counted
+    and fail the command, not silently vanish from the series."""
+    assert main([
+        "scenario", "--topology", "ring:6", "--campaign", "churn",
+        "--reps", "2", "--timeout", "0.4", *SCENARIO_FAST,
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "2/2 repetitions never reached a legitimate configuration" in out
+
+
+def test_scenario_rejects_malformed_topology_before_running(capsys):
+    assert main(["scenario", "--topology", "gird:3x3", "--campaign", "churn"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown topology" in err
+
+
+def test_list_shows_scenario_families_and_campaigns(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "jellyfish" in out and "churn" in out

@@ -1,0 +1,143 @@
+"""Property-based convergence tests (seeded generate-and-shrink).
+
+The paper's Theorem 1 claims convergence to a legitimate configuration
+from *any* fault sequence.  The harness in
+:mod:`repro.scenarios.harness` generates random
+``(topology, campaign, seed)`` triples across every scenario family and
+campaign, checks that each re-converges within the bounded horizon, and
+on failure shrinks to (and prints) a minimal reproducing triple.
+"""
+
+import pytest
+
+from repro.scenarios import harness
+from repro.scenarios.campaigns import CAMPAIGNS
+from repro.scenarios.generators import parse_topology
+from repro.scenarios.harness import (
+    ConvergenceCase,
+    TOPOLOGY_POOL,
+    campaign_plan,
+    check_case,
+    generate_cases,
+    plan_is_transient,
+    run_convergence_property,
+    shrink_case,
+)
+
+
+def test_generate_cases_deterministic_and_diverse():
+    a = generate_cases(64, base_seed=0)
+    assert a == generate_cases(64, base_seed=0)
+    assert a != generate_cases(64, base_seed=1)
+    families = {case.topology.split(":")[0] for case in a}
+    assert families == {"ring", "grid", "jellyfish", "harary", "fattree"}
+    assert {case.campaign for case in a} == set(CAMPAIGNS)
+
+
+def test_topology_pool_is_all_parseable_and_resilient():
+    for family in TOPOLOGY_POOL:
+        for spec in family:
+            assert parse_topology(spec, seed=0).two_edge_connected(), spec
+
+
+def test_convergence_property_50_cases():
+    """Acceptance: ≥ 50 generated convergence cases in tier-1.  Any
+    failure prints the reproducing (topology, campaign, seed) triple."""
+    report = run_convergence_property(50, base_seed=0)
+    assert report.ok, f"non-convergent cases: {report.failures}"
+    assert len(report.recovery_times) == 50
+    assert all(t >= 0.0 for t in report.recovery_times)
+
+
+def test_campaign_plan_matches_what_the_measurement_injects():
+    case = ConvergenceCase("ring:6", "churn", seed=4)
+    plan = campaign_plan(case)
+    assert plan.actions == campaign_plan(case).actions
+    assert check_case(case, plan=plan) == check_case(case)
+
+
+def test_shrink_finds_minimal_failing_prefix(monkeypatch):
+    """With a fake oracle that fails whenever a plan carries > 2 trigger
+    (fail/corrupt) actions, the shrinker must return a transient prefix
+    with exactly 3 of them."""
+    case = ConvergenceCase("ring:10", "mixed", seed=1)
+    real_plan = campaign_plan(case)
+    triggers = lambda p: [
+        a for a in p.actions if a.kind.startswith(("fail", "corrupt"))
+    ]
+    assert len(triggers(real_plan)) > 3
+
+    def fake_check(c, plan=None):
+        if c.topology != "ring:10":
+            return 0.5  # smaller topologies pass, so only the plan shrinks
+        actual = plan if plan is not None else real_plan
+        return None if len(triggers(actual)) > 2 else 0.5
+
+    monkeypatch.setattr(harness, "check_case", fake_check)
+    shrunk, shrunk_plan = shrink_case(case)
+    assert shrunk.topology == "ring:10"
+    assert shrunk_plan is not None
+    assert len(triggers(shrunk_plan)) == 3
+    assert len(shrunk_plan.actions) < len(real_plan.actions)
+    assert plan_is_transient(shrunk_plan), "shrunk schedules must stay transient"
+
+
+def test_shrunk_prefixes_keep_matching_recovers():
+    """Regression: a raw prefix cut between a fail and its recover leaves
+    the network permanently degraded; _transient_prefix must append the
+    missing recovers from the remainder."""
+    case = ConvergenceCase("ring:8", "churn", seed=3)
+    plan = campaign_plan(case)
+    assert plan.actions, "churn produced no schedule"
+    for cut in range(1, len(plan.actions)):
+        assert plan_is_transient(harness._transient_prefix(plan, cut)), cut
+
+
+def test_plan_with_permanent_removal_is_not_transient():
+    from repro.sim.faults import FaultPlan
+
+    assert not plan_is_transient(FaultPlan().remove_link(1.0, "a", "b"))
+    assert not plan_is_transient(FaultPlan().remove_node(1.0, "a"))
+    assert plan_is_transient(
+        FaultPlan().fail_link(1.0, "a", "b").recover_link(2.0, "a", "b")
+    )
+
+
+def test_shrink_prefers_smaller_topologies(monkeypatch):
+    """With an oracle that fails on every ring, the shrinker must walk
+    down to the smallest ring in the pool."""
+    case = ConvergenceCase("ring:10", "flapping", seed=2)
+
+    def fake_check(c, plan=None):
+        return None if c.topology.startswith("ring") else 0.5
+
+    monkeypatch.setattr(harness, "check_case", fake_check)
+    shrunk, _ = shrink_case(case)
+    assert shrunk.topology == "ring:5"
+
+
+def test_repro_line_is_copy_pastable():
+    case = ConvergenceCase("grid:2x3", "corruption", seed=77)
+    line = case.repro_line()
+    assert "grid:2x3" in line and "corruption" in line and "77" in line
+    assert eval(line, {"check_case": check_case, "ConvergenceCase": ConvergenceCase}) is not None
+
+
+def test_failing_case_reports_triple(monkeypatch, capsys):
+    """A non-convergent case must print its reproducing triple."""
+    cases = [ConvergenceCase("ring:5", "churn", seed=9)]
+    monkeypatch.setattr(harness, "generate_cases", lambda n, base_seed=0: cases)
+    monkeypatch.setattr(harness, "check_case", lambda c, plan=None: None)
+    monkeypatch.setattr(
+        harness, "shrink_case", lambda c: (c, None)
+    )
+    report = run_convergence_property(1)
+    assert not report.ok
+    out = capsys.readouterr().out
+    assert "ring:5" in out and "churn" in out and "seed=9" in out
+    assert "reproduce:" in out
+
+
+@pytest.mark.parametrize("campaign", sorted(CAMPAIGNS))
+def test_each_campaign_converges_on_a_fixed_small_case(campaign):
+    assert check_case(ConvergenceCase("grid:2x3", campaign, seed=13)) is not None

@@ -1,0 +1,34 @@
+"""Golden-series regression tests.
+
+Pin the exact repetition series of fig5 (bootstrap) and fig12 (switch
+failure) on B4 at base seed 0, so route-cache or engine refactors cannot
+silently drift regenerated results.  The values are the runner's output
+at the time this file was written; an intentional engine change that
+shifts them must update these constants *and say so in the PR*.
+"""
+
+import pytest
+
+from repro.exp.runner import run_spec
+
+#: run_spec("fig5", reps=3, networks=("B4",), base_seed=0).series
+GOLDEN_FIG5_B4 = [5.0, 4.5, 5.0]
+
+#: run_spec("fig12", reps=3, networks=("B4",), base_seed=0).series
+GOLDEN_FIG12_B4 = [2.01, 5.009999999999999, 3.509999999999999]
+
+
+def test_fig5_bootstrap_series_pinned_on_b4_seed0():
+    result = run_spec("fig5", reps=3, networks=("B4",), workers=1, base_seed=0)
+    assert result.series["B4"] == GOLDEN_FIG5_B4
+
+
+def test_fig12_switch_failure_series_pinned_on_b4_seed0():
+    result = run_spec("fig12", reps=3, networks=("B4",), workers=1, base_seed=0)
+    assert result.series["B4"] == pytest.approx(GOLDEN_FIG12_B4, abs=1e-9)
+
+
+def test_golden_series_stable_across_worker_counts():
+    """The pinned values must not depend on the executing pool size."""
+    parallel = run_spec("fig5", reps=3, networks=("B4",), workers=3, base_seed=0)
+    assert parallel.series["B4"] == GOLDEN_FIG5_B4

@@ -11,7 +11,16 @@ from repro.sim.metrics import (
     summarize,
     trimmed,
 )
-from repro.sim.faults import FaultPlan, random_link, random_switch
+from repro.sim.events import EventKind
+from repro.sim.faults import (
+    EVENT_KIND_OF_FAULT,
+    KNOWN_FAULT_KINDS,
+    FaultAction,
+    FaultInjector,
+    FaultPlan,
+    random_link,
+    random_switch,
+)
 from repro.net.topology import Topology
 
 
@@ -89,6 +98,48 @@ def test_fault_plan_fluent_builders():
         "recover_node",
         "corrupt_controller",
     ]
+
+
+def test_fault_action_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultAction(1.0, "fail_linkage", ("a", "b"))
+
+
+def test_event_kind_rejects_unknowns_instead_of_substring_matching():
+    """Regression: the old substring matcher ('fail' in kind) silently
+    classified e.g. 'prefail_link_audit' as a LINK_FAILURE event; the
+    explicit mapping must raise on anything it does not know."""
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultInjector._event_kind("prefail_link_audit")
+
+
+def test_event_kind_mapping_is_total_and_matches_legacy_classes():
+    assert set(EVENT_KIND_OF_FAULT) == KNOWN_FAULT_KINDS
+    assert FaultInjector._event_kind("fail_link") is EventKind.LINK_FAILURE
+    assert FaultInjector._event_kind("remove_link") is EventKind.LINK_FAILURE
+    assert FaultInjector._event_kind("recover_link") is EventKind.LINK_RECOVERY
+    assert FaultInjector._event_kind("fail_node") is EventKind.NODE_FAILURE
+    assert FaultInjector._event_kind("remove_node") is EventKind.NODE_FAILURE
+    assert FaultInjector._event_kind("recover_node") is EventKind.NODE_RECOVERY
+    assert FaultInjector._event_kind("add_switch") is EventKind.NODE_RECOVERY
+    assert FaultInjector._event_kind("add_controller") is EventKind.NODE_RECOVERY
+    assert FaultInjector._event_kind("corrupt_switch") is EventKind.STATE_CORRUPTION
+    assert FaultInjector._event_kind("corrupt_controller") is EventKind.STATE_CORRUPTION
+
+
+def test_fault_plan_remove_node_builder():
+    plan = FaultPlan().remove_node(2.0, "s1")
+    assert plan.actions[0].kind == "remove_node"
+    assert plan.actions[0].target == ("s1",)
+
+
+def test_fault_plan_shifted_and_last_at():
+    plan = FaultPlan().fail_link(1.0, "a", "b").recover_link(2.5, "a", "b")
+    shifted = plan.shifted(10.0)
+    assert [a.at for a in shifted.actions] == [11.0, 12.5]
+    assert [a.at for a in plan.actions] == [1.0, 2.5], "shifted must not mutate"
+    assert shifted.last_at() == 12.5
+    assert FaultPlan().last_at() == 0.0
 
 
 def ring(n=6):

@@ -1,0 +1,165 @@
+"""Tests for the composable fault-campaign generators."""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.net.topologies import attach_controllers
+from repro.scenarios.campaigns import (
+    CAMPAIGNS,
+    build_campaign,
+    compose,
+    controller_churn,
+    flapping_links,
+    poisson_churn,
+    regional_failure,
+    state_corruption,
+)
+from repro.scenarios.generators import jellyfish, ring
+from repro.sim.faults import FaultPlan
+
+
+def _topo(n=8):
+    topo = ring(n)
+    attach_controllers(topo, 2, seed=0)
+    return topo
+
+
+def test_campaigns_are_pure_functions_of_the_rng():
+    topo = _topo()
+    for name in CAMPAIGNS:
+        a = build_campaign(name, topo, random.Random(42))
+        b = build_campaign(name, topo, random.Random(42))
+        assert a.actions == b.actions, name
+        c = build_campaign(name, topo, random.Random(43))
+        assert a.actions != c.actions or not a.actions, name
+
+
+def test_every_campaign_is_transient():
+    """Each failed link/node has a recover no earlier than the fail, so
+    the operational topology at plan.last_at() equals the initial one."""
+    from repro.scenarios.harness import plan_is_transient
+
+    topo = _topo()
+    for name in CAMPAIGNS:
+        plan = build_campaign(name, topo, random.Random(7))
+        assert plan_is_transient(plan), name
+
+
+def test_campaign_actions_on_relative_clock():
+    topo = _topo()
+    for name in CAMPAIGNS:
+        plan = build_campaign(name, topo, random.Random(3))
+        assert all(a.at >= 0.0 for a in plan.actions), name
+
+
+def test_poisson_churn_respects_horizon():
+    plan = poisson_churn(_topo(), random.Random(0), horizon=6.0)
+    assert plan.last_at() <= 6.0
+    kinds = {a.kind for a in plan.actions}
+    assert kinds <= {"fail_link", "recover_link", "fail_node", "recover_node"}
+
+
+def test_regional_failure_takes_down_a_neighbourhood():
+    topo = _topo()
+    plan = regional_failure(topo, random.Random(1), radius=1, at=1.0, outage=2.0)
+    failed = {a.target[0] for a in plan.actions if a.kind == "fail_node"}
+    recovered = {a.target[0] for a in plan.actions if a.kind == "recover_node"}
+    assert failed == recovered
+    assert len(failed) >= 3  # epicenter + its ring neighbours at least
+
+
+def test_flapping_links_end_up_restored():
+    topo = _topo()
+    plan = flapping_links(topo, random.Random(2), n_links=2, cycles=3)
+    per_link = defaultdict(int)
+    for action in plan.actions:
+        per_link[action.target] += 1 if action.kind == "recover_link" else -1
+    assert all(balance == 0 for balance in per_link.values())
+
+
+def _outage_windows_disjoint(plan):
+    windows = defaultdict(list)
+    for action in plan.actions:
+        if action.kind in ("fail_link", "fail_node"):
+            windows[action.target].append([action.at, None])
+        elif action.kind in ("recover_link", "recover_node"):
+            windows[action.target][-1][1] = action.at
+    for spans in windows.values():
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            if end is None or start < end:
+                return False
+    return True
+
+
+def test_churn_outage_windows_never_overlap_per_victim():
+    """Regression: re-failing a still-down victim would let its earlier
+    pending recover revive it mid-outage, silently shortening the second
+    outage.  Both churn builders must keep per-victim windows disjoint."""
+    topo = _topo()
+    for seed in range(10):
+        assert _outage_windows_disjoint(
+            poisson_churn(topo, random.Random(seed), mtbf=0.3, mttr=1.5)
+        ), f"poisson_churn seed {seed}"
+        assert _outage_windows_disjoint(
+            controller_churn(topo, random.Random(seed), events=6, spacing=0.5)
+        ), f"controller_churn seed {seed}"
+
+
+def test_controller_churn_only_touches_controllers():
+    topo = _topo()
+    controllers = set(topo.controllers)
+    plan = controller_churn(topo, random.Random(5))
+    assert plan.actions
+    assert all(a.target[0] in controllers for a in plan.actions)
+
+
+def test_controller_churn_requires_controllers():
+    with pytest.raises(ValueError):
+        controller_churn(ring(6), random.Random(0))
+
+
+def test_state_corruption_mixes_switch_and_controller_faults():
+    topo = _topo(12)
+    plan = state_corruption(topo, random.Random(11), events=12)
+    kinds = {a.kind for a in plan.actions}
+    assert kinds <= {"corrupt_switch", "corrupt_controller"}
+    assert len(plan.actions) == 12
+
+
+def test_compose_merges_and_orders_by_time():
+    topo = _topo()
+    a = FaultPlan().fail_link(2.0, "r0", "r1").recover_link(3.0, "r0", "r1")
+    b = FaultPlan().fail_node(1.0, "r2").recover_node(2.5, "r2")
+    merged = compose(a, b)
+    assert [x.at for x in merged.actions] == [1.0, 2.0, 2.5, 3.0]
+    assert len(merged.actions) == 4
+
+
+def test_compose_handles_same_instant_unorderable_targets():
+    """Regression: corruption targets carry Rule payloads that do not
+    support '<'; composing same-instant corruptions must not try to order
+    them by target."""
+    from repro.switch.flow_table import Rule
+
+    r1 = Rule(cid="c0", sid="r0", src="c0", dst="d0", priority=1, forward_to="r1")
+    r2 = Rule(cid="c1", sid="r0", src="c1", dst="d1", priority=1, forward_to="r5")
+    a = FaultPlan().corrupt_switch(1.0, "r0", rules=(r1,))
+    b = FaultPlan().corrupt_switch(1.0, "r0", rules=(r2,))
+    merged = compose(a, b)
+    assert [x.target[1] for x in merged.actions] == [(r1,), (r2,)]
+
+
+def test_build_campaign_unknown_name():
+    with pytest.raises(ValueError):
+        build_campaign("tsunami", _topo(), random.Random(0))
+
+
+def test_campaigns_work_on_every_generator_family():
+    topo = jellyfish(10, 3, seed=0)
+    attach_controllers(topo, 2, seed=0)
+    for name in CAMPAIGNS:
+        plan = build_campaign(name, topo, random.Random(9))
+        assert isinstance(plan, FaultPlan)

@@ -1,0 +1,192 @@
+"""Tests for the parametric scenario topology generators."""
+
+import pytest
+
+from repro.net.topology import Topology
+from repro.scenarios.generators import (
+    GENERATORS,
+    fat_tree,
+    grid2d,
+    harary,
+    jellyfish,
+    parse_topology,
+    ring,
+)
+
+
+# -- bridge detection (the net-layer primitive the generators rely on) -------
+
+
+def _path(n):
+    topo = Topology()
+    names = [f"p{i}" for i in range(n)]
+    for name in names:
+        topo.add_switch(name)
+    for a, b in zip(names, names[1:]):
+        topo.add_link(a, b)
+    return topo, names
+
+
+def test_bridges_on_path_graph():
+    topo, names = _path(4)
+    assert topo.bridges() == [tuple(sorted(e)) for e in zip(names, names[1:])]
+    assert not topo.two_edge_connected()
+
+
+def test_bridges_on_cycle_is_empty():
+    topo = ring(6)
+    assert topo.bridges() == []
+    assert topo.two_edge_connected()
+
+
+def test_bridge_between_two_cycles():
+    """Two triangles joined by one edge: exactly that edge is a bridge."""
+    topo = Topology()
+    for name in ["a0", "a1", "a2", "b0", "b1", "b2"]:
+        topo.add_switch(name)
+    for u, v in [("a0", "a1"), ("a1", "a2"), ("a2", "a0"),
+                 ("b0", "b1"), ("b1", "b2"), ("b2", "b0")]:
+        topo.add_link(u, v)
+    topo.add_link("a0", "b0")
+    assert topo.bridges() == [("a0", "b0")]
+    assert not topo.two_edge_connected()
+
+
+def test_bridges_agree_with_edge_connectivity():
+    for builder in (lambda: ring(7), lambda: grid2d(3, 3), lambda: fat_tree(4)):
+        topo = builder()
+        assert topo.two_edge_connected() == (topo.edge_connectivity() >= 2)
+
+
+def test_two_edge_connected_needs_two_nodes():
+    topo = Topology()
+    topo.add_switch("only")
+    assert not topo.two_edge_connected()
+
+
+# -- generator node counts and 2-edge-connectivity ---------------------------
+
+
+@pytest.mark.parametrize("k,expected", [(4, 20), (6, 45)])
+def test_fat_tree_node_count_and_resilience(k, expected):
+    topo = fat_tree(k)
+    assert len(topo.switches) == expected  # 5k²/4
+    assert topo.two_edge_connected()
+
+
+def test_fat_tree_rejects_odd_or_small_arity():
+    with pytest.raises(ValueError):
+        fat_tree(3)
+    with pytest.raises(ValueError):
+        fat_tree(2)
+
+
+@pytest.mark.parametrize("n,degree", [(8, 3), (20, 3), (15, 4)])
+def test_jellyfish_node_count_degree_and_resilience(n, degree):
+    topo = jellyfish(n, degree, seed=0)
+    assert len(topo.switches) == n
+    assert all(topo.degree(s) == degree for s in topo.switches)
+    assert topo.two_edge_connected()
+
+
+def test_jellyfish_deterministic_in_seed():
+    assert jellyfish(12, 3, seed=5).links == jellyfish(12, 3, seed=5).links
+    assert jellyfish(12, 3, seed=5).links != jellyfish(12, 3, seed=6).links
+
+
+def test_jellyfish_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        jellyfish(9, 3)  # odd stub count
+    with pytest.raises(ValueError):
+        jellyfish(3, 3)  # n <= degree
+    with pytest.raises(ValueError):
+        jellyfish(10, 2)  # degree < 3
+
+
+@pytest.mark.parametrize("n", [3, 6, 16])
+def test_ring_node_count_and_resilience(n):
+    topo = ring(n)
+    assert len(topo.switches) == n
+    assert len(topo.links) == n
+    assert topo.two_edge_connected()
+
+
+def test_ring_rejects_tiny():
+    with pytest.raises(ValueError):
+        ring(2)
+
+
+@pytest.mark.parametrize("rows,cols", [(2, 2), (3, 4), (5, 2)])
+def test_grid_node_count_and_resilience(rows, cols):
+    topo = grid2d(rows, cols)
+    assert len(topo.switches) == rows * cols
+    assert topo.two_edge_connected()
+
+
+def test_grid_rejects_one_dimensional():
+    with pytest.raises(ValueError):
+        grid2d(1, 5)
+
+
+# -- spec parsing ------------------------------------------------------------
+
+
+def test_parse_topology_parametric_forms():
+    assert len(parse_topology("fattree:4").switches) == 20
+    assert len(parse_topology("fat-tree:4").switches) == 20
+    assert len(parse_topology("jellyfish:20").switches) == 20
+    assert len(parse_topology("jellyfish:20x4").switches) == 20
+    assert len(parse_topology("ring:16").switches) == 16
+    assert len(parse_topology("grid:4x5").switches) == 20
+
+
+def test_parse_topology_table8_names():
+    assert len(parse_topology("B4").switches) == 12
+    assert len(parse_topology("Clos").switches) == 20
+
+
+def test_parse_topology_seed_only_affects_randomized_families():
+    assert parse_topology("ring:8", seed=0).links == parse_topology("ring:8", seed=9).links
+    assert (
+        parse_topology("jellyfish:12", seed=0).links
+        != parse_topology("jellyfish:12", seed=9).links
+    )
+
+
+@pytest.mark.parametrize("bad", ["nope", "jellyfish", "ring:x", "grid:4", "fattree:4x4"])
+def test_parse_topology_rejects_malformed_specs(bad):
+    with pytest.raises(ValueError):
+        parse_topology(bad)
+
+
+def test_generator_registry_covers_all_families():
+    assert set(GENERATORS) == {"fattree", "jellyfish", "ring", "grid", "harary"}
+
+
+def test_parse_topology_dispatches_through_the_registry():
+    """Regression: parse_topology must resolve families via GENERATORS,
+    not a hardcoded chain, so new registrations are picked up (and a
+    family missing from the table errors instead of falling through)."""
+    from repro.scenarios import generators as g
+
+    marker = g.ring(5)
+    g.GENERATORS["probe"] = (lambda arg, seed: marker, "probe:X")
+    try:
+        assert g.parse_topology("probe:anything") is marker
+    finally:
+        del g.GENERATORS["probe"]
+
+
+@pytest.mark.parametrize("n,k", [(6, 2), (10, 3), (12, 4)])
+def test_harary_node_count_and_resilience(n, k):
+    topo = harary(n, k, seed=0)
+    assert len(topo.switches) == n
+    assert topo.two_edge_connected()
+    assert topo.edge_connectivity() >= min(k, 2)
+
+
+def test_parse_harary_spec():
+    topo = parse_topology("harary:10x3", seed=2)
+    assert len(topo.switches) == 10
+    with pytest.raises(ValueError):
+        parse_topology("harary:10")  # needs NxK
