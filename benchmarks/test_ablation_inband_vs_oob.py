@@ -7,13 +7,12 @@ hybrid extension's dedicated management network, where every node is one
 management hop away from every controller.
 """
 
-from repro import build_network, NetworkSimulation, SimulationConfig
+from repro.api import build_simulation
 
 
 def bootstrap(out_of_band: bool) -> float:
-    topo = build_network("Telstra", n_controllers=3, seed=5)
-    sim = NetworkSimulation(
-        topo, SimulationConfig(seed=5, theta=30, out_of_band=out_of_band)
+    sim = build_simulation(
+        "Telstra", controllers=3, seed=5, theta=30, out_of_band=out_of_band
     )
     t = sim.run_until_legitimate(timeout=240.0)
     assert t is not None

@@ -8,15 +8,14 @@ The paper's claim: both recover; the non-adaptive variant's bound is
 corruption patterns) both re-stabilize within a few rounds.
 """
 
-from repro import build_network, NetworkSimulation, SimulationConfig, FaultPlan
+from repro import FaultPlan
+from repro.api import build_simulation
 from repro.core.variants import NonAdaptiveController
 
 
 def corrupt_and_recover(factory) -> float:
-    topo = build_network("B4", n_controllers=2, seed=13)
-    sim = NetworkSimulation(
-        topo, SimulationConfig(seed=13, controller_factory=factory)
-    )
+    sim = build_simulation("B4", controllers=2, seed=13, controller_factory=factory)
+    topo = sim.topology
     t0 = sim.run_until_legitimate(timeout=120.0)
     assert t0 is not None
     # Wipe every switch configuration (ghost-rule cleanup is covered by

@@ -9,20 +9,17 @@ by eviction, never actively removed.
 
 import pytest
 
-from repro import build_network, NetworkSimulation, SimulationConfig
+from repro.api import build_simulation
 from repro.core.variants import NonAdaptiveController
 from repro.sim.faults import FaultPlan
 
 
 def run_variant(factory=None):
-    topo = build_network("B4", n_controllers=3, seed=7)
-    sim = NetworkSimulation(
-        topo, SimulationConfig(seed=7, controller_factory=factory)
-    )
+    sim = build_simulation("B4", controllers=3, seed=7, controller_factory=factory)
     t = sim.run_until_legitimate(timeout=120.0)
     assert t is not None
     # Kill one controller and let the survivors settle again.
-    victim = topo.controllers[0]
+    victim = sim.topology.controllers[0]
     sim.inject(FaultPlan().fail_node(sim.sim.now + 0.1, victim))
     sim.run_for(30.0)
     stale_rules = sum(

@@ -6,59 +6,63 @@ other — a controller fail-stop, a permanent link failure, and a permanent
 switch failure, measuring the re-convergence time after each (the paper's
 O(D) recovery claims, Lemmas 7 and 8).
 
+The whole protocol is one phased :class:`~repro.api.plan.RunPlan`: each
+fault is an ``InjectFaults``/``AwaitLegitimacy`` pair, a ``RunObserver``
+narrates phases as they complete, and the resulting ``RunResult`` carries
+every phase's measurement.
+
 Run:  python examples/failure_recovery.py
 """
 
-import random
-
-from repro import build_network, NetworkSimulation, SimulationConfig, FaultPlan
-from repro.sim.faults import FaultAction, random_link
+from repro.api import AwaitLegitimacy, Bootstrap, InjectFaults, RunObserver, RunPlan
+from repro.sim.faults import FaultPlan, random_link, removable_switch
 
 
-def recover(sim: NetworkSimulation, what: str, plan: FaultPlan) -> None:
-    fault_at = max(action.at for action in plan.actions)
-    sim.inject(plan)
-    sim.run_for(max(0.0, fault_at - sim.sim.now) + 0.01)
-    t = sim.run_until_legitimate(timeout=240.0)
-    if t is None:
-        print(f"  {what}: did NOT re-converge (unexpected)")
-        return
-    print(f"  {what}: recovered in {t - fault_at:.1f} s")
+class Narrator(RunObserver):
+    """Print each phase's outcome the moment it finishes."""
+
+    def on_phase_end(self, result) -> None:
+        if result.phase == "bootstrap":
+            print(f"bootstrap: {result.value:.1f} s" if result.ok
+                  else "bootstrap timed out")
+        elif result.phase == "await_legitimacy":
+            print(f"  recovered in {result.value:.1f} s" if result.ok
+                  else "  did NOT re-converge (unexpected)")
+
+
+def fail_controller(sim, rng) -> FaultPlan:
+    victim = rng.choice(sim.topology.controllers)
+    print(f"\nfailing controller {victim} ...")
+    return FaultPlan().fail_node(sim.sim.now + 0.1, victim)
+
+
+def remove_link(sim, rng) -> FaultPlan:
+    u, v = random_link(sim.topology, rng)
+    print(f"\nremoving link {u} - {v} ...")
+    return FaultPlan().remove_link(sim.sim.now + 0.1, u, v)
+
+
+def remove_switch(sim, rng) -> FaultPlan:
+    victim = removable_switch(sim.topology)
+    print(f"\nremoving switch {victim} ...")
+    return FaultPlan().remove_node(sim.sim.now + 0.1, victim)
 
 
 def main() -> None:
-    topology = build_network("Telstra", n_controllers=3, seed=7)
-    sim = NetworkSimulation(topology, SimulationConfig(seed=7, theta=30))
-    t0 = sim.run_until_legitimate(timeout=240.0)
-    print(f"bootstrap: {t0:.1f} s  (diameter {topology.diameter()})")
-    rng = random.Random(7)
+    plan = (
+        RunPlan("Telstra", controllers=3, seed=7)
+        .then(Bootstrap(timeout=240.0))
+        .then(InjectFaults(builder=fail_controller), AwaitLegitimacy(timeout=240.0))
+        .then(InjectFaults(builder=remove_link), AwaitLegitimacy(timeout=240.0))
+        .then(InjectFaults(builder=remove_switch), AwaitLegitimacy(timeout=240.0))
+    )
+    session = plan.session()
+    print(f"network diameter: {session.sim.topology.diameter()}")
+    result = session.run(observer=Narrator())
 
-    # 1. controller fail-stop: survivors must clean up its rules/managers.
-    victim_ctrl = rng.choice(topology.controllers)
-    print(f"\nfailing controller {victim_ctrl} ...")
-    recover(sim, "controller fail-stop", FaultPlan().fail_node(sim.sim.now + 0.1, victim_ctrl))
-    stale = sum(len(sw.table.rules_of(victim_ctrl)) for sw in sim.switches.values())
-    print(f"  stale rules of {victim_ctrl} remaining: {stale}")
-
-    # 2. permanent link failure: flows reroute, then new primaries install.
-    u, v = random_link(sim.topology, rng)
-    print(f"\nremoving link {u} - {v} ...")
-    recover(sim, "permanent link failure", FaultPlan().remove_link(sim.sim.now + 0.1, u, v))
-
-    # 3. permanent switch failure.
-    for victim_switch in sim.topology.switches:
-        probe = sim.topology.copy()
-        probe.remove_node(victim_switch)
-        if probe.connected():
-            break
-    print(f"\nremoving switch {victim_switch} ...")
-    plan = FaultPlan()
-    plan.actions.append(FaultAction(sim.sim.now + 0.1, "remove_node", (victim_switch,)))
-    recover(sim, "permanent switch failure", plan)
-
-    print(f"\nfinal state legitimate: {sim.is_legitimate()}")
+    print(f"\nfinal state legitimate: {session.sim.is_legitimate()}")
     print(f"illegitimate deletions over the whole run: "
-          f"{sim.metrics.illegitimate_deletions}")
+          f"{result.metrics['illegitimate_deletions']}")
 
 
 if __name__ == "__main__":

@@ -10,26 +10,27 @@ controller's discovery progress over time.
 Run:  python examples/inband_vs_outofband.py
 """
 
-from repro import build_network, NetworkSimulation, SimulationConfig
+from repro.api import Bootstrap, RunFor, RunPlan
 from repro.sim.timeline import ConvergenceTimeline
 
 
 def race(out_of_band: bool) -> None:
     label = "out-of-band (dedicated mgmt network)" if out_of_band else "in-band"
-    topology = build_network("Telstra", n_controllers=3, seed=21)
-    sim = NetworkSimulation(
-        topology, SimulationConfig(seed=21, theta=30, out_of_band=out_of_band)
+    session = (
+        RunPlan("Telstra", controllers=3, seed=21)
+        .configure(out_of_band=out_of_band)
+        .then(Bootstrap(timeout=240.0), RunFor(1.0))  # one sample past convergence
+        .session()
     )
-    timeline = ConvergenceTimeline(sim, interval=0.5)
+    timeline = ConvergenceTimeline(session.sim, interval=0.5)
     timeline.attach()
-    t = sim.run_until_legitimate(timeout=240.0)
-    sim.run_for(1.0)  # one more sample past convergence
+    result = session.run()
     print(f"\n== {label} ==")
     print("discovery progress (one column per 0.5 s; '#' = full view):")
     print(timeline.render(width=60))
-    print(f"bootstrap time: {t:.1f} s, "
+    print(f"bootstrap time: {result.bootstrap_time:.1f} s, "
           f"control messages (hop-level): "
-          f"{sum(l.link_transmissions for l in sim.metrics.loads.values())}")
+          f"{sum(l.link_transmissions for l in session.sim.metrics.loads.values())}")
 
 
 def main() -> None:

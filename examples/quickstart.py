@@ -7,38 +7,46 @@ plane discover the network, install κ-fault-resilient flows, and reach a
 legitimate state (Definition 1 of the paper) — all over in-band channels
 routed through the switches' own rule tables.
 
+Everything goes through the public facade (``repro.api``): the same ten
+lines work for any topology spec — swap ``"B4"`` for ``"jellyfish:20x4"``
+or ``"ring:16"`` and nothing else changes.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import build_network, NetworkSimulation, SimulationConfig
+from repro.api import Bootstrap, RunPlan
 
 
 def main() -> None:
-    topology = build_network("B4", n_controllers=3, seed=42)
+    plan = RunPlan("B4", controllers=3, seed=42).then(Bootstrap(timeout=120.0))
+    session = plan.session()
+    topology = session.sim.topology
     print(f"network: {len(topology.switches)} switches, "
           f"{len(topology.controllers)} controllers, "
           f"diameter {topology.diameter()}, "
           f"edge connectivity {topology.edge_connectivity()}")
 
-    sim = NetworkSimulation(topology, SimulationConfig(seed=42))
-    converged_at = sim.run_until_legitimate(timeout=120.0)
-    if converged_at is None:
+    result = session.run()
+    if result.bootstrap_time is None:
         raise SystemExit("bootstrap did not converge (unexpected)")
 
-    print(f"\nbootstrapped in {converged_at:.1f} simulated seconds")
-    print(f"rules installed across the network: {sim.total_rules_installed()}")
-    print(f"C-resets: {sim.metrics.c_resets}, "
-          f"illegitimate deletions: {sim.metrics.illegitimate_deletions}")
+    print(f"\nbootstrapped in {result.bootstrap_time:.1f} simulated seconds")
+    print(f"rules installed across the network: {result.metrics['rules_installed']}")
+    print(f"C-resets: {result.metrics['c_resets']}, "
+          f"illegitimate deletions: {result.metrics['illegitimate_deletions']}")
 
     print("\nper-switch state:")
     for sid in topology.switches[:5]:
-        switch = sim.switches[sid]
+        switch = session.sim.switches[sid]
         print(f"  {sid}: {len(switch.table)} rules, "
               f"managers = {switch.managers.members()}")
     print("  ...")
 
-    full = sim.is_legitimate(full=True)
+    full = session.sim.is_legitimate(full=True)
     print(f"\nκ=1-fault-resilient everywhere (exhaustive check): {full}")
+
+    print("\nthe whole run, as a serializable record:")
+    print(result.to_json(indent=2))
 
 
 if __name__ == "__main__":

@@ -9,20 +9,16 @@ converges back to a legitimate state without any external help.
 Run:  python examples/self_stabilization.py
 """
 
-from repro import build_network, NetworkSimulation, SimulationConfig, FaultPlan
+from repro.api import AwaitLegitimacy, Bootstrap, InjectFaults, RunPlan
+from repro.sim.faults import FaultPlan
 from repro.switch.flow_table import Rule
 
 
-def main() -> None:
-    topology = build_network("Clos", n_controllers=2, seed=11)
-    sim = NetworkSimulation(topology, SimulationConfig(seed=11))
-    t0 = sim.run_until_legitimate(timeout=120.0)
-    print(f"bootstrap: {t0:.1f} s")
-
-    # Transient fault: corrupt every switch.  Odd switches get garbage
-    # rules and a ghost manager; even switches are wiped entirely.
+def corrupt_everything(sim, rng) -> FaultPlan:
+    """Transient fault: corrupt every switch.  Odd switches get garbage
+    rules and a ghost manager; even switches are wiped entirely."""
     plan = FaultPlan()
-    for i, sid in enumerate(topology.switches):
+    for i, sid in enumerate(sim.topology.switches):
         if i % 2 == 0:
             plan.corrupt_switch(sim.sim.now + 0.1, sid, clear_first=True)
         else:
@@ -32,19 +28,29 @@ def main() -> None:
                 src="ghost-controller",
                 dst="nowhere",
                 priority=3,
-                forward_to=topology.neighbors(sid)[0],
+                forward_to=sim.topology.neighbors(sid)[0],
             )
             plan.corrupt_switch(
                 sim.sim.now + 0.1, sid, rules=(garbage,), managers=("ghost-controller",)
             )
-    sim.inject(plan)
-    sim.run_for(0.2)
-    print("corrupted every switch (wiped half, planted ghosts in the rest)")
-    print(f"legitimate right after the fault: {sim.is_legitimate()}")
+    return plan
 
-    t1 = sim.run_until_legitimate(timeout=240.0)
-    fault_at = sim.metrics.fault_time
-    print(f"\nre-stabilized {t1 - fault_at:.1f} s after the transient fault")
+
+def main() -> None:
+    session = (
+        RunPlan("Clos", controllers=2, seed=11)
+        .then(
+            Bootstrap(timeout=120.0),
+            InjectFaults(builder=corrupt_everything, settle=0.1),
+            AwaitLegitimacy(timeout=240.0),
+        )
+        .session()
+    )
+    sim = session.sim
+    result = session.run()
+    print(f"bootstrap: {result.bootstrap_time:.1f} s")
+    print("corrupted every switch (wiped half, planted ghosts in the rest)")
+    print(f"\nre-stabilized {result.recovery_time:.1f} s after the transient fault")
 
     ghosts = sum(
         len(sw.table.rules_of("ghost-controller")) for sw in sim.switches.values()

@@ -18,16 +18,18 @@ Public API overview
   paper's Mininet/OVS/Floodlight testbed.
 * :mod:`repro.transport` — TCP Reno data-plane model for the throughput
   experiments (Figures 15–20).
+* :mod:`repro.api` — **the unified run facade**: topology resolution for
+  named and generated networks, builder-style phased run plans, and
+  JSON-serializable results.  Experiments, scenarios, and the CLI all
+  construct their simulations through it.
 * :mod:`repro.analysis` — one experiment function per paper figure/table.
 
 Quickstart::
 
-    from repro import build_network, NetworkSimulation, SimulationConfig
+    from repro.api import Bootstrap, RunPlan
 
-    topology = build_network("B4", n_controllers=3, seed=1)
-    sim = NetworkSimulation(topology, SimulationConfig(seed=1))
-    t = sim.run_until_legitimate(timeout=120.0)
-    print(f"bootstrapped in {t:.1f} simulated seconds")
+    result = RunPlan("B4", controllers=3, seed=1).then(Bootstrap()).run()
+    print(f"bootstrapped in {result.bootstrap_time:.1f} simulated seconds")
 """
 
 from repro.net import (
@@ -44,8 +46,19 @@ from repro.core import (
     LegitimacyChecker,
 )
 from repro.sim import NetworkSimulation, SimulationConfig, FaultPlan
+from repro.api import (
+    AwaitLegitimacy,
+    Bootstrap,
+    InjectFaults,
+    RunFor,
+    RunObserver,
+    RunPlan,
+    RunResult,
+    build_simulation,
+    resolve_topology,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
 def build_network(name: str, n_controllers: int = 3, seed: int = 0) -> Topology:
@@ -80,5 +93,14 @@ __all__ = [
     "NetworkSimulation",
     "SimulationConfig",
     "FaultPlan",
+    "AwaitLegitimacy",
+    "Bootstrap",
+    "InjectFaults",
+    "RunFor",
+    "RunObserver",
+    "RunPlan",
+    "RunResult",
+    "build_simulation",
+    "resolve_topology",
     "__version__",
 ]

@@ -1,0 +1,67 @@
+"""``repro.api`` — the unified public run API.
+
+One facade over the whole reproduction: resolve a topology (named Table-8
+network or generated spec string), describe a run as a
+:class:`~repro.api.plan.RunPlan` of first-class phases, execute it, and
+get back a typed, JSON-round-trippable
+:class:`~repro.api.results.RunResult`.  The figure experiments
+(:mod:`repro.exp`), the scenario campaigns (:mod:`repro.scenarios`), and
+every CLI command construct their simulations exclusively through this
+package.
+
+Quickstart::
+
+    from repro.api import RunPlan, Bootstrap
+
+    result = RunPlan("jellyfish:20x4", controllers=3, seed=0).then(Bootstrap()).run()
+    print(result.bootstrap_time)
+    print(result.to_json(indent=2))
+"""
+
+from repro.api.phases import (
+    AwaitLegitimacy,
+    Bootstrap,
+    FaultBuilder,
+    InjectFaults,
+    Phase,
+    RunFor,
+)
+from repro.api.plan import RunObserver, RunPlan, RunSession, build_simulation
+from repro.api.results import PhaseResult, RunResult
+from repro.api.topology import (
+    PLACEMENTS,
+    THETA,
+    TIMEOUT,
+    PlacementStrategy,
+    default_theta,
+    default_timeout,
+    place_controllers,
+    resolve_topology,
+    topology_spec_syntaxes,
+    validate_topology_spec,
+)
+
+__all__ = [
+    "AwaitLegitimacy",
+    "Bootstrap",
+    "FaultBuilder",
+    "InjectFaults",
+    "PLACEMENTS",
+    "Phase",
+    "PhaseResult",
+    "PlacementStrategy",
+    "RunFor",
+    "RunObserver",
+    "RunPlan",
+    "RunResult",
+    "RunSession",
+    "THETA",
+    "TIMEOUT",
+    "build_simulation",
+    "default_theta",
+    "default_timeout",
+    "place_controllers",
+    "resolve_topology",
+    "topology_spec_syntaxes",
+    "validate_topology_spec",
+]

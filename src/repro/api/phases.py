@@ -1,0 +1,221 @@
+"""First-class run phases: the paper's evaluation protocol as objects.
+
+Every measurement in the repository is a sequence of the same few steps —
+bootstrap to a legitimate configuration, inject faults, let the clock run,
+measure re-convergence.  Each step is a :class:`Phase`: a declarative,
+reusable object executed by a :class:`~repro.api.plan.RunSession`, which
+replaces the hand-rolled loops previously duplicated across
+``exp/spec.py``, ``scenarios/spec.py``, and ``cli.py``.
+
+A phase's :meth:`~Phase.execute` receives the session, advances the
+simulation, and returns a :class:`~repro.api.results.PhaseResult`.  Fault
+timing state (the instant of the last injected fault) flows between
+phases through the session, so an ``InjectFaults``/``AwaitLegitimacy``
+pair measures recovery exactly the way the paper's protocol defines it:
+seconds from the final fault action back to legitimacy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.api.results import PhaseResult
+from repro.api.topology import default_timeout
+from repro.sim.faults import FaultPlan
+
+#: A fault-plan builder: called with the live simulation and the
+#: repetition's fault randomness stream once the network is bootstrapped.
+FaultBuilder = Callable[["object", random.Random], FaultPlan]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """Base class; concrete phases override ``name`` and ``execute``."""
+
+    name = "phase"
+
+    def execute(self, session) -> PhaseResult:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Bootstrap(Phase):
+    """Run until Definition 1 holds; the value is the convergence time.
+
+    ``timeout`` defaults to the per-network table of
+    :mod:`repro.api.topology`.  ``full`` requests the exhaustive
+    κ-resilience check instead of the sampled one.
+    """
+
+    timeout: Optional[float] = None
+    full: bool = False
+
+    name = "bootstrap"
+
+    def execute(self, session) -> PhaseResult:
+        timeout = (
+            self.timeout
+            if self.timeout is not None
+            else default_timeout(session.topology_spec)
+        )
+        sim = session.sim
+        t_start = sim.sim.now
+        t = sim.run_until_legitimate(timeout=timeout, full=self.full)
+        return PhaseResult(
+            phase=self.name,
+            ok=t is not None,
+            t_start=t_start,
+            t_end=sim.sim.now,
+            value=t,
+            details={"timeout": timeout},
+        )
+
+
+@dataclass(frozen=True)
+class RunFor(Phase):
+    """Advance the simulation clock by a fixed duration."""
+
+    duration: float = 1.0
+
+    name = "run_for"
+
+    def execute(self, session) -> PhaseResult:
+        sim = session.sim
+        t_start = sim.sim.now
+        sim.run_for(self.duration)
+        return PhaseResult(
+            phase=self.name,
+            ok=True,
+            t_start=t_start,
+            t_end=sim.sim.now,
+            value=self.duration,
+        )
+
+
+@dataclass(frozen=True)
+class InjectFaults(Phase):
+    """Inject a fault plan and run just past its final action.
+
+    Exactly one of ``plan`` (a prebuilt :class:`FaultPlan`) and
+    ``builder`` (called with ``(sim, rng)``, where ``rng`` is the
+    repetition's decorrelated fault stream) must be given.  With
+    ``relative=True`` the plan is interpreted on a relative clock and
+    shifted to the current simulation time — the convention fault
+    campaigns use.  After injection the clock advances to ``settle``
+    seconds past the last action, so a following
+    :class:`AwaitLegitimacy` measures from the fault, not before it.
+    """
+
+    plan: Optional[FaultPlan] = None
+    builder: Optional[FaultBuilder] = field(default=None, compare=False)
+    settle: float = 0.01
+    relative: bool = False
+
+    name = "inject_faults"
+
+    def execute(self, session) -> PhaseResult:
+        if (self.plan is None) == (self.builder is None):
+            raise ValueError("InjectFaults needs exactly one of plan and builder")
+        sim = session.sim
+        t_start = sim.sim.now
+        plan = self.plan
+        if plan is None:
+            plan = self.builder(sim, session.fault_stream)
+        if self.relative:
+            plan = plan.shifted(sim.sim.now)
+        if not plan.actions:
+            # Nothing to inject: the network is already (still) legitimate,
+            # so a following AwaitLegitimacy reports zero recovery.
+            session.fault_at = None
+            session.trivial_recovery = True
+            return PhaseResult(
+                phase=self.name,
+                ok=True,
+                t_start=t_start,
+                t_end=sim.sim.now,
+                details={"n_actions": 0},
+            )
+        session.trivial_recovery = False
+        sim.inject(plan)
+        fault_at = plan.last_at()
+        sim.run_for(max(0.0, fault_at - sim.sim.now) + self.settle)
+        session.fault_at = fault_at
+        return PhaseResult(
+            phase=self.name,
+            ok=True,
+            t_start=t_start,
+            t_end=sim.sim.now,
+            value=fault_at,
+            details={
+                "n_actions": len(plan.actions),
+                "kinds": sorted({a.kind for a in plan.actions}),
+            },
+        )
+
+
+@dataclass(frozen=True)
+class AwaitLegitimacy(Phase):
+    """Run until legitimacy returns; the value is the recovery time.
+
+    Measures seconds from the last injected fault (the session's
+    ``fault_at``) to re-convergence; when no fault was injected the value
+    is the absolute convergence time.  ``clamp_zero`` floors the
+    measurement at zero (fault campaigns use it).  Fails — ``ok=False``,
+    aborting subsequent phases — if the timeout elapses first.
+    """
+
+    timeout: Optional[float] = None
+    clamp_zero: bool = False
+    full: bool = False
+
+    name = "await_legitimacy"
+
+    def execute(self, session) -> PhaseResult:
+        sim = session.sim
+        t_start = sim.sim.now
+        if session.trivial_recovery:
+            return PhaseResult(
+                phase=self.name,
+                ok=True,
+                t_start=t_start,
+                t_end=t_start,
+                value=0.0,
+                details={"trivial": True},
+            )
+        timeout = (
+            self.timeout
+            if self.timeout is not None
+            else default_timeout(session.topology_spec)
+        )
+        t = sim.run_until_legitimate(timeout=timeout, full=self.full)
+        if t is None:
+            return PhaseResult(
+                phase=self.name,
+                ok=False,
+                t_start=t_start,
+                t_end=sim.sim.now,
+                details={"timeout": timeout},
+            )
+        value = t if session.fault_at is None else t - session.fault_at
+        if self.clamp_zero:
+            value = max(0.0, value)
+        return PhaseResult(
+            phase=self.name,
+            ok=True,
+            t_start=t_start,
+            t_end=sim.sim.now,
+            value=value,
+            details={"timeout": timeout, "converged_at": t},
+        )
+
+
+__all__ = [
+    "AwaitLegitimacy",
+    "Bootstrap",
+    "FaultBuilder",
+    "InjectFaults",
+    "Phase",
+    "RunFor",
+]

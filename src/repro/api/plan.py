@@ -1,0 +1,256 @@
+"""Builder-style run plans and their executing sessions.
+
+:class:`RunPlan` is the repository's single way to describe a simulation
+run: a topology spec (named or generated), a controller count and
+placement strategy, :class:`~repro.sim.network_sim.SimulationConfig`
+overrides, a seed, and an ordered list of
+:class:`~repro.api.phases.Phase` objects::
+
+    result = (
+        RunPlan("Telstra", controllers=3, seed=7)
+        .configure(task_delay=0.5)
+        .then(Bootstrap(), InjectFaults(builder=one_link_fault), AwaitLegitimacy())
+        .run()
+    )
+
+:meth:`RunPlan.run` executes the phases in order — aborting the remainder
+after the first failure — and returns a serializable
+:class:`~repro.api.results.RunResult`.  :meth:`RunPlan.session` exposes
+the underlying :class:`~repro.sim.network_sim.NetworkSimulation` for
+callers that need live access (timelines, custom instrumentation).
+
+Observation is push-based: a :class:`RunObserver` passed to ``run`` is
+threaded into the simulation's :class:`~repro.sim.metrics.MetricsRecorder`
+(``on_event``) and notified after every phase (``on_phase_end``), so
+instrumentation no longer requires editing ``NetworkSimulation``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.api.phases import Phase
+from repro.api.results import PhaseResult, RunResult
+from repro.api.topology import TopologyLike, default_theta, resolve_topology
+from repro.net.topology import Topology
+from repro.sim.network_sim import NetworkSimulation, SimulationConfig
+
+
+class RunObserver:
+    """Override either hook; the defaults are no-ops.
+
+    ``on_event`` receives every milestone the simulation records through
+    its :class:`~repro.sim.metrics.MetricsRecorder` (fault executions,
+    convergence, custom marks); ``on_phase_end`` fires after each phase
+    with its :class:`PhaseResult`.
+    """
+
+    def on_event(self, time: float, name: str, value: object = None) -> None:
+        """Called for every metrics event, on the simulation clock."""
+
+    def on_phase_end(self, result: PhaseResult) -> None:
+        """Called after each executed (or skipped) phase."""
+
+
+#: SimulationConfig fields with JSON-representable values, snapshotted
+#: into RunResult.config (injected objects — rng, fault models, controller
+#: factories — are deliberately left out).
+_CONFIG_SCALARS = (
+    "kappa",
+    "task_delay",
+    "discovery_delay",
+    "link_latency",
+    "theta",
+    "seed",
+    "packet_ttl",
+    "convergence_interval",
+    "out_of_band",
+    "reliable_channels",
+    "route_cache",
+)
+
+
+def _config_snapshot(config: SimulationConfig) -> Dict[str, Any]:
+    return {name: getattr(config, name) for name in _CONFIG_SCALARS}
+
+
+def _metrics_snapshot(sim: NetworkSimulation) -> Dict[str, Any]:
+    """JSON-safe end-of-run snapshot of everything the figures report."""
+    metrics = sim.metrics
+    iterations = sim.controller_iterations()
+    n_nodes = len(sim.topology.nodes)
+    return {
+        "c_resets": metrics.c_resets,
+        "illegitimate_deletions": metrics.illegitimate_deletions,
+        "dropped_control_packets": metrics.dropped_control_packets,
+        "rules_installed": sim.total_rules_installed(),
+        "n_nodes": n_nodes,
+        "controller_iterations": dict(iterations),
+        "max_load_per_node_per_iteration": metrics.max_load_per_node_per_iteration(
+            iterations, n_nodes
+        ),
+        "convergence_time": metrics.convergence_time,
+        "last_convergence_time": metrics.last_convergence_time,
+        "fault_time": metrics.fault_time,
+        "recovery_time": metrics.recovery_time,
+    }
+
+
+class RunPlan:
+    """Declarative description of one phased simulation run."""
+
+    def __init__(
+        self,
+        topology: TopologyLike,
+        controllers: int = 3,
+        placement: str = "dual_homed",
+        seed: int = 0,
+    ) -> None:
+        self._topology = topology
+        self._controllers = controllers
+        self._placement = placement
+        self._seed = seed
+        self._overrides: Dict[str, Any] = {}
+        self._phases: List[Phase] = []
+
+    # -- builder steps ----------------------------------------------------
+
+    def with_controllers(self, count: int, placement: Optional[str] = None) -> "RunPlan":
+        self._controllers = count
+        if placement is not None:
+            self._placement = placement
+        return self
+
+    def with_seed(self, seed: int) -> "RunPlan":
+        self._seed = seed
+        return self
+
+    def configure(self, **overrides: Any) -> "RunPlan":
+        """Override :class:`SimulationConfig` fields.
+
+        Setting ``task_delay`` without ``discovery_delay`` makes the
+        discovery period follow it — the paper runs both loops at the
+        same cadence, and every migrated call site relied on that.
+        """
+        self._overrides.update(overrides)
+        return self
+
+    def then(self, *phases: Phase) -> "RunPlan":
+        """Append phases, executed in order by :meth:`run`."""
+        self._phases.extend(phases)
+        return self
+
+    # -- execution --------------------------------------------------------
+
+    def _make_config(self) -> SimulationConfig:
+        overrides = dict(self._overrides)
+        if "task_delay" in overrides and "discovery_delay" not in overrides:
+            overrides["discovery_delay"] = overrides["task_delay"]
+        overrides.setdefault("theta", default_theta(self._topology))
+        overrides.setdefault("seed", self._seed)
+        return SimulationConfig(**overrides)
+
+    def session(self) -> "RunSession":
+        return RunSession(self)
+
+    def run(self, observer: Optional[RunObserver] = None) -> RunResult:
+        return self.session().run(observer=observer)
+
+
+class RunSession:
+    """One materialized run: the built simulation plus phase execution."""
+
+    def __init__(self, plan: RunPlan) -> None:
+        self.plan = plan
+        self.seed = plan._seed
+        if isinstance(plan._topology, Topology):
+            self.topology_spec = "<custom>"
+        else:
+            self.topology_spec = plan._topology
+        topology = resolve_topology(
+            plan._topology,
+            seed=plan._seed,
+            controllers=plan._controllers,
+            placement=plan._placement,
+        )
+        self.sim = NetworkSimulation(topology, plan._make_config())
+        #: Simulation time of the last injected fault action; None until
+        #: an InjectFaults phase runs (AwaitLegitimacy then measures the
+        #: absolute convergence time instead of a delta).
+        self.fault_at: Optional[float] = None
+        #: Set by an InjectFaults phase whose plan was empty: recovery is
+        #: trivially zero, matching the historical campaign semantics.
+        self.trivial_recovery = False
+        self._fault_stream = None
+
+    @property
+    def fault_stream(self):
+        """The run's fault-randomness stream, shared by every InjectFaults
+        phase so consecutive fault phases keep advancing it instead of
+        redrawing the same values.  Its first draws equal a fresh
+        ``fault_rng(seed)``, preserving the historical single-fault
+        measurements bit-for-bit."""
+        if self._fault_stream is None:
+            # Lazy: repro.exp builds on this package (import cycle).
+            from repro.exp.seeding import fault_rng
+
+            self._fault_stream = fault_rng(self.seed)
+        return self._fault_stream
+
+    def run(self, observer: Optional[RunObserver] = None) -> RunResult:
+        if observer is not None:
+            self.sim.metrics.add_observer(observer)
+        phase_results: List[PhaseResult] = []
+        aborted = False
+        for phase in self.plan._phases:
+            if aborted:
+                now = self.sim.sim.now
+                result = PhaseResult(
+                    phase=phase.name,
+                    ok=False,
+                    t_start=now,
+                    t_end=now,
+                    details={"skipped": True},
+                )
+            else:
+                result = phase.execute(self)
+            phase_results.append(result)
+            if observer is not None:
+                observer.on_phase_end(result)
+            if not result.ok:
+                aborted = True
+        return RunResult(
+            topology=self.topology_spec,
+            n_controllers=len(self.sim.topology.controllers),
+            placement=self.plan._placement,
+            seed=self.seed,
+            config=_config_snapshot(self.sim.config),
+            phases=phase_results,
+            metrics=_metrics_snapshot(self.sim),
+        )
+
+
+def build_simulation(
+    topology: TopologyLike,
+    controllers: int = 3,
+    seed: int = 0,
+    placement: str = "dual_homed",
+    **overrides: Any,
+) -> NetworkSimulation:
+    """Construct a ready-to-run :class:`NetworkSimulation` through the
+    facade — the one sanctioned construction path outside unit tests.
+
+    Accepts every topology spec :func:`~repro.api.topology.resolve_topology`
+    does; ``overrides`` are :class:`SimulationConfig` fields (with
+    ``discovery_delay`` following ``task_delay`` unless given).
+    """
+    plan = RunPlan(topology, controllers=controllers, placement=placement, seed=seed)
+    return plan.configure(**overrides).session().sim
+
+
+__all__ = [
+    "RunObserver",
+    "RunPlan",
+    "RunSession",
+    "build_simulation",
+]

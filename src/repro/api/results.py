@@ -1,0 +1,150 @@
+"""Typed, JSON-round-trippable run results.
+
+A :class:`RunResult` is the complete record of one :class:`~repro.api.plan.
+RunPlan` execution: the resolved topology spec, the effective simulation
+configuration, one :class:`PhaseResult` per executed phase, and a metrics
+snapshot taken at the end of the run.  Everything is built from plain JSON
+types, so ``RunResult.from_dict(result.to_dict()) == result`` holds
+exactly — the property the serialization tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class PhaseResult:
+    """Outcome of one executed phase.
+
+    ``value`` is the phase's headline measurement — the bootstrap
+    convergence time for ``bootstrap``, the recovery time for
+    ``await_legitimacy``, the time of the last injected fault for
+    ``inject_faults`` — or ``None`` when the phase failed (timed out) or
+    was skipped after an earlier failure.
+    """
+
+    phase: str
+    ok: bool
+    t_start: float
+    t_end: float
+    value: Optional[float] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds the phase consumed."""
+        return self.t_end - self.t_start
+
+    @property
+    def skipped(self) -> bool:
+        return bool(self.details.get("skipped"))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "phase": self.phase,
+            "ok": self.ok,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "value": self.value,
+            "details": dict(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PhaseResult":
+        return cls(
+            phase=data["phase"],
+            ok=data["ok"],
+            t_start=data["t_start"],
+            t_end=data["t_end"],
+            value=data.get("value"),
+            details=dict(data.get("details", {})),
+        )
+
+
+@dataclass
+class RunResult:
+    """The serializable record of one phased simulation run."""
+
+    topology: str
+    n_controllers: int
+    placement: str
+    seed: int
+    config: Dict[str, Any] = field(default_factory=dict)
+    phases: List[PhaseResult] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    # -- verdicts ---------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True iff every phase ran and succeeded."""
+        return all(p.ok for p in self.phases)
+
+    def phase(self, name: str, last: bool = False) -> Optional[PhaseResult]:
+        """The first (or last) phase result with the given name."""
+        matches = [p for p in self.phases if p.phase == name]
+        if not matches:
+            return None
+        return matches[-1] if last else matches[0]
+
+    @property
+    def bootstrap_time(self) -> Optional[float]:
+        """Convergence time of the first ``bootstrap`` phase (``None`` if
+        it timed out or never ran)."""
+        p = self.phase("bootstrap")
+        return p.value if p is not None and p.ok else None
+
+    @property
+    def recovery_time(self) -> Optional[float]:
+        """Recovery measurement of the last ``await_legitimacy`` phase
+        (``None`` if it timed out, was skipped, or never ran)."""
+        p = self.phase("await_legitimacy", last=True)
+        return p.value if p is not None and p.ok else None
+
+    def summary(self) -> Dict[str, Any]:
+        """Small human-oriented digest (also embedded in the JSON)."""
+        return {
+            "ok": self.ok,
+            "bootstrap_time": self.bootstrap_time,
+            "recovery_time": self.recovery_time,
+            "phases": [p.phase for p in self.phases],
+        }
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "topology": self.topology,
+            "n_controllers": self.n_controllers,
+            "placement": self.placement,
+            "seed": self.seed,
+            "config": dict(self.config),
+            "phases": [p.to_dict() for p in self.phases],
+            "metrics": dict(self.metrics),
+            "summary": self.summary(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        return cls(
+            topology=data["topology"],
+            n_controllers=data["n_controllers"],
+            placement=data.get("placement", "dual_homed"),
+            seed=data["seed"],
+            config=dict(data.get("config", {})),
+            phases=[PhaseResult.from_dict(p) for p in data.get("phases", [])],
+            metrics=dict(data.get("metrics", {})),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))
+
+
+__all__ = ["PhaseResult", "RunResult"]

@@ -1,0 +1,214 @@
+"""One topology spec syntax for the whole repository.
+
+:func:`resolve_topology` accepts both the named Table-8 networks
+(``"B4"``, ``"Telstra"``, ...) and the parametric generator specs of
+:mod:`repro.scenarios.generators` (``"fattree:4"``, ``"jellyfish:20x4"``,
+``"ring:16"``, ...) behind a single string syntax, attaches controllers
+through a pluggable placement strategy, and returns a simulation-ready
+:class:`~repro.net.topology.Topology`.
+
+The per-network protocol defaults of the paper's Section 6.3 — Θ and the
+convergence timeout, both scaled to network size — live here as well, so
+every entry point (figure experiments, scenario campaigns, CLI) resolves
+them identically.
+
+The generator registry is imported lazily inside the functions that need
+it: :mod:`repro.scenarios.spec` builds its simulations through this
+facade, so a module-level import of ``repro.scenarios`` here would be a
+cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple, Union
+
+from repro.net.topologies import TOPOLOGY_BUILDERS, attach_controllers
+from repro.net.topology import Topology
+
+#: The paper's Θ per named network (Section 6.3).  Generated topologies
+#: default to the small-network setting.
+THETA: Dict[str, int] = {
+    "B4": 10,
+    "Clos": 10,
+    "Telstra": 30,
+    "AT&T": 30,
+    "EBONE": 30,
+    "Exodus": 30,
+}
+
+DEFAULT_THETA = 10
+
+#: Convergence timeouts, scaled to named-network size.
+TIMEOUT: Dict[str, float] = {
+    "B4": 120.0,
+    "Clos": 120.0,
+    "Telstra": 240.0,
+    "AT&T": 600.0,
+    "EBONE": 600.0,
+    "Exodus": 240.0,
+}
+
+DEFAULT_TIMEOUT = 300.0
+
+#: A topology input: a spec string or an already-built topology.
+TopologyLike = Union[str, Topology]
+
+#: A placement strategy attaches ``count`` controllers to a switch-only
+#: topology, deterministically in ``seed``, and returns their ids.
+PlacementStrategy = Callable[[Topology, int, int], List[str]]
+
+
+def default_theta(spec: TopologyLike) -> int:
+    """Θ for a topology spec: the paper's table for named networks, the
+    small-network default for generated or prebuilt ones."""
+    if isinstance(spec, str):
+        return THETA.get(spec, DEFAULT_THETA)
+    return DEFAULT_THETA
+
+
+def default_timeout(spec: TopologyLike, fallback: float = DEFAULT_TIMEOUT) -> float:
+    """Convergence timeout for a topology spec (named networks scale with
+    size; everything else gets ``fallback``)."""
+    if isinstance(spec, str):
+        return TIMEOUT.get(spec, fallback)
+    return fallback
+
+
+# ---------------------------------------------------------------------------
+# controller placement strategies
+# ---------------------------------------------------------------------------
+
+
+def _dual_homed(topo: Topology, count: int, seed: int) -> List[str]:
+    """The historical placement: each controller dual-homed onto a random
+    switch-switch link (preserves diameter and 2-edge-connectivity)."""
+    return attach_controllers(topo, count, seed=seed)
+
+
+def _switch_links(topo: Topology) -> List[Tuple[str, str]]:
+    links = sorted(
+        (u, v) for u, v in topo.links if topo.is_switch(u) and topo.is_switch(v)
+    )
+    if not links:
+        raise ValueError("topology has no switch-switch link to home a controller on")
+    return links
+
+
+def _spread(topo: Topology, count: int, seed: int) -> List[str]:
+    """Deterministic evenly-spaced placement: controllers dual-homed onto
+    links spaced uniformly through the sorted link list.  Independent of
+    ``seed`` — useful when the placement itself must not be a random
+    variable of the experiment."""
+    if count < 1:
+        raise ValueError("need at least one controller")
+    links = _switch_links(topo)
+    step = len(links) / count
+    ids: List[str] = []
+    for i in range(count):
+        u, v = links[int(i * step) % len(links)]
+        cid = f"c{i}"
+        topo.add_controller(cid)
+        topo.add_link(cid, u)
+        topo.add_link(cid, v)
+        ids.append(cid)
+    return ids
+
+
+#: Pluggable placement registry; register a strategy here to make it
+#: addressable from every entry point (``RunPlan(..., placement=name)``).
+PLACEMENTS: Dict[str, PlacementStrategy] = {
+    "dual_homed": _dual_homed,
+    "spread": _spread,
+}
+
+
+def place_controllers(
+    topo: Topology, count: int, seed: int = 0, placement: str = "dual_homed"
+) -> List[str]:
+    """Attach ``count`` controllers using the named placement strategy."""
+    try:
+        strategy = PLACEMENTS[placement]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement {placement!r}; known: {', '.join(sorted(PLACEMENTS))}"
+        ) from None
+    return strategy(topo, count, seed)
+
+
+# ---------------------------------------------------------------------------
+# spec resolution
+# ---------------------------------------------------------------------------
+
+
+def validate_topology_spec(spec: str) -> str:
+    """Syntax-check a topology spec without building it.
+
+    Accepts Table-8 names and well-formed ``family:ARGS`` generator specs;
+    raises :class:`ValueError` otherwise.  Family-specific constraints
+    (even fat-tree arity, jellyfish parity, ...) surface at build time.
+    """
+    from repro.scenarios.generators import GENERATORS
+
+    if spec in TOPOLOGY_BUILDERS:
+        return spec
+    family, sep, arg = spec.partition(":")
+    family = family.replace("_", "").replace("-", "").lower()
+    if sep and family in GENERATORS:
+        parts = arg.split("x")
+        if parts and all(p.isdigit() for p in parts):
+            return spec
+    known = sorted(TOPOLOGY_BUILDERS) + [syntax for _, syntax in GENERATORS.values()]
+    raise ValueError(f"unknown topology {spec!r}; known: {', '.join(known)}")
+
+
+def topology_spec_syntaxes() -> List[str]:
+    """Human-readable list of every accepted spec form (for CLI help)."""
+    from repro.scenarios.generators import GENERATORS
+
+    return sorted(TOPOLOGY_BUILDERS) + [syntax for _, syntax in GENERATORS.values()]
+
+
+def resolve_topology(
+    spec: TopologyLike,
+    seed: int = 0,
+    controllers: int = 0,
+    placement: str = "dual_homed",
+) -> Topology:
+    """Build the topology named by ``spec`` and attach controllers.
+
+    ``spec`` is a Table-8 name, a generator spec string, or an existing
+    :class:`Topology` — the latter is returned as-is when it already has
+    controllers, and **mutated in place** (controllers attached) when it
+    has none and ``controllers > 0``; pass ``topo.copy()`` to keep the
+    original pristine.  ``seed`` drives both the randomized generator
+    families and the placement strategy.  When ``controllers`` is zero,
+    or the topology already has controllers, placement is skipped (an
+    existing placement always wins over the ``placement`` argument).
+    """
+    if isinstance(spec, Topology):
+        topo = spec
+    else:
+        from repro.scenarios.generators import parse_topology
+
+        topo = parse_topology(spec, seed=seed)
+    if controllers > 0 and not topo.controllers:
+        place_controllers(topo, controllers, seed=seed, placement=placement)
+    return topo
+
+
+__all__ = [
+    "DEFAULT_THETA",
+    "DEFAULT_TIMEOUT",
+    "PLACEMENTS",
+    "PlacementStrategy",
+    "THETA",
+    "TIMEOUT",
+    "TopologyLike",
+    "default_theta",
+    "default_timeout",
+    "place_controllers",
+    "resolve_topology",
+    "topology_spec_syntaxes",
+    "validate_topology_spec",
+]

@@ -4,39 +4,50 @@ Usage::
 
     python -m repro.cli list
     python -m repro.cli bootstrap --network B4 --controllers 3 --reps 3
+    python -m repro.cli bootstrap --network jellyfish:20x4 --json
     python -m repro.cli recover --network Telstra --fault link
     python -m repro.cli traffic --network Telstra [--no-recovery]
     python -m repro.cli figure fig5 --reps 3
     python -m repro.cli sweep --figure fig5 --network Telstra --reps 8 --workers 4
     python -m repro.cli scenario --topology jellyfish:20 --campaign churn --reps 4
 
-``figure`` runs any of the paper's figure/table experiments by id and
-prints the regenerated rows.  ``sweep`` runs a registered experiment spec
-through the parallel repetition runner: repetitions fan out over a worker
-pool with deterministic per-repetition seeding, so the series are
-bit-identical whatever ``--workers`` is.  ``scenario`` drives the scenario
-campaign subsystem through the same runner: a generated topology
-(fat-tree, Jellyfish, ring, grid, or a Table-8 network) under a
-composable randomized fault campaign.
+Every simulation-running command constructs its runs through the public
+facade (:mod:`repro.api`), so ``--network`` accepts both the named
+Table-8 networks and the generated-topology specs (``fattree:4``,
+``jellyfish:20x4``, ``ring:16``, ...).  ``bootstrap``, ``recover``,
+``sweep``, and ``scenario`` take ``--json`` to emit the serializable
+:class:`~repro.api.results.RunResult` / :class:`~repro.exp.spec.
+ExperimentResult` record instead of human-readable rows, and ``--out
+FILE`` to additionally write that JSON to disk.
 """
 
 from __future__ import annotations
 
 import argparse
-import random
+import json
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
 from repro.analysis import experiments as exp
 from repro.analysis.scenarios import scenario_campaign
+from repro.api import (
+    AwaitLegitimacy,
+    Bootstrap,
+    InjectFaults,
+    RunPlan,
+    RunResult,
+    default_timeout,
+    topology_spec_syntaxes,
+    validate_topology_spec,
+)
 from repro.exp.runner import run_spec
+from repro.exp.seeding import derive_seed
 from repro.exp.spec import list_specs
-from repro.net.topologies import TOPOLOGY_BUILDERS, attach_controllers
+from repro.net.topologies import TOPOLOGY_BUILDERS
 from repro.scenarios.campaigns import CAMPAIGNS
 from repro.scenarios.generators import GENERATORS, parse_topology
-from repro.sim.network_sim import NetworkSimulation, SimulationConfig
-from repro.sim.faults import FaultPlan, random_link
+from repro.sim.faults import FaultPlan, random_link, removable_switch
 from repro.transport.traffic import (
     TrafficRun,
     place_hosts_at_max_distance,
@@ -65,6 +76,33 @@ FIGURES: Dict[str, Callable[..., exp.ExperimentResult]] = {
 TAKES_REPS = {"fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
 
 
+def _network_spec(value: str) -> str:
+    """argparse type: accept Table-8 names and generator specs, reject
+    everything else at parse time."""
+    try:
+        return validate_topology_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _emit_json(doc: object, args: argparse.Namespace) -> None:
+    """Serialize ``doc`` per the output flags: ``--json`` prints it to
+    stdout (replacing the human rows), ``--out FILE`` writes it to disk."""
+    if not (getattr(args, "json", False) or getattr(args, "out", None)):
+        return
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.json:
+        print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+
+
+def _quiet(args: argparse.Namespace) -> bool:
+    """Human-readable rows are suppressed when stdout carries JSON."""
+    return bool(getattr(args, "json", False))
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("networks:", ", ".join(sorted(TOPOLOGY_BUILDERS)))
     print("figures:", ", ".join(sorted(FIGURES)))
@@ -76,72 +114,90 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_sim(args: argparse.Namespace) -> NetworkSimulation:
-    topology = TOPOLOGY_BUILDERS[args.network]()
-    attach_controllers(topology, args.controllers, seed=args.seed)
-    config = SimulationConfig(
-        seed=args.seed,
-        theta=exp.THETA.get(args.network, 10),
-        task_delay=args.task_delay,
-        discovery_delay=args.task_delay,
-        out_of_band=getattr(args, "out_of_band", False),
-    )
-    return NetworkSimulation(topology, config)
-
-
 def cmd_bootstrap(args: argparse.Namespace) -> int:
-    times = []
+    timeout = default_timeout(args.network)
+    times: List[float] = []
+    runs: List[RunResult] = []
     for rep in range(args.reps):
-        args.seed = rep
-        sim = _build_sim(args)
-        t = sim.run_until_legitimate(timeout=exp.TIMEOUT.get(args.network, 300.0))
+        result = (
+            RunPlan(args.network, controllers=args.controllers,
+                    seed=derive_seed(args.seed, rep))
+            .configure(task_delay=args.task_delay, out_of_band=args.out_of_band)
+            .then(Bootstrap(timeout=timeout))
+            .run()
+        )
+        runs.append(result)
+        t = result.bootstrap_time
         if t is None:
-            print(f"rep {rep}: TIMEOUT")
+            if not _quiet(args):
+                print(f"rep {rep}: TIMEOUT")
             continue
         times.append(t)
-        print(
-            f"rep {rep}: bootstrapped in {t:.1f} s "
-            f"(rules={sim.total_rules_installed()}, "
-            f"illegit-deletions={sim.metrics.illegitimate_deletions})"
-        )
-    if times:
+        if not _quiet(args):
+            print(
+                f"rep {rep}: bootstrapped in {t:.1f} s "
+                f"(rules={result.metrics['rules_installed']}, "
+                f"illegit-deletions={result.metrics['illegitimate_deletions']})"
+            )
+    if times and not _quiet(args):
         print(f"median: {sorted(times)[len(times) // 2]:.1f} s over {len(times)} reps")
+    _emit_json(
+        {
+            "command": "bootstrap",
+            "network": args.network,
+            "controllers": args.controllers,
+            "base_seed": args.seed,
+            "runs": [run.to_dict() for run in runs],
+        },
+        args,
+    )
     return 0 if times else 1
 
 
-def cmd_recover(args: argparse.Namespace) -> int:
-    sim = _build_sim(args)
-    timeout = exp.TIMEOUT.get(args.network, 300.0)
-    t0 = sim.run_until_legitimate(timeout=timeout)
-    if t0 is None:
-        print("bootstrap timed out")
-        return 1
-    print(f"bootstrap: {t0:.1f} s")
-    rng = random.Random(args.seed)
-    plan = FaultPlan()
-    at = sim.sim.now + 0.1
-    if args.fault == "controller":
-        victim = rng.choice(sim.topology.controllers)
-        plan.fail_node(at, victim)
-    elif args.fault == "link":
+def _recover_fault_builder(kind: str):
+    """Fault builders for ``repro recover``, one per ``--fault`` choice."""
+
+    def controller(sim, rng) -> FaultPlan:
+        return FaultPlan().fail_node(sim.sim.now + 0.05, rng.choice(sim.topology.controllers))
+
+    def link(sim, rng) -> FaultPlan:
         u, v = random_link(sim.topology, rng)
-        victim = f"{u}-{v}"
-        plan.remove_link(at, u, v)
-    else:  # switch
-        for victim in sim.topology.switches:
-            probe = sim.topology.copy()
-            probe.remove_node(victim)
-            if probe.connected():
-                break
-        plan.remove_node(at, victim)
-    print(f"injecting {args.fault} fault on {victim}")
-    sim.inject(plan)
-    sim.run_for(0.2)
-    t1 = sim.run_until_legitimate(timeout=timeout)
-    if t1 is None:
-        print("recovery timed out")
+        return FaultPlan().remove_link(sim.sim.now + 0.05, u, v)
+
+    def switch(sim, rng) -> FaultPlan:
+        victim = removable_switch(sim.topology)
+        return FaultPlan().remove_node(sim.sim.now + 0.05, victim)
+
+    return {"controller": controller, "link": link, "switch": switch}[kind]
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    timeout = default_timeout(args.network)
+    result = (
+        RunPlan(args.network, controllers=args.controllers, seed=args.seed)
+        .configure(task_delay=args.task_delay)
+        .then(
+            Bootstrap(timeout=timeout),
+            InjectFaults(builder=_recover_fault_builder(args.fault)),
+            AwaitLegitimacy(timeout=timeout),
+        )
+        .run()
+    )
+    _emit_json(result.to_dict(), args)
+    quiet = _quiet(args)
+    if result.bootstrap_time is None:
+        if not quiet:
+            print("bootstrap timed out")
         return 1
-    print(f"recovered in {t1 - at:.1f} s")
+    if not quiet:
+        print(f"bootstrap: {result.bootstrap_time:.1f} s")
+        print(f"injecting {args.fault} fault")
+    if result.recovery_time is None:
+        if not quiet:
+            print("recovery timed out")
+        return 1
+    if not quiet:
+        print(f"recovered in {result.recovery_time:.1f} s")
     return 0
 
 
@@ -180,14 +236,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         base_seed=args.seed,
     )
     elapsed = time.perf_counter() - started
-    for line in result.rows():
-        print(line)
-    print(
-        f"-- sweep {args.figure} reps={args.reps} seed={args.seed} "
-        f"workers={args.workers}: {elapsed:.2f} s wall"
-    )
+    _emit_json(result.to_dict(), args)
+    if not _quiet(args):
+        for line in result.rows():
+            print(line)
+        print(
+            f"-- sweep {args.figure} reps={args.reps} seed={args.seed} "
+            f"workers={args.workers}: {elapsed:.2f} s wall"
+        )
     if not any(result.series.values()):
-        print("no data produced (all repetitions timed out?)")
+        if not _quiet(args):
+            print("no data produced (all repetitions timed out?)")
         return 1
     return 0
 
@@ -214,23 +273,26 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         timeout=args.timeout,
     )
     elapsed = time.perf_counter() - started
-    for line in result.rows():
-        print(line)
-    print(
-        f"-- scenario {args.topology} campaign={args.campaign} reps={args.reps} "
-        f"seed={args.seed} workers={args.workers}: {elapsed:.2f} s wall"
-    )
+    _emit_json(result.to_dict(), args)
+    if not _quiet(args):
+        for line in result.rows():
+            print(line)
+        print(
+            f"-- scenario {args.topology} campaign={args.campaign} reps={args.reps} "
+            f"seed={args.seed} workers={args.workers}: {elapsed:.2f} s wall"
+        )
     # Non-convergent repetitions are the whole point of this subsystem:
     # the runner drops their None measurements from the series, so count
     # them from the survivor tally and fail loudly instead of reporting a
     # clean distribution of survivors.
     completed = sum(len(values) for values in result.series.values())
     if completed < args.reps:
-        print(
-            f"{args.reps - completed}/{args.reps} repetitions never reached "
-            f"a legitimate configuration (bootstrap or post-campaign "
-            f"re-convergence exceeded --timeout {args.timeout})"
-        )
+        if not _quiet(args):
+            print(
+                f"{args.reps - completed}/{args.reps} repetitions never reached "
+                f"a legitimate configuration (bootstrap or post-campaign "
+                f"re-convergence exceeded --timeout {args.timeout})"
+            )
         return 1
     return 0
 
@@ -244,17 +306,38 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list networks and figures").set_defaults(fn=cmd_list)
 
     common = argparse.ArgumentParser(add_help=False)
-    common.add_argument("--network", default="B4", choices=sorted(TOPOLOGY_BUILDERS))
+    common.add_argument(
+        "--network",
+        default="B4",
+        type=_network_spec,
+        metavar="SPEC",
+        help="a Table-8 name or a generated-topology spec: "
+        + ", ".join(topology_spec_syntaxes()),
+    )
     common.add_argument("--controllers", type=int, default=3)
     common.add_argument("--seed", type=int, default=0)
     common.add_argument("--task-delay", type=float, default=0.5)
 
-    boot = sub.add_parser("bootstrap", parents=[common], help="measure bootstrap time")
+    output = argparse.ArgumentParser(add_help=False)
+    output.add_argument(
+        "--json", action="store_true",
+        help="print the serialized run record instead of human rows",
+    )
+    output.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="also write the serialized run record to FILE",
+    )
+
+    boot = sub.add_parser(
+        "bootstrap", parents=[common, output], help="measure bootstrap time"
+    )
     boot.add_argument("--reps", type=int, default=3)
     boot.add_argument("--out-of-band", action="store_true")
     boot.set_defaults(fn=cmd_bootstrap)
 
-    rec = sub.add_parser("recover", parents=[common], help="measure failure recovery")
+    rec = sub.add_parser(
+        "recover", parents=[common, output], help="measure failure recovery"
+    )
     rec.add_argument("--fault", default="link", choices=["controller", "link", "switch"])
     rec.set_defaults(fn=cmd_recover)
 
@@ -272,6 +355,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser(
         "sweep",
+        parents=[output],
         help="run an experiment spec via the parallel repetition runner",
     )
     sweep.add_argument("--figure", required=True, choices=list_specs())
@@ -290,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     scen = sub.add_parser(
         "scenario",
+        parents=[output],
         help="run a fault campaign on a generated topology via the repetition runner",
     )
     scen.add_argument(

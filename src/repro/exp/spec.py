@@ -22,14 +22,25 @@ time reasonable; shapes are stable from ~5 repetitions on.
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.exp.seeding import fault_rng
-from repro.net.topologies import TOPOLOGY_BUILDERS, TABLE8_EXPECTED, attach_controllers
-from repro.sim.network_sim import NetworkSimulation, SimulationConfig
-from repro.sim.faults import FaultPlan, random_link
+# THETA/TIMEOUT are canonically defined by the public facade (repro.api)
+# and re-exported here so figure code and tests keep one import path.
+from repro.api import (
+    THETA,
+    TIMEOUT,
+    AwaitLegitimacy,
+    Bootstrap,
+    InjectFaults,
+    RunPlan,
+    RunResult,
+)
+from repro.net.topologies import TOPOLOGY_BUILDERS, TABLE8_EXPECTED
+from repro.sim.network_sim import NetworkSimulation
+from repro.sim.faults import FaultPlan, random_link, removable_switch
 from repro.sim.metrics import summarize, trimmed
 from repro.transport.traffic import (
     TrafficRun,
@@ -37,26 +48,6 @@ from repro.transport.traffic import (
     standalone_switches,
 )
 from repro.transport.stats import TrafficStats, pearson
-
-#: The paper's Θ per network (Section 6.3).
-THETA: Dict[str, int] = {
-    "B4": 10,
-    "Clos": 10,
-    "Telstra": 30,
-    "AT&T": 30,
-    "EBONE": 30,
-    "Exodus": 30,
-}
-
-#: Convergence timeouts, scaled to network size.
-TIMEOUT: Dict[str, float] = {
-    "B4": 120.0,
-    "Clos": 120.0,
-    "Telstra": 240.0,
-    "AT&T": 600.0,
-    "EBONE": 600.0,
-    "Exodus": 240.0,
-}
 
 SMALL_NETWORKS = ("B4", "Clos")
 ROCKETFUEL_NETWORKS = ("Telstra", "AT&T", "EBONE")
@@ -96,6 +87,32 @@ class ExperimentResult:
         if self.notes:
             lines.append(f"   note: {self.notes}")
         return lines
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form; the embedded summary is derived, not stored."""
+        return {
+            "name": self.name,
+            "series": {label: list(values) for label, values in self.series.items()},
+            "notes": self.notes,
+            "summary": self.summary(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        return cls(
+            name=data["name"],
+            series={label: list(values) for label, values in data["series"].items()},
+            notes=data.get("notes", ""),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))
 
 
 @dataclass(frozen=True)
@@ -184,36 +201,21 @@ def list_specs() -> List[str]:
 # ---------------------------------------------------------------------------
 
 
-def _make_simulation(
-    network: str,
-    n_controllers: int,
-    seed: int,
-    task_delay: float = 0.5,
-) -> NetworkSimulation:
-    topology = TOPOLOGY_BUILDERS[network]()
-    attach_controllers(topology, n_controllers, seed=seed)
-    config = SimulationConfig(
-        task_delay=task_delay,
-        discovery_delay=task_delay,
-        theta=THETA[network],
-        seed=seed,
-        # Explicit injection (same stream the seed would derive): the
-        # simulation never touches process-global random state, so a
-        # repetition computes identically in any worker process.
-        rng=random.Random(seed),
-    )
-    return NetworkSimulation(topology, config)
-
-
 def _bootstrap_time(
     network: str,
     n_controllers: int,
     seed: int,
     task_delay: float = 0.5,
-) -> Tuple[Optional[float], NetworkSimulation]:
-    sim = _make_simulation(network, n_controllers, seed, task_delay=task_delay)
-    t = sim.run_until_legitimate(timeout=TIMEOUT[network])
-    return t, sim
+) -> Tuple[Optional[float], RunResult]:
+    """Bootstrap to legitimacy through the facade; returns the paper's
+    bootstrap-time measurement plus the full serializable run record."""
+    result = (
+        RunPlan(network, controllers=n_controllers, seed=seed)
+        .configure(task_delay=task_delay)
+        .then(Bootstrap(timeout=TIMEOUT[network]))
+        .run()
+    )
+    return result.bootstrap_time, result
 
 
 def _recovery_time(
@@ -224,20 +226,16 @@ def _recovery_time(
 ) -> Optional[float]:
     """Bootstrap to a legitimate state, inject the fault plan, and measure
     the time back to legitimacy (the paper's recovery protocol)."""
-    sim = _make_simulation(network, n_controllers, seed)
-    t0 = sim.run_until_legitimate(timeout=TIMEOUT[network])
-    if t0 is None:
-        return None
-    rng = fault_rng(seed)
-    plan = fault_builder(sim, rng)
-    sim.inject(plan)
-    fault_at = max(action.at for action in plan.actions)
-    # Let the fault take effect before probing for re-convergence.
-    sim.run_for(max(0.0, fault_at - sim.sim.now) + 0.01)
-    t1 = sim.run_until_legitimate(timeout=TIMEOUT[network])
-    if t1 is None:
-        return None
-    return t1 - fault_at
+    result = (
+        RunPlan(network, controllers=n_controllers, seed=seed)
+        .then(
+            Bootstrap(timeout=TIMEOUT[network]),
+            InjectFaults(builder=fault_builder),
+            AwaitLegitimacy(timeout=TIMEOUT[network]),
+        )
+        .run()
+    )
+    return result.recovery_time
 
 
 def _traffic_stats(network: str, recovery: bool, seed: int = 0) -> TrafficStats:
@@ -386,13 +384,10 @@ register(
 
 def _fig9_measure(network: str, seed: int) -> Optional[float]:
     n_ctrl = 3 if network in SMALL_NETWORKS else 7
-    t, sim = _bootstrap_time(network, n_ctrl, seed)
+    t, result = _bootstrap_time(network, n_ctrl, seed)
     if t is None:
         return None
-    n_nodes = len(sim.topology.nodes)
-    return sim.metrics.max_load_per_node_per_iteration(
-        sim.controller_iterations(), n_nodes
-    )
+    return result.metrics["max_load_per_node_per_iteration"]
 
 
 def _fig9_cases(networks=None, **_params) -> List[CaseSpec]:
@@ -485,14 +480,8 @@ register(
 
 
 def _switch_fault(sim: NetworkSimulation, rng: random.Random) -> FaultPlan:
-    candidates = list(sim.topology.switches)
-    rng.shuffle(candidates)
-    for victim in candidates:
-        probe = sim.topology.copy()
-        probe.remove_node(victim)
-        if probe.connected():
-            return FaultPlan().remove_node(sim.sim.now + 0.05, victim)
-    raise ValueError("no switch removable without disconnection")
+    victim = removable_switch(sim.topology, rng)
+    return FaultPlan().remove_node(sim.sim.now + 0.05, victim)
 
 
 def _fig12_cases(networks=None, **_params) -> List[CaseSpec]:

@@ -17,16 +17,20 @@ processes that never imported this package.
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional
 
-from repro.exp.seeding import fault_rng
+from repro.api import (
+    AwaitLegitimacy,
+    Bootstrap,
+    InjectFaults,
+    RunPlan,
+    RunResult,
+    build_simulation,
+)
 from repro.exp.spec import CaseSpec, ExperimentSpec, register
-from repro.net.topologies import attach_controllers
 from repro.scenarios.campaigns import build_campaign
-from repro.scenarios.generators import parse_topology
 from repro.sim.faults import FaultPlan
-from repro.sim.network_sim import NetworkSimulation, SimulationConfig
+from repro.sim.network_sim import NetworkSimulation
 
 
 def build_scenario_simulation(
@@ -37,16 +41,73 @@ def build_scenario_simulation(
     theta: int = 10,
 ) -> NetworkSimulation:
     """One scenario repetition's simulation, pure in ``(topology, seed)``."""
-    topo = parse_topology(topology, seed=seed)
-    attach_controllers(topo, n_controllers, seed=seed)
-    config = SimulationConfig(
-        task_delay=task_delay,
-        discovery_delay=task_delay,
-        theta=theta,
+    return build_simulation(
+        topology,
+        controllers=n_controllers,
         seed=seed,
-        rng=random.Random(seed),
+        task_delay=task_delay,
+        theta=theta,
     )
-    return NetworkSimulation(topo, config)
+
+
+def campaign_run_plan(
+    topology: str,
+    campaign: str,
+    seed: int,
+    n_controllers: int = 3,
+    task_delay: float = 0.5,
+    theta: int = 10,
+    timeout: float = 240.0,
+    plan: Optional[FaultPlan] = None,
+) -> RunPlan:
+    """The facade plan of one scenario repetition: bootstrap, run the
+    campaign on the relative clock, measure re-convergence.
+
+    ``plan`` overrides the generated campaign (the property harness uses
+    it to shrink a failing schedule); either way the schedule is shifted
+    onto the simulation clock at injection time.
+    """
+    inject = InjectFaults(
+        plan=plan,
+        builder=(
+            None
+            if plan is not None
+            else (lambda sim, rng: build_campaign(campaign, sim.topology, rng))
+        ),
+        relative=True,
+    )
+    return (
+        RunPlan(topology, controllers=n_controllers, seed=seed)
+        .configure(task_delay=task_delay, theta=theta)
+        .then(
+            Bootstrap(timeout=timeout),
+            inject,
+            AwaitLegitimacy(timeout=timeout, clamp_zero=True),
+        )
+    )
+
+
+def run_campaign(
+    topology: str,
+    campaign: str,
+    seed: int,
+    n_controllers: int = 3,
+    task_delay: float = 0.5,
+    theta: int = 10,
+    timeout: float = 240.0,
+    plan: Optional[FaultPlan] = None,
+) -> RunResult:
+    """Execute one scenario repetition and return its full run record."""
+    return campaign_run_plan(
+        topology,
+        campaign,
+        seed,
+        n_controllers=n_controllers,
+        task_delay=task_delay,
+        theta=theta,
+        timeout=timeout,
+        plan=plan,
+    ).run()
 
 
 def measure_campaign_recovery(
@@ -59,32 +120,18 @@ def measure_campaign_recovery(
     timeout: float = 240.0,
     plan: Optional[FaultPlan] = None,
 ) -> Optional[float]:
-    """Recovery time from the campaign's last action to legitimacy.
-
-    Bootstraps, shifts the campaign onto the simulation clock, lets every
-    scheduled action execute, then measures re-convergence.  Returns
-    ``None`` if bootstrap or re-convergence times out.  ``plan`` overrides
-    the generated campaign (the property harness uses it to shrink a
-    failing schedule); it is interpreted on the relative clock.
-    """
-    sim = build_scenario_simulation(
-        topology, seed, n_controllers=n_controllers, task_delay=task_delay, theta=theta
-    )
-    if sim.run_until_legitimate(timeout=timeout) is None:
-        return None
-    if plan is None:
-        plan = build_campaign(campaign, sim.topology, fault_rng(seed))
-    shifted = plan.shifted(sim.sim.now)
-    if not shifted.actions:
-        return 0.0
-    sim.inject(shifted)
-    last_at = shifted.last_at()
-    # Run past the final action so the clock starts after the last fault.
-    sim.run_for(last_at - sim.sim.now + 0.01)
-    t = sim.run_until_legitimate(timeout=timeout)
-    if t is None:
-        return None
-    return max(0.0, t - last_at)
+    """Recovery time from the campaign's last action to legitimacy, or
+    ``None`` if bootstrap or re-convergence times out."""
+    return run_campaign(
+        topology,
+        campaign,
+        seed,
+        n_controllers=n_controllers,
+        task_delay=task_delay,
+        theta=theta,
+        timeout=timeout,
+        plan=plan,
+    ).recovery_time
 
 
 def _scenario_cases(
@@ -137,5 +184,7 @@ register(
 
 __all__ = [
     "build_scenario_simulation",
+    "campaign_run_plan",
     "measure_campaign_recovery",
+    "run_campaign",
 ]

@@ -164,6 +164,22 @@ def random_switch(topology, rng: random.Random) -> str:
     return rng.choice(topology.switches)
 
 
+def removable_switch(topology, rng: random.Random = None) -> str:
+    """First switch whose removal keeps the network connected.  ``rng``
+    shuffles the candidate order (the paper's switch-failure experiments
+    remove a *random* such switch); without it the pick is deterministic.
+    """
+    candidates = list(topology.switches)
+    if rng is not None:
+        rng.shuffle(candidates)
+    for victim in candidates:
+        probe = topology.copy()
+        probe.remove_node(victim)
+        if probe.connected():
+            return victim
+    raise ValueError("no switch removable without disconnection")
+
+
 def random_link(topology, rng: random.Random, protect_connectivity: bool = True):
     """Pick a random live link; optionally only links whose removal keeps
     the live graph connected (the paper's experiments fail links that leave
@@ -188,4 +204,5 @@ __all__ = [
     "FaultInjector",
     "random_switch",
     "random_link",
+    "removable_switch",
 ]

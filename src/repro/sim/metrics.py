@@ -23,16 +23,34 @@ class ControllerLoad:
 
 
 class MetricsRecorder:
-    """Mutable measurement sink shared by the simulation components."""
+    """Mutable measurement sink shared by the simulation components.
+
+    Observers registered with :meth:`add_observer` receive every recorded
+    milestone through their ``on_event(time, name, value)`` hook — the
+    push-based instrumentation point of the public run API, so watching a
+    simulation no longer requires editing ``NetworkSimulation``.
+    """
 
     def __init__(self) -> None:
         self.loads: Dict[str, ControllerLoad] = defaultdict(ControllerLoad)
         self.events: List[Tuple[float, str, object]] = []
         self.convergence_time: Optional[float] = None
+        self.last_convergence_time: Optional[float] = None
         self.fault_time: Optional[float] = None
         self.c_resets = 0
         self.illegitimate_deletions = 0
         self.dropped_control_packets = 0
+        self._observers: List[object] = []
+
+    # -- observers ---------------------------------------------------------
+
+    def add_observer(self, observer: object) -> None:
+        """Register an object with an ``on_event(time, name, value)`` hook."""
+        self._observers.append(observer)
+
+    def _notify(self, time: float, name: str, value: object = None) -> None:
+        for observer in self._observers:
+            observer.on_event(time, name, value)
 
     # -- traffic -----------------------------------------------------------------
 
@@ -53,20 +71,30 @@ class MetricsRecorder:
 
     def mark_event(self, time: float, name: str, value: object = None) -> None:
         self.events.append((time, name, value))
+        self._notify(time, name, value)
 
     def mark_fault(self, time: float) -> None:
         self.fault_time = time
+        self._notify(time, "fault")
 
     def mark_convergence(self, time: float) -> None:
+        """Record a convergence instant.  ``convergence_time`` keeps the
+        first one (the bootstrap milestone); ``last_convergence_time``
+        tracks every re-convergence after faults."""
         if self.convergence_time is None:
             self.convergence_time = time
+        self.last_convergence_time = time
+        self._notify(time, "convergence")
 
     @property
     def recovery_time(self) -> Optional[float]:
-        """Seconds from the (last) fault to convergence."""
-        if self.convergence_time is None or self.fault_time is None:
+        """Seconds from the (last) fault to the re-convergence after it;
+        ``None`` while no convergence has followed the fault yet."""
+        if self.last_convergence_time is None or self.fault_time is None:
             return None
-        return self.convergence_time - self.fault_time
+        if self.last_convergence_time < self.fault_time:
+            return None
+        return self.last_convergence_time - self.fault_time
 
     # -- Figure 9 metric --------------------------------------------------------------
 

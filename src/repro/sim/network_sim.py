@@ -52,6 +52,12 @@ class SimulationConfig:
     channels`` layers the self-stabilizing end-to-end channel of Section
     3.1 under the controller→switch command traffic, giving exactly-once
     FIFO batch delivery over the (possibly lossy) in-band substrate.
+
+    Invalid knobs are rejected at construction — a non-positive delay or
+    latency would silently wedge the event loop, and κ < 1 removes the
+    resilience floor the protocol assumes (the κ = 0 ablation is still
+    reachable by injecting an explicit :class:`RenaissanceConfig` through
+    ``renaissance``).
     """
 
     kappa: int = 1
@@ -74,6 +80,19 @@ class SimulationConfig:
     #: Experiment runners inject a per-repetition instance so repetitions
     #: stay reproducible when fanned out over worker processes.
     rng: Optional[random.Random] = None
+
+    def __post_init__(self) -> None:
+        for knob in ("task_delay", "discovery_delay", "link_latency",
+                     "convergence_interval"):
+            if getattr(self, knob) <= 0:
+                raise ValueError(f"{knob} must be positive (got {getattr(self, knob)})")
+        if self.kappa < 1:
+            raise ValueError(
+                f"kappa must be >= 1 (got {self.kappa}); pass an explicit "
+                "RenaissanceConfig via 'renaissance' for the kappa=0 ablation"
+            )
+        if self.theta < 1:
+            raise ValueError(f"theta must be >= 1 (got {self.theta})")
 
 
 class NetworkSimulation:

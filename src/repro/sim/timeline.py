@@ -33,10 +33,10 @@ class ConvergenceTimeline:
 
     Usage::
 
-        sim = NetworkSimulation(topology, config)
-        timeline = ConvergenceTimeline(sim, interval=1.0)
+        session = RunPlan("B4", controllers=3).then(Bootstrap()).session()
+        timeline = ConvergenceTimeline(session.sim, interval=1.0)
         timeline.attach()
-        sim.run_until_legitimate(timeout=120)
+        session.run()
         for sample in timeline.samples:
             ...
     """

@@ -1,0 +1,310 @@
+"""Tests for the unified public run API (``repro.api``)."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    AwaitLegitimacy,
+    Bootstrap,
+    InjectFaults,
+    PhaseResult,
+    RunFor,
+    RunObserver,
+    RunPlan,
+    RunResult,
+    build_simulation,
+    place_controllers,
+    resolve_topology,
+    validate_topology_spec,
+)
+from repro.net.topology import Topology
+from repro.sim.faults import FaultPlan
+
+FAST = dict(task_delay=0.1, theta=4)
+
+
+# ---------------------------------------------------------------------------
+# resolve_topology
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_topology_accepts_named_networks():
+    topo = resolve_topology("B4", controllers=3, seed=0)
+    assert len(topo.switches) == 12
+    assert len(topo.controllers) == 3
+
+
+def test_resolve_topology_accepts_generator_specs():
+    topo = resolve_topology("ring:8", controllers=2, seed=1)
+    assert len(topo.switches) == 8
+    assert len(topo.controllers) == 2
+    jelly = resolve_topology("jellyfish:10x4", controllers=3, seed=5)
+    assert len(jelly.switches) == 10
+
+
+def test_resolve_topology_generated_matches_legacy_construction():
+    """The facade must reproduce the historical parse+attach path exactly
+    (the scenario subsystem's determinism depends on it)."""
+    from repro.net.topologies import attach_controllers
+    from repro.scenarios.generators import parse_topology
+
+    legacy = parse_topology("jellyfish:10", seed=3)
+    attach_controllers(legacy, 2, seed=3)
+    facade = resolve_topology("jellyfish:10", seed=3, controllers=2)
+    assert sorted(legacy.nodes) == sorted(facade.nodes)
+    assert sorted(map(tuple, legacy.links)) == sorted(map(tuple, facade.links))
+
+
+def test_resolve_topology_passes_prebuilt_topology_through():
+    topo = resolve_topology("grid:3x3", controllers=2, seed=0)
+    again = resolve_topology(topo, controllers=5)
+    assert again is topo
+    assert len(again.controllers) == 2  # existing placement untouched
+
+
+def test_resolve_topology_rejects_unknown_spec():
+    with pytest.raises(ValueError, match="unknown topology"):
+        resolve_topology("gird:3x3")
+
+
+def test_validate_topology_spec_syntax_only():
+    assert validate_topology_spec("B4") == "B4"
+    assert validate_topology_spec("fattree:4") == "fattree:4"
+    assert validate_topology_spec("harary:10x3") == "harary:10x3"
+    for bad in ("nope", "ring:", "ring:x", "gird:3x3", "fattree:4.5"):
+        with pytest.raises(ValueError):
+            validate_topology_spec(bad)
+
+
+def test_placement_strategies_are_pluggable():
+    topo = resolve_topology("grid:3x4")
+    ids = place_controllers(topo, 3, seed=0, placement="spread")
+    assert ids == ["c0", "c1", "c2"]
+    assert len(topo.controllers) == 3
+    # spread is deterministic and seed-independent
+    other = resolve_topology("grid:3x4")
+    place_controllers(other, 3, seed=99, placement="spread")
+    assert sorted(map(tuple, topo.links)) == sorted(map(tuple, other.links))
+    with pytest.raises(ValueError, match="unknown placement"):
+        place_controllers(resolve_topology("grid:3x4"), 2, placement="nope")
+
+
+# ---------------------------------------------------------------------------
+# RunPlan / phases
+# ---------------------------------------------------------------------------
+
+
+def test_run_plan_bootstrap_phase():
+    result = (
+        RunPlan("ring:6", controllers=2, seed=0)
+        .configure(**FAST)
+        .then(Bootstrap(timeout=60.0))
+        .run()
+    )
+    assert result.ok
+    assert result.bootstrap_time is not None and result.bootstrap_time > 0
+    assert result.metrics["rules_installed"] > 0
+    assert result.phases[0].phase == "bootstrap"
+
+
+def test_run_plan_matches_direct_simulation():
+    """The facade must produce exactly the measurement the hand-rolled
+    construction path produced before the migration."""
+    sim = build_simulation("ring:6", controllers=2, seed=0, **FAST)
+    direct = sim.run_until_legitimate(timeout=60.0)
+    via_plan = (
+        RunPlan("ring:6", controllers=2, seed=0)
+        .configure(**FAST)
+        .then(Bootstrap(timeout=60.0))
+        .run()
+    )
+    assert via_plan.bootstrap_time == direct
+
+
+def test_recovery_phases_measure_from_last_fault():
+    builder = lambda sim, rng: FaultPlan().fail_link(
+        sim.sim.now + 0.05, *next(iter(sorted(map(tuple, sim.topology.links))))
+    ).recover_link(sim.sim.now + 0.6, *next(iter(sorted(map(tuple, sim.topology.links)))))
+    result = (
+        RunPlan("grid:3x3", controllers=2, seed=1)
+        .configure(**FAST)
+        .then(
+            Bootstrap(timeout=60.0),
+            InjectFaults(builder=builder),
+            AwaitLegitimacy(timeout=60.0),
+        )
+        .run()
+    )
+    assert result.ok
+    inject = result.phase("inject_faults")
+    assert inject.details["n_actions"] == 2
+    assert result.recovery_time is not None and result.recovery_time >= 0
+
+
+def test_metrics_snapshot_recovery_matches_phase_measurement():
+    """metrics['recovery_time'] must agree with the await phase (it used
+    to go negative: the recorder only kept the *first* convergence)."""
+    builder = lambda sim, rng: FaultPlan().fail_node(
+        sim.sim.now + 0.05, sim.topology.controllers[0]
+    )
+    result = (
+        RunPlan("ring:6", controllers=2, seed=0)
+        .configure(**FAST)
+        .then(Bootstrap(timeout=60.0), InjectFaults(builder=builder),
+              AwaitLegitimacy(timeout=60.0))
+        .run()
+    )
+    assert result.ok
+    assert result.metrics["recovery_time"] == pytest.approx(result.recovery_time)
+    assert result.metrics["recovery_time"] >= 0
+    assert result.metrics["last_convergence_time"] > result.metrics["convergence_time"]
+
+
+def test_fault_stream_advances_across_inject_phases():
+    """Consecutive InjectFaults phases share one advancing rng, so two
+    identical builders draw *different* randomness."""
+    draws = []
+
+    def spy_builder(sim, rng):
+        draws.append(rng.random())
+        return FaultPlan().fail_link(
+            sim.sim.now + 0.05, *sorted(map(tuple, sim.topology.links))[0]
+        ).recover_link(sim.sim.now + 0.3, *sorted(map(tuple, sim.topology.links))[0])
+
+    (
+        RunPlan("ring:6", controllers=2, seed=0)
+        .configure(**FAST)
+        .then(
+            Bootstrap(timeout=60.0),
+            InjectFaults(builder=spy_builder), AwaitLegitimacy(timeout=60.0),
+            InjectFaults(builder=spy_builder), AwaitLegitimacy(timeout=60.0),
+        )
+        .run()
+    )
+    assert len(draws) == 2 and draws[0] != draws[1]
+
+
+def test_inject_faults_rejects_plan_and_builder_together():
+    phase = InjectFaults(plan=FaultPlan(), builder=lambda sim, rng: FaultPlan())
+    session = (
+        RunPlan("ring:6", controllers=2, seed=0).configure(**FAST).session()
+    )
+    with pytest.raises(ValueError, match="exactly one"):
+        phase.execute(session)
+    with pytest.raises(ValueError, match="exactly one"):
+        InjectFaults().execute(session)
+
+
+def test_empty_fault_plan_yields_zero_recovery():
+    result = (
+        RunPlan("ring:6", controllers=2, seed=0)
+        .configure(**FAST)
+        .then(
+            Bootstrap(timeout=60.0),
+            InjectFaults(plan=FaultPlan(), relative=True),
+            AwaitLegitimacy(timeout=60.0, clamp_zero=True),
+        )
+        .run()
+    )
+    assert result.ok
+    assert result.recovery_time == 0.0
+
+
+def test_failed_phase_aborts_the_rest():
+    result = (
+        RunPlan("ring:6", controllers=2, seed=0)
+        .configure(**FAST)
+        .then(Bootstrap(timeout=0.2), RunFor(1.0), AwaitLegitimacy(timeout=1.0))
+        .run()
+    )
+    assert not result.ok
+    assert result.bootstrap_time is None
+    assert result.recovery_time is None
+    assert [p.skipped for p in result.phases] == [False, True, True]
+
+
+def test_run_for_phase_advances_clock():
+    result = (
+        RunPlan("ring:6", controllers=2, seed=0)
+        .configure(**FAST)
+        .then(RunFor(2.5))
+        .run()
+    )
+    phase = result.phase("run_for")
+    assert phase.ok
+    assert phase.t_end - phase.t_start == pytest.approx(2.5)
+
+
+def test_observer_receives_events_and_phase_ends():
+    seen = {"events": [], "phases": []}
+
+    class Spy(RunObserver):
+        def on_event(self, time, name, value=None):
+            seen["events"].append((time, name))
+
+        def on_phase_end(self, result):
+            seen["phases"].append(result.phase)
+
+    builder = lambda sim, rng: FaultPlan().fail_node(
+        sim.sim.now + 0.05, sim.topology.controllers[0]
+    )
+    (
+        RunPlan("ring:6", controllers=2, seed=0)
+        .configure(**FAST)
+        .then(Bootstrap(timeout=60.0), InjectFaults(builder=builder),
+              AwaitLegitimacy(timeout=60.0))
+        .run(observer=Spy())
+    )
+    assert seen["phases"] == ["bootstrap", "inject_faults", "await_legitimacy"]
+    names = [name for _, name in seen["events"]]
+    assert "convergence" in names  # bootstrap milestone
+    assert "fault" in names  # injection milestone
+    assert "fail_node" in names  # the fault action itself
+
+
+def test_configure_task_delay_pulls_discovery_delay_along():
+    sim = build_simulation("ring:6", controllers=2, seed=0, task_delay=0.2)
+    assert sim.config.discovery_delay == 0.2
+    explicit = build_simulation(
+        "ring:6", controllers=2, seed=0, task_delay=0.2, discovery_delay=0.4
+    )
+    assert explicit.config.discovery_delay == 0.4
+
+
+# ---------------------------------------------------------------------------
+# serialization round-trips
+# ---------------------------------------------------------------------------
+
+
+def test_run_result_json_round_trip():
+    result = (
+        RunPlan("ring:6", controllers=2, seed=7)
+        .configure(**FAST)
+        .then(Bootstrap(timeout=60.0))
+        .run()
+    )
+    loaded = RunResult.from_json(result.to_json())
+    assert loaded == result
+    assert loaded.summary() == result.summary()
+    # the JSON itself is plain data
+    doc = json.loads(result.to_json(indent=2))
+    assert doc["summary"]["ok"] is True
+
+
+def test_phase_result_round_trip_preserves_failure_details():
+    phase = PhaseResult(
+        phase="await_legitimacy", ok=False, t_start=1.0, t_end=3.0,
+        details={"timeout": 2.0},
+    )
+    assert PhaseResult.from_dict(phase.to_dict()) == phase
+
+
+def test_experiment_result_json_round_trip():
+    from repro.exp.runner import run_spec
+    from repro.exp.spec import ExperimentResult
+
+    result = run_spec("table8", networks=("B4",))
+    loaded = ExperimentResult.from_json(result.to_json())
+    assert loaded == result
+    assert loaded.summary() == result.summary()

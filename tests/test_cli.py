@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import FIGURES, build_parser, main
@@ -123,3 +125,66 @@ def test_list_shows_scenario_families_and_campaigns(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
     assert "jellyfish" in out and "churn" in out
+
+
+def test_bootstrap_accepts_generated_topology_spec(capsys):
+    """The unified spec syntax: generator specs work on every command."""
+    assert main(["bootstrap", "--network", "ring:6", "--controllers", "2",
+                 "--reps", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "bootstrapped" in out
+
+
+def test_bootstrap_json_output_parses(capsys):
+    assert main(["bootstrap", "--network", "fattree:4", "--reps", "1", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["command"] == "bootstrap"
+    assert doc["network"] == "fattree:4"
+    run = doc["runs"][0]
+    assert run["summary"]["ok"] is True
+    assert run["summary"]["bootstrap_time"] > 0
+    assert run["phases"][0]["phase"] == "bootstrap"
+
+
+def test_recover_json_round_trips_to_run_result(capsys):
+    from repro.api import RunResult
+
+    assert main(["recover", "--network", "B4", "--fault", "link", "--json"]) == 0
+    result = RunResult.from_json(capsys.readouterr().out)
+    assert result.ok
+    assert result.recovery_time is not None
+    assert [p.phase for p in result.phases] == [
+        "bootstrap", "inject_faults", "await_legitimacy",
+    ]
+
+
+def test_sweep_json_and_out_file(tmp_path, capsys):
+    from repro.exp.spec import ExperimentResult
+
+    artifact = tmp_path / "sweep.json"
+    assert main(["sweep", "--figure", "fig5", "--network", "B4", "--reps", "2",
+                 "--json", "--out", str(artifact)]) == 0
+    stdout_doc = json.loads(capsys.readouterr().out)
+    file_doc = json.loads(artifact.read_text())
+    assert stdout_doc == file_doc
+    result = ExperimentResult.from_dict(file_doc)
+    assert result.series["B4"] == [5.0, 4.5]
+
+
+def test_scenario_json_output(capsys):
+    assert main([
+        "scenario", "--topology", "ring:8", "--campaign", "flapping",
+        "--reps", "1", "--seed", "0", "--json", *SCENARIO_FAST,
+    ]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert "ring:8 flapping" in doc["series"]
+
+
+def test_out_file_without_json_keeps_human_rows(tmp_path, capsys):
+    artifact = tmp_path / "boot.json"
+    assert main(["bootstrap", "--network", "Clos", "--reps", "1",
+                 "--out", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "bootstrapped" in out  # human rows still printed
+    doc = json.loads(artifact.read_text())
+    assert doc["runs"][0]["summary"]["ok"] is True

@@ -1,0 +1,38 @@
+"""SimulationConfig must reject nonsense knobs at construction time.
+
+Before the guard, a zero task delay or κ = 0 surfaced minutes later as a
+wedged event loop or a silently non-resilient run."""
+
+import pytest
+
+from repro.core.config import RenaissanceConfig
+from repro.sim.network_sim import SimulationConfig
+
+
+@pytest.mark.parametrize("knob", ["task_delay", "discovery_delay", "link_latency",
+                                  "convergence_interval"])
+@pytest.mark.parametrize("bad", [0.0, -0.5])
+def test_non_positive_delays_rejected(knob, bad):
+    with pytest.raises(ValueError, match=knob):
+        SimulationConfig(**{knob: bad})
+
+
+@pytest.mark.parametrize("bad", [0, -1])
+def test_kappa_below_one_rejected(bad):
+    with pytest.raises(ValueError, match="kappa"):
+        SimulationConfig(kappa=bad)
+
+
+def test_theta_below_one_rejected():
+    with pytest.raises(ValueError, match="theta"):
+        SimulationConfig(theta=0)
+
+
+def test_kappa_zero_ablation_still_reachable_via_renaissance_config():
+    rena = RenaissanceConfig.for_network(2, 12, kappa=0, theta=10)
+    config = SimulationConfig(renaissance=rena)
+    assert config.renaissance.kappa == 0
+
+
+def test_defaults_are_valid():
+    SimulationConfig()  # must not raise
