@@ -22,6 +22,9 @@ Public API overview
   named and generated networks, builder-style phased run plans, and
   JSON-serializable results.  Experiments, scenarios, and the CLI all
   construct their simulations through it.
+* :mod:`repro.store` — **the run store**: content-addressed on-disk
+  persistence of completed runs/repetitions, resumable sweeps, and
+  store-only report aggregation.
 * :mod:`repro.analysis` — one experiment function per paper figure/table.
 
 Quickstart::

@@ -24,15 +24,21 @@ def scenario_campaign(
     task_delay: float = 0.5,
     theta: int = 10,
     timeout: float = 240.0,
+    store=None,
+    refresh: bool = False,
 ) -> ExperimentResult:
     """Recovery-time distribution of one fault campaign on one generated
     topology; each repetition derives its topology (for randomized
-    families), controller placement, and campaign from its own seed."""
+    families), controller placement, and campaign from its own seed.
+    ``store``/``refresh`` make the campaign resumable exactly like
+    :func:`~repro.exp.runner.run_spec`."""
     return run_spec(
         "scenario",
         reps=reps,
         workers=workers,
         base_seed=base_seed,
+        store=store,
+        refresh=refresh,
         params={
             "topology": topology,
             "campaign": campaign,

@@ -30,6 +30,25 @@ from repro.sim.faults import FaultPlan
 FaultBuilder = Callable[["object", random.Random], FaultPlan]
 
 
+def describe_fault_plan(plan: FaultPlan) -> list:
+    """JSON-able encoding of an explicit fault schedule.
+
+    Targets may carry non-JSON leaves (corruption payloads embed ``Rule``
+    objects); those are folded in by ``repr`` — deterministic for the
+    frozen dataclasses involved — so two plans hash equal iff their
+    schedules are identical.
+    """
+
+    def leaf(value: object):
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            return value
+        if isinstance(value, (list, tuple)):
+            return [leaf(v) for v in value]
+        return repr(value)
+
+    return [[a.at, a.kind, leaf(list(a.target))] for a in plan.actions]
+
+
 @dataclass(frozen=True)
 class Phase:
     """Base class; concrete phases override ``name`` and ``execute``."""
@@ -38,6 +57,24 @@ class Phase:
 
     def execute(self, session) -> PhaseResult:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def describe(self) -> dict:
+        """JSON-able description of the phase for content addressing.
+
+        Together with the plan's topology/config/seed this must determine
+        the phase's behaviour: the run store hashes it into the run key.
+        Concrete phases extend the base ``{"phase": name}`` dict.
+        """
+        return {"phase": self.name}
+
+    def addressable(self) -> bool:
+        """Whether :meth:`describe` fully captures the phase's behaviour.
+
+        A plan containing any non-addressable phase bypasses the run
+        store entirely (``RunPlan.cacheable()`` is false) — an
+        under-specified description must never produce a wrong cache hit.
+        """
+        return True
 
 
 @dataclass(frozen=True)
@@ -53,6 +90,9 @@ class Bootstrap(Phase):
     full: bool = False
 
     name = "bootstrap"
+
+    def describe(self) -> dict:
+        return {"phase": self.name, "timeout": self.timeout, "full": self.full}
 
     def execute(self, session) -> PhaseResult:
         timeout = (
@@ -81,6 +121,9 @@ class RunFor(Phase):
 
     name = "run_for"
 
+    def describe(self) -> dict:
+        return {"phase": self.name, "duration": self.duration}
+
     def execute(self, session) -> PhaseResult:
         sim = session.sim
         t_start = sim.sim.now
@@ -106,14 +149,38 @@ class InjectFaults(Phase):
     campaigns use.  After injection the clock advances to ``settle``
     seconds past the last action, so a following
     :class:`AwaitLegitimacy` measures from the fault, not before it.
+
+    ``label`` names the builder for content addressing: a builder is a
+    callable the run store cannot hash, and its qualified name would
+    collapse distinct parametrizations of one closure factory onto the
+    same key.  A call site that wants its runs cached must therefore pass
+    a label carrying the builder's full parametrization (kill counts,
+    campaign names, ...); an unlabeled builder makes the whole plan
+    uncacheable rather than risk a wrong cache hit.
     """
 
     plan: Optional[FaultPlan] = None
     builder: Optional[FaultBuilder] = field(default=None, compare=False)
     settle: float = 0.01
     relative: bool = False
+    label: Optional[str] = None
 
     name = "inject_faults"
+
+    def addressable(self) -> bool:
+        return self.plan is not None or self.label is not None
+
+    def describe(self) -> dict:
+        if self.plan is not None:
+            faults = describe_fault_plan(self.plan)
+        else:
+            faults = self.label
+        return {
+            "phase": self.name,
+            "faults": faults,
+            "settle": self.settle,
+            "relative": self.relative,
+        }
 
     def execute(self, session) -> PhaseResult:
         if (self.plan is None) == (self.builder is None):
@@ -172,6 +239,14 @@ class AwaitLegitimacy(Phase):
 
     name = "await_legitimacy"
 
+    def describe(self) -> dict:
+        return {
+            "phase": self.name,
+            "timeout": self.timeout,
+            "clamp_zero": self.clamp_zero,
+            "full": self.full,
+        }
+
     def execute(self, session) -> PhaseResult:
         sim = session.sim
         t_start = sim.sim.now
@@ -218,4 +293,5 @@ __all__ = [
     "InjectFaults",
     "Phase",
     "RunFor",
+    "describe_fault_plan",
 ]

@@ -52,6 +52,12 @@ class RunObserver:
         """Called after each executed (or skipped) phase."""
 
 
+#: Config overrides whose values the run store cannot content-address
+#: (injected objects); a plan carrying any of them bypasses the store.
+_UNCACHEABLE_OVERRIDES = frozenset(
+    {"rng", "fault_model", "controller_factory", "renaissance"}
+)
+
 #: SimulationConfig fields with JSON-representable values, snapshotted
 #: into RunResult.config (injected objects — rng, fault models, controller
 #: factories — are deliberately left out).
@@ -140,6 +146,44 @@ class RunPlan:
         self._phases.extend(phases)
         return self
 
+    # -- content addressing ----------------------------------------------
+
+    def cacheable(self) -> bool:
+        """Whether the plan's behaviour is fully captured by
+        :meth:`identity` — plans carrying injected objects or phases
+        whose description is under-specified (an unlabeled fault
+        builder) are not."""
+        if set(self._overrides) & _UNCACHEABLE_OVERRIDES:
+            return False
+        return all(phase.addressable() for phase in self._phases)
+
+    def identity(self) -> Dict[str, Any]:
+        """The resolved inputs that determine this plan's outcome, as a
+        canonical JSON-able dict.  Its fingerprint is the plan's address
+        in a :class:`~repro.store.store.RunStore`."""
+        from repro.store.hashing import SCHEMA_VERSION
+
+        if isinstance(self._topology, Topology):
+            topo = self._topology
+            topology: Any = {
+                "nodes": [[n, topo.kind(n).value] for n in topo.nodes],
+                "links": [list(link) for link in topo.links],
+                "failed_links": [list(link) for link in topo.failed_links()],
+                "down_nodes": sorted(n for n in topo.nodes if not topo.node_is_up(n)),
+            }
+        else:
+            topology = self._topology
+        return {
+            "kind": "run",
+            "schema": SCHEMA_VERSION,
+            "topology": topology,
+            "controllers": self._controllers,
+            "placement": self._placement,
+            "seed": self._seed,
+            "config": _config_snapshot(self._make_config()),
+            "phases": [phase.describe() for phase in self._phases],
+        }
+
     # -- execution --------------------------------------------------------
 
     def _make_config(self) -> SimulationConfig:
@@ -154,6 +198,37 @@ class RunPlan:
         return RunSession(self)
 
     def run(self, observer: Optional[RunObserver] = None) -> RunResult:
+        """Execute the plan, reading/writing the active run store.
+
+        When a store is active (see :func:`repro.store.store.use_store`),
+        the plan is content-addressed: a stored record for an identical
+        plan is returned without building the simulation, and a fresh
+        execution is persisted before returning.  Plans that cannot be
+        addressed (injected objects) and observed runs (an observer wants
+        the live event stream) always execute.
+        """
+        if observer is None and self.cacheable():
+            from repro.store.store import active_store
+
+            store = active_store()
+            if store is not None:
+                identity = self.identity()
+                from repro.store.hashing import fingerprint
+
+                key = fingerprint(identity)
+                cached = store.load_run(key)
+                if cached is not None:
+                    return cached
+                result = self.session().run()
+                store.save_run(
+                    key,
+                    identity,
+                    result,
+                    tags={"topology": identity["topology"], "seed": self._seed}
+                    if isinstance(identity["topology"], str)
+                    else {"topology": "<custom>", "seed": self._seed},
+                )
+                return result
         return self.session().run(observer=observer)
 
 

@@ -10,6 +10,9 @@ Usage::
     python -m repro.cli figure fig5 --reps 3
     python -m repro.cli sweep --figure fig5 --network Telstra --reps 8 --workers 4
     python -m repro.cli scenario --topology jellyfish:20 --campaign churn --reps 4
+    python -m repro.cli sweep --figure fig5 --network B4 --reps 3 --store runs/
+    python -m repro.cli report --figure fig5 --network B4 --reps 3 --store runs/
+    python -m repro.cli store verify --store runs/
 
 Every simulation-running command constructs its runs through the public
 facade (:mod:`repro.api`), so ``--network`` accepts both the named
@@ -19,6 +22,12 @@ Table-8 networks and the generated-topology specs (``fattree:4``,
 :class:`~repro.api.results.RunResult` / :class:`~repro.exp.spec.
 ExperimentResult` record instead of human-readable rows, and ``--out
 FILE`` to additionally write that JSON to disk.
+
+``sweep`` and ``scenario`` take ``--store DIR`` to persist completed
+repetitions into a content-addressed run store and resume from it
+(``--no-cache`` recomputes while still writing through); ``report``
+rebuilds figures/tables from a store with zero simulation, and ``store
+ls``/``verify``/``reindex`` inspect and repair one.
 """
 
 from __future__ import annotations
@@ -44,6 +53,7 @@ from repro.api import (
 from repro.exp.runner import run_spec
 from repro.exp.seeding import derive_seed
 from repro.exp.spec import list_specs
+from repro.store import RunStore, aggregate, store_summary
 from repro.net.topologies import TOPOLOGY_BUILDERS
 from repro.scenarios.campaigns import CAMPAIGNS
 from repro.scenarios.generators import GENERATORS, parse_topology
@@ -101,6 +111,28 @@ def _emit_json(doc: object, args: argparse.Namespace) -> None:
 def _quiet(args: argparse.Namespace) -> bool:
     """Human-readable rows are suppressed when stdout carries JSON."""
     return bool(getattr(args, "json", False))
+
+
+def _store_of(args: argparse.Namespace):
+    """The run store named by ``--store`` (with ``--no-cache`` applied),
+    or ``None`` when persistence is off."""
+    if not getattr(args, "store", None):
+        return None
+    return RunStore(args.store, refresh=getattr(args, "no_cache", False))
+
+
+def _report_cache_stats(result, args: argparse.Namespace) -> None:
+    """One stderr line of cache accounting — stderr so stdout stays
+    byte-identical between cold and warm invocations (the resumability
+    acceptance property, and what the CI resume-smoke job greps)."""
+    stats = getattr(result, "cache_stats", None)
+    if stats is None:
+        return
+    print(
+        f"store: hits={stats['hit']} derived={stats['derived']} "
+        f"simulated={stats['simulated']}",
+        file=sys.stderr,
+    )
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -178,7 +210,10 @@ def cmd_recover(args: argparse.Namespace) -> int:
         .configure(task_delay=args.task_delay)
         .then(
             Bootstrap(timeout=timeout),
-            InjectFaults(builder=_recover_fault_builder(args.fault)),
+            InjectFaults(
+                builder=_recover_fault_builder(args.fault),
+                label=f"recover:{args.fault}",
+            ),
             AwaitLegitimacy(timeout=timeout),
         )
         .run()
@@ -234,8 +269,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         networks=networks,
         workers=args.workers,
         base_seed=args.seed,
+        store=_store_of(args),
+        refresh=args.no_cache,
     )
     elapsed = time.perf_counter() - started
+    _report_cache_stats(result, args)
     _emit_json(result.to_dict(), args)
     if not _quiet(args):
         for line in result.rows():
@@ -262,17 +300,15 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         return 2
     started = time.perf_counter()
     result = scenario_campaign(
-        topology=args.topology,
-        campaign=args.campaign,
         reps=args.reps,
-        n_controllers=args.controllers,
         workers=args.workers,
         base_seed=args.seed,
-        task_delay=args.task_delay,
-        theta=args.theta,
-        timeout=args.timeout,
+        store=_store_of(args),
+        refresh=args.no_cache,
+        **_scenario_params(args),
     )
     elapsed = time.perf_counter() - started
+    _report_cache_stats(result, args)
     _emit_json(result.to_dict(), args)
     if not _quiet(args):
         for line in result.rows():
@@ -294,6 +330,87 @@ def cmd_scenario(args: argparse.Namespace) -> int:
                 f"re-convergence exceeded --timeout {args.timeout})"
             )
         return 1
+    return 0
+
+
+def _scenario_params(args: argparse.Namespace) -> Dict[str, object]:
+    """The scenario spec's params, built from the shared knob flags.
+
+    One source of truth for ``repro scenario`` (which runs under these
+    params) and ``repro report`` (which must address records under the
+    exact same params): both parsers inherit the same flag definitions,
+    and both commands build the dict here.
+    """
+    return {
+        "topology": args.topology,
+        "campaign": args.campaign,
+        "n_controllers": args.controllers,
+        "task_delay": args.task_delay,
+        "theta": args.theta,
+        "timeout": args.timeout,
+    }
+
+
+def _report_params(args: argparse.Namespace) -> Dict[str, object]:
+    """The spec params a ``repro report`` must address records under
+    (only the scenario spec parametrizes its cases)."""
+    return _scenario_params(args) if args.figure == "scenario" else {}
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Rebuild a figure/table purely from stored records — no simulation."""
+    store = RunStore(args.store)
+    networks = tuple(args.network) if args.network else None
+    result, missing = aggregate(
+        store,
+        args.figure,
+        reps=args.reps,
+        networks=networks,
+        base_seed=args.seed,
+        params=_report_params(args),
+    )
+    _emit_json(result.to_dict(), args)
+    if not _quiet(args):
+        for line in result.rows():
+            print(line)
+    if missing:
+        print(
+            f"store {args.store} is missing {len(missing)} repetition(s) "
+            f"for {args.figure}:",
+            file=sys.stderr,
+        )
+        for entry in missing:
+            print(f"  {entry}", file=sys.stderr)
+        print(
+            "re-run the original sweep with --store to fill them",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Inspect or repair a run store: ls / verify / reindex."""
+    store = RunStore(args.store)
+    if args.action == "ls":
+        summary = store_summary(store)
+        print(f"store {args.store}: {summary['records']} record(s)")
+        for kind, count in summary["by_kind"].items():
+            print(f"  {kind}: {count}")
+        for series, count in summary["by_series"].items():
+            print(f"    {series}: {count}")
+        return 0
+    if args.action == "verify":
+        problems = store.verify()
+        if not problems:
+            print(f"store {args.store}: ok ({len(store.keys())} object(s))")
+            return 0
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    # reindex
+    count = store.reindex()
+    print(f"store {args.store}: manifest rebuilt ({count} record(s))")
     return 0
 
 
@@ -328,6 +445,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the serialized run record to FILE",
     )
 
+    caching = argparse.ArgumentParser(add_help=False)
+    caching.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="persist completed repetitions to (and resume from) this "
+        "content-addressed run store",
+    )
+    caching.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every repetition (still writes through to --store)",
+    )
+
+    # The scenario spec's case params, shared verbatim between `scenario`
+    # and `report` so stored records and report lookups can never drift.
+    scenario_knobs = argparse.ArgumentParser(add_help=False)
+    scenario_knobs.add_argument(
+        "--topology",
+        default="jellyfish:20",
+        help="a Table-8 name or a parametric spec: "
+        + ", ".join(syntax for _, syntax in GENERATORS.values()),
+    )
+    scenario_knobs.add_argument("--campaign", default="churn",
+                                choices=sorted(CAMPAIGNS))
+    scenario_knobs.add_argument("--controllers", type=int, default=3)
+    scenario_knobs.add_argument("--task-delay", type=float, default=0.5)
+    scenario_knobs.add_argument("--theta", type=int, default=10)
+    scenario_knobs.add_argument("--timeout", type=float, default=240.0)
+
     boot = sub.add_parser(
         "bootstrap", parents=[common, output], help="measure bootstrap time"
     )
@@ -355,7 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser(
         "sweep",
-        parents=[output],
+        parents=[output, caching],
         help="run an experiment spec via the parallel repetition runner",
     )
     sweep.add_argument("--figure", required=True, choices=list_specs())
@@ -374,26 +518,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     scen = sub.add_parser(
         "scenario",
-        parents=[output],
+        parents=[output, caching, scenario_knobs],
         help="run a fault campaign on a generated topology via the repetition runner",
     )
-    scen.add_argument(
-        "--topology",
-        default="jellyfish:20",
-        help="a Table-8 name or a parametric spec: "
-        + ", ".join(syntax for _, syntax in GENERATORS.values()),
-    )
-    scen.add_argument("--campaign", default="churn", choices=sorted(CAMPAIGNS))
-    scen.add_argument("--controllers", type=int, default=3)
     scen.add_argument("--reps", type=int, default=8)
     scen.add_argument("--workers", type=int, default=1)
     scen.add_argument("--seed", type=int, default=0,
                       help="base seed; repetition i derives its topology, "
                       "controller placement, and campaign from (seed, i)")
-    scen.add_argument("--task-delay", type=float, default=0.5)
-    scen.add_argument("--theta", type=int, default=10)
-    scen.add_argument("--timeout", type=float, default=240.0)
     scen.set_defaults(fn=cmd_scenario)
+
+    report = sub.add_parser(
+        "report",
+        parents=[output, scenario_knobs],
+        help="rebuild a figure/table from a run store, with zero simulation",
+    )
+    report.add_argument("--figure", required=True, choices=list_specs())
+    report.add_argument("--store", metavar="DIR", required=True,
+                        help="the run store a sweep/scenario wrote with --store")
+    report.add_argument(
+        "--network",
+        action="append",
+        choices=sorted(TOPOLOGY_BUILDERS),
+        help="restrict to one network (repeatable); default: the spec's own list",
+    )
+    report.add_argument("--reps", type=int, default=None,
+                        help="repetitions per data point (default: the spec's)")
+    report.add_argument("--seed", type=int, default=0,
+                        help="base seed the sweep ran with")
+    report.set_defaults(fn=cmd_report)
+
+    store = sub.add_parser("store", help="inspect or repair a run store")
+    store.add_argument("action", choices=["ls", "verify", "reindex"])
+    store.add_argument("--store", metavar="DIR", required=True)
+    store.set_defaults(fn=cmd_store)
 
     return parser
 

@@ -9,6 +9,7 @@ and the tag domain size.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -51,16 +52,30 @@ class RenaissanceConfig:
         n_switches: int,
         kappa: int = 1,
         theta: int = 10,
+        diameter: Optional[int] = None,
     ) -> "RenaissanceConfig":
         """Bounds satisfying Lemma 1 / Section 4.2 for given dimensions:
         maxManagers ≥ NC, maxRules ≥ NC·(NC+NS−1)·nprt (plus meta-rules),
         maxReplies ≥ 2·(NC+NS).
+
+        ``diameter`` (when known) widens the rule bound for high-diameter
+        graphs: the fast-failover construction installs one detour per
+        primary-path edge, and on a graph of diameter D a single flow can
+        therefore deposit up to D+1 rules at one switch — more than the
+        nprt = κ+2 per-flow rules the paper's ladder-like topologies need.
+        Under-provisioning ``max_rules`` is not a graceful degradation:
+        once the legitimate rule set exceeds the bound, the clogged-memory
+        LRU eviction makes controllers perpetually evict each other's live
+        rules and the network can never reach a legitimate configuration
+        (the ring:16/ring:20 bootstrap livelock).
         """
         n_total = n_controllers + n_switches
-        nprt = kappa + 2
+        per_flow = max(kappa + 2, (diameter or 0) + 1)
         return RenaissanceConfig(
             kappa=kappa,
-            max_rules=max(64, 2 * n_controllers * (n_total - 1) * nprt + n_controllers),
+            max_rules=max(
+                64, 2 * n_controllers * (n_total - 1) * per_flow + n_controllers
+            ),
             max_managers=max(4, n_controllers),
             max_replies=max(8, 2 * n_total),
             theta=theta,

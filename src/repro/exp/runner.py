@@ -14,6 +14,18 @@ index rather than completion order.  Serial and parallel execution of the
 same spec therefore produce bit-identical series — the property the
 determinism tests pin down.
 
+**Persistence.**  With a ``store`` the runner becomes resumable: each
+completed repetition is written through to a content-addressed
+:class:`~repro.store.store.RunStore` *from the process that ran it* (so
+an interrupted sweep keeps everything finished so far), and a stored
+repetition is loaded instead of measured on re-invocation.  The task's
+identity dict doubles as the lookup key, which is why the pure-function
+contract above matters: the same task always addresses the same record.
+Underneath, the measurement executes with the store *active*, so every
+:meth:`~repro.api.plan.RunPlan.run` it performs is content-addressed
+too — a sweep re-filtered to other networks or repetitions still reuses
+every simulation it already ran.
+
 Workers receive only primitive task tuples; nothing closure-shaped ever
 crosses the process boundary, so the runner works under both ``fork`` and
 ``spawn`` start methods.
@@ -24,10 +36,24 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exp.seeding import derive_seed
-from repro.exp.spec import ExperimentResult, Measurement, get_spec, trimmed
+from repro.exp.spec import (
+    CaseSpec,
+    ExperimentResult,
+    ExperimentSpec,
+    Measurement,
+    get_spec,
+    trimmed,
+)
+
+#: How one repetition's value was obtained (``ExperimentResult.cache_stats``
+#: tallies these): ``hit`` — measurement record loaded, nothing executed;
+#: ``derived`` — measurement re-derived from cached run records, no
+#: simulation; ``simulated`` — at least one simulation actually ran.
+HIT, DERIVED, SIMULATED = "hit", "derived", "simulated"
 
 
 @dataclass(frozen=True)
@@ -40,14 +66,84 @@ class RepetitionTask:
     case_index: int
     rep_index: int
     seed: int
+    store_dir: Optional[str] = None
+    refresh: bool = False
 
 
-def _execute_task(task: RepetitionTask) -> Tuple[int, int, Measurement]:
-    """Run one repetition; top-level so worker processes can unpickle it."""
+def measurement_identity(task: RepetitionTask, label: str) -> Dict[str, Any]:
+    """The content-addressed identity of one repetition's measurement."""
+    from repro.store.hashing import SCHEMA_VERSION
+
+    return {
+        "kind": "measurement",
+        "schema": SCHEMA_VERSION,
+        "spec": task.spec_name,
+        "networks": list(task.networks) if task.networks else None,
+        "params": [[k, v] for k, v in task.params],
+        "label": label,
+        "case_index": task.case_index,
+        "rep": task.rep_index,
+        "seed": task.seed,
+    }
+
+
+#: Store handles per (root, refresh), one per worker process: stats
+#: accumulate across the tasks a worker executes.
+_OPEN_STORES: Dict[Tuple[str, bool], "RunStore"] = {}
+
+
+def _open_store(store_dir: str, refresh: bool):
+    from repro.store.store import RunStore
+
+    key = (store_dir, refresh)
+    if key not in _OPEN_STORES:
+        _OPEN_STORES[key] = RunStore(store_dir, refresh=refresh)
+    return _OPEN_STORES[key]
+
+
+def _execute_task(task: RepetitionTask) -> Tuple[int, int, Measurement, str]:
+    """Run (or load) one repetition; top-level so workers can unpickle it."""
     spec = get_spec(task.spec_name)
     cases = spec.cases(networks=task.networks, **dict(task.params))
-    value = cases[task.case_index].measure(task.seed)
-    return task.case_index, task.rep_index, value
+    case = cases[task.case_index]
+    if task.store_dir is None:
+        return task.case_index, task.rep_index, case.measure(task.seed), SIMULATED
+
+    from repro.store.hashing import fingerprint
+    from repro.store.store import use_store
+
+    store = _open_store(task.store_dir, task.refresh)
+    identity = measurement_identity(task, case.label)
+    key = fingerprint(identity)
+    record = store.get(key)
+    if record is not None and record.get("kind") == "measurement":
+        return task.case_index, task.rep_index, record["payload"]["value"], HIT
+
+    loaded_before = store.stats.runs_loaded
+    stored_before = store.stats.runs_stored
+    with use_store(store):
+        value = case.measure(task.seed)
+    if store.stats.runs_stored > stored_before:
+        status = SIMULATED  # at least one fresh simulation was persisted
+    elif store.stats.runs_loaded > loaded_before:
+        status = DERIVED  # re-derived entirely from cached run records
+    else:
+        # The measurement never touched a RunPlan (traffic/table specs
+        # execute directly); it did its own work, so count it as such.
+        status = SIMULATED
+    store.put(
+        key,
+        identity,
+        {"value": value},
+        tags={
+            "spec": task.spec_name,
+            "label": case.label,
+            "network": case.network,
+            "rep": task.rep_index,
+            "seed": task.seed,
+        },
+    )
+    return task.case_index, task.rep_index, value, status
 
 
 def default_workers() -> int:
@@ -62,21 +158,20 @@ def default_workers() -> int:
     return 1
 
 
-def run_spec(
+def expand_tasks(
     name: str,
     reps: Optional[int] = None,
     networks: Optional[Sequence[str]] = None,
-    workers: Optional[int] = None,
     base_seed: int = 0,
     params: Optional[Dict[str, object]] = None,
-) -> ExperimentResult:
-    """Execute one registered experiment spec and merge its series.
+    store_dir: Optional[str] = None,
+    refresh: bool = False,
+) -> Tuple[ExperimentSpec, List[CaseSpec], int, List[RepetitionTask]]:
+    """Expand one spec invocation into its flat repetition task list.
 
-    ``reps`` defaults to the spec's own repetition count; ``networks``
-    restricts the case list; ``params`` forwards spec-specific knobs
-    (e.g. ``controller_counts`` for fig6).  ``workers > 1`` fans the
-    repetitions out over a process pool; results are identical to
-    ``workers=1`` for the same ``base_seed``.
+    Shared by :func:`run_spec` and the store report aggregator — the two
+    must enumerate identical tasks so the report's lookups address the
+    exact records a sweep wrote.
     """
     spec = get_spec(name)
     networks_key = tuple(networks) if networks else None
@@ -97,15 +192,24 @@ def run_spec(
                     case_index=case_index,
                     rep_index=rep,
                     seed=derive_seed(base_seed, rep),
+                    store_dir=store_dir,
+                    refresh=refresh,
                 )
             )
+    return spec, cases, effective_reps, tasks
 
-    n_workers = workers if workers is not None else default_workers()
-    outcomes = _execute(tasks, n_workers)
 
-    grid: Dict[Tuple[int, int], Measurement] = {
-        (case_index, rep): value for case_index, rep, value in outcomes
-    }
+def merge_measurements(
+    spec: ExperimentSpec,
+    cases: List[CaseSpec],
+    effective_reps: int,
+    grid: Dict[Tuple[int, int], Measurement],
+) -> ExperimentResult:
+    """Assemble the result from a (case, repetition) → value grid.
+
+    One merge path for live sweeps and store-only reports: identical
+    grids produce byte-identical serialized results.
+    """
     result = ExperimentResult(name=spec.title, notes=spec.notes)
     for case_index, case in enumerate(cases):
         if case.series:
@@ -121,9 +225,70 @@ def run_spec(
     return result
 
 
+def run_spec(
+    name: str,
+    reps: Optional[int] = None,
+    networks: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
+    base_seed: int = 0,
+    params: Optional[Dict[str, object]] = None,
+    store: Optional[Union[str, Path, "RunStore"]] = None,
+    refresh: bool = False,
+) -> ExperimentResult:
+    """Execute one registered experiment spec and merge its series.
+
+    ``reps`` defaults to the spec's own repetition count; ``networks``
+    restricts the case list; ``params`` forwards spec-specific knobs
+    (e.g. ``controller_counts`` for fig6).  ``workers > 1`` fans the
+    repetitions out over a process pool; results are identical to
+    ``workers=1`` for the same ``base_seed``.
+
+    ``store`` (a directory path or an open
+    :class:`~repro.store.store.RunStore`) makes the sweep resumable:
+    completed repetitions are persisted as they finish and loaded instead
+    of simulated on re-invocation.  ``refresh=True`` (the CLI's
+    ``--no-cache``) recomputes everything while still writing through.
+    The result's ``cache_stats`` tallies how each repetition was obtained.
+    """
+    store_dir: Optional[str] = None
+    if store is not None:
+        # NB: duck-typing on `.root` would be a trap here — pathlib paths
+        # expose `.root` as the filesystem anchor ("/").
+        from repro.store.store import RunStore
+
+        if isinstance(store, RunStore):
+            store_dir = str(store.root)
+            refresh = refresh or store.refresh
+        else:
+            store_dir = str(store)
+    spec, cases, effective_reps, tasks = expand_tasks(
+        name,
+        reps=reps,
+        networks=networks,
+        base_seed=base_seed,
+        params=params,
+        store_dir=store_dir,
+        refresh=refresh,
+    )
+
+    n_workers = workers if workers is not None else default_workers()
+    outcomes = _execute(tasks, n_workers)
+
+    grid: Dict[Tuple[int, int], Measurement] = {
+        (case_index, rep): value for case_index, rep, value, _status in outcomes
+    }
+    result = merge_measurements(spec, cases, effective_reps, grid)
+    if store_dir is not None:
+        stats = {HIT: 0, DERIVED: 0, SIMULATED: 0}
+        for *_, status in outcomes:
+            stats[status] += 1
+        result.cache_stats = stats
+    return result
+
+
 def _execute(
     tasks: List[RepetitionTask], workers: int
-) -> List[Tuple[int, int, Measurement]]:
+) -> List[Tuple[int, int, Measurement, str]]:
     if workers <= 1 or len(tasks) <= 1:
         return [_execute_task(task) for task in tasks]
     ctx = _pool_context()
@@ -138,4 +303,14 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-__all__ = ["RepetitionTask", "run_spec", "default_workers"]
+__all__ = [
+    "DERIVED",
+    "HIT",
+    "SIMULATED",
+    "RepetitionTask",
+    "default_workers",
+    "expand_tasks",
+    "measurement_identity",
+    "merge_measurements",
+    "run_spec",
+]

@@ -67,6 +67,13 @@ class ExperimentResult:
     name: str
     series: Dict[str, List[float]] = field(default_factory=dict)
     notes: str = ""
+    #: How each repetition was obtained when a run store was in play
+    #: (``{"hit": n, "derived": n, "simulated": n}``).  Diagnostic only:
+    #: excluded from equality and from the serialized form, so cold and
+    #: warm sweeps emit byte-identical JSON.
+    cache_stats: Optional[Dict[str, int]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         return {label: summarize(vals) for label, vals in self.series.items() if vals}
@@ -223,14 +230,19 @@ def _recovery_time(
     n_controllers: int,
     seed: int,
     fault_builder: Callable[[NetworkSimulation, random.Random], FaultPlan],
+    fault_label: str,
 ) -> Optional[float]:
     """Bootstrap to a legitimate state, inject the fault plan, and measure
-    the time back to legitimacy (the paper's recovery protocol)."""
+    the time back to legitimacy (the paper's recovery protocol).
+
+    ``fault_label`` names the builder (with its parameters) in the run's
+    content address — see :class:`~repro.api.phases.InjectFaults`.
+    """
     result = (
         RunPlan(network, controllers=n_controllers, seed=seed)
         .then(
             Bootstrap(timeout=TIMEOUT[network]),
-            InjectFaults(builder=fault_builder),
+            InjectFaults(builder=fault_builder, label=fault_label),
             AwaitLegitimacy(timeout=TIMEOUT[network]),
         )
         .run()
@@ -426,7 +438,9 @@ def _fig10_cases(networks=None, **_params) -> List[CaseSpec]:
         CaseSpec(
             label=network,
             network=network,
-            measure=lambda s, n=network: _recovery_time(n, 3, s, _controller_fault),
+            measure=lambda s, n=network: _recovery_time(
+                n, 3, s, _controller_fault, "controller_fault"
+            ),
         )
         for network in _networks(networks, ALL_NETWORKS)
     ]
@@ -462,7 +476,8 @@ def _fig11_cases(networks=None, kill_counts=(1, 2, 3, 4, 5, 6), **_params) -> Li
                     label=f"{network} kill={kill}",
                     network=network,
                     measure=lambda s, n=network, k=kill: _recovery_time(
-                        n, 7, s, _multi_controller_fault(k)
+                        n, 7, s, _multi_controller_fault(k),
+                        f"multi_controller_fault:{k}",
                     ),
                 )
             )
@@ -489,7 +504,9 @@ def _fig12_cases(networks=None, **_params) -> List[CaseSpec]:
         CaseSpec(
             label=network,
             network=network,
-            measure=lambda s, n=network: _recovery_time(n, 3, s, _switch_fault),
+            measure=lambda s, n=network: _recovery_time(
+                n, 3, s, _switch_fault, "switch_fault"
+            ),
         )
         for network in _networks(networks, ALL_NETWORKS)
     ]
@@ -515,7 +532,9 @@ def _fig13_cases(networks=None, **_params) -> List[CaseSpec]:
         CaseSpec(
             label=network,
             network=network,
-            measure=lambda s, n=network: _recovery_time(n, 3, s, _link_fault),
+            measure=lambda s, n=network: _recovery_time(
+                n, 3, s, _link_fault, "link_fault"
+            ),
         )
         for network in _networks(networks, ALL_NETWORKS)
     ]
@@ -561,7 +580,7 @@ def _fig14_cases(networks=None, fail_counts=(2, 4, 6), **_params) -> List[CaseSp
                     label=f"{network} k={count}",
                     network=network,
                     measure=lambda s, n=network, k=count: _recovery_time(
-                        n, 3, s, _multi_link_fault(k)
+                        n, 3, s, _multi_link_fault(k), f"multi_link_fault:{k}"
                     ),
                 )
             )

@@ -38,7 +38,9 @@ from repro.sim.faults import FaultPlan
 #: full bootstrap-campaign-reconverge cycle stays around a second of wall
 #: time.  Sub-lists are ordered largest-first so index+1 is "smaller".
 TOPOLOGY_POOL: Tuple[Tuple[str, ...], ...] = (
-    ("ring:10", "ring:8", "ring:6", "ring:5"),
+    # Rings deliberately cover the previously-livelocked high-diameter
+    # sizes (16/20) now that max_rules is diameter-aware.
+    ("ring:20", "ring:16", "ring:12", "ring:10", "ring:8", "ring:6", "ring:5"),
     ("grid:3x4", "grid:3x3", "grid:2x4", "grid:2x3"),
     ("jellyfish:12", "jellyfish:10", "jellyfish:8", "jellyfish:6"),
     ("harary:12x3", "harary:10x3", "harary:8x2", "harary:6x2"),

@@ -75,6 +75,10 @@ def campaign_run_plan(
             else (lambda sim, rng: build_campaign(campaign, sim.topology, rng))
         ),
         relative=True,
+        # The campaign name is the builder's whole parametrization; the
+        # label makes it part of the run's content address (an explicit
+        # ``plan`` is serialized verbatim instead).
+        label=f"campaign:{campaign}",
     )
     return (
         RunPlan(topology, controllers=n_controllers, seed=seed)

@@ -110,9 +110,22 @@ class NetworkSimulation:
 
         n_controllers = len(topology.controllers)
         n_switches = len(topology.switches)
-        self.rena_config = config.renaissance or RenaissanceConfig.for_network(
-            n_controllers, n_switches, kappa=config.kappa, theta=config.theta
-        )
+        if config.renaissance is not None:
+            self.rena_config = config.renaissance
+        else:
+            # Diameter-aware rule bound (an all-pairs BFS, so only paid
+            # when the config is actually derived from the network).
+            try:
+                diameter: Optional[int] = topology.diameter()
+            except ValueError:  # disconnected start state: use the floor
+                diameter = None
+            self.rena_config = RenaissanceConfig.for_network(
+                n_controllers,
+                n_switches,
+                kappa=config.kappa,
+                theta=config.theta,
+                diameter=diameter,
+            )
 
         self.discovery: Dict[str, LocalDiscovery] = {}
         for node in topology.nodes:

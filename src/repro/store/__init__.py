@@ -1,0 +1,37 @@
+"""``repro.store`` — content-addressed persistence of completed runs.
+
+The run store is the repository's memoization layer at the granularity
+simulation studies actually resume at: one completed repetition.  Sweeps
+and scenario campaigns write every finished repetition through to disk,
+re-invocations load instead of simulate, and ``repro report`` rebuilds
+figure/table summaries from the stored records without running the
+simulator at all.
+
+Quickstart::
+
+    from repro.exp.runner import run_spec
+    from repro.store import RunStore, aggregate
+
+    store = RunStore("results-store")
+    run_spec("fig5", reps=3, networks=("B4",), store=store)   # cold: simulates
+    run_spec("fig5", reps=3, networks=("B4",), store=store)   # warm: loads
+
+    result, missing = aggregate(store, "fig5", reps=3, networks=("B4",))
+    assert not missing
+"""
+
+from repro.store.hashing import SCHEMA_VERSION, canonical_json, fingerprint
+from repro.store.report import aggregate, store_summary
+from repro.store.store import RunStore, StoreStats, active_store, use_store
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunStore",
+    "StoreStats",
+    "active_store",
+    "aggregate",
+    "canonical_json",
+    "fingerprint",
+    "store_summary",
+    "use_store",
+]

@@ -1,0 +1,42 @@
+"""Stable content hashing for run-store records.
+
+A record's address is the SHA-256 of the *canonical JSON* encoding of its
+identity dict — the resolved inputs that fully determine the outcome (see
+:mod:`repro.store.store` for the two identity shapes).  Canonical JSON is
+``json.dumps`` with sorted keys and no whitespace: float encoding uses
+``repr``'s shortest round-trip form, which is byte-stable across
+processes, interpreter restarts, and platforms, so the same identity
+hashes to the same key everywhere — the property the cross-process hash
+stability test pins.
+
+The encoder is deliberately strict (no ``default=`` escape hatch): a
+non-JSON value inside an identity raises ``TypeError`` instead of being
+silently stringified, forcing every describer to make its serialization
+explicit.  Anything that changes what a stored payload *means* — result
+schema, phase semantics, measurement derivation — must bump
+``SCHEMA_VERSION``; the version is part of every identity, so a bump
+cleanly invalidates all previously stored records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+#: Version of the record identity/payload contract.  Part of every hashed
+#: identity: bump it when stored results are no longer comparable across
+#: code versions.
+SCHEMA_VERSION = 1
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON encoding: sorted keys, minimal separators."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), ensure_ascii=False)
+
+
+def fingerprint(obj: object) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+__all__ = ["SCHEMA_VERSION", "canonical_json", "fingerprint"]

@@ -1,0 +1,81 @@
+"""Figure/table aggregation from stored records — no simulation.
+
+:func:`aggregate` rebuilds one experiment's
+:class:`~repro.exp.spec.ExperimentResult` purely from the measurement
+records a sweep persisted: it expands the *same* repetition task list the
+runner would execute (same spec registry, same seed derivation, same case
+ordering), addresses each task's record by content hash, and merges the
+loaded values through the runner's own merge path.  A report over a
+complete store is therefore byte-identical to the sweep that filled it —
+the acceptance property the golden-series report test pins.
+
+Missing repetitions are returned, not guessed: the caller decides whether
+an incomplete figure is an error (the CLI exits non-zero and prints which
+``(label, repetition, seed)`` triples still need running — re-running the
+original sweep against the same store fills exactly those).
+
+:func:`store_summary` is the listing-shaped view behind ``repro store
+ls``: record counts per kind and per spec/label, straight off the
+manifest.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exp.runner import expand_tasks, measurement_identity, merge_measurements
+from repro.exp.spec import ExperimentResult, Measurement
+from repro.store.hashing import fingerprint
+from repro.store.store import RunStore
+
+
+def aggregate(
+    store: RunStore,
+    name: str,
+    reps: Optional[int] = None,
+    networks: Optional[Sequence[str]] = None,
+    base_seed: int = 0,
+    params: Optional[Dict[str, object]] = None,
+) -> Tuple[ExperimentResult, List[str]]:
+    """Rebuild one experiment from stored measurements.
+
+    Returns ``(result, missing)``: ``missing`` names every repetition the
+    store has no valid record for (corrupt records count as missing).
+    The result is exactly what :func:`~repro.exp.runner.run_spec` with the
+    same arguments would return over a warm store.
+    """
+    spec, cases, effective_reps, tasks = expand_tasks(
+        name, reps=reps, networks=networks, base_seed=base_seed, params=params
+    )
+    grid: Dict[Tuple[int, int], Measurement] = {}
+    missing: List[str] = []
+    for task in tasks:
+        case = cases[task.case_index]
+        record = store.get(fingerprint(measurement_identity(task, case.label)))
+        if record is None or record.get("kind") != "measurement":
+            missing.append(f"{case.label!r} rep {task.rep_index} (seed {task.seed})")
+            continue
+        grid[(task.case_index, task.rep_index)] = record["payload"]["value"]
+    return merge_measurements(spec, cases, effective_reps, grid), missing
+
+
+def store_summary(store: RunStore) -> Dict[str, object]:
+    """Counts of what the store holds, per kind and per spec/label."""
+    kinds: Counter = Counter()
+    specs: Counter = Counter()
+    for entry in store.manifest():
+        kinds[entry.get("kind", "record")] += 1
+        tags = entry.get("tags", {})
+        if entry.get("kind") == "measurement":
+            specs[f"{tags.get('spec', '?')} / {tags.get('label', '?')}"] += 1
+        elif entry.get("kind") == "run":
+            specs[f"run / {tags.get('topology', '?')}"] += 1
+    return {
+        "records": sum(kinds.values()),
+        "by_kind": dict(sorted(kinds.items())),
+        "by_series": dict(sorted(specs.items())),
+    }
+
+
+__all__ = ["aggregate", "store_summary"]

@@ -1,0 +1,343 @@
+"""Content-addressed, on-disk persistence of completed runs.
+
+A :class:`RunStore` maps the *identity* of a completed unit of work to its
+serialized outcome, so an identical re-invocation loads the stored record
+instead of simulating.  Two record kinds share one address space:
+
+``run``
+    One :class:`~repro.api.results.RunResult` — the full record of one
+    phased simulation, keyed by the hash of (resolved topology spec,
+    controller count, placement, effective ``SimulationConfig``, phase
+    descriptions, seed, schema version).  Written by
+    :meth:`~repro.api.plan.RunPlan.run` whenever a store is active.
+
+``measurement``
+    One repetition's measurement value, keyed by the hash of (spec name,
+    network filter, spec params, case label/index, repetition index,
+    derived seed, schema version).  Written by the repetition runner;
+    :mod:`repro.store.report` rebuilds whole figures from these records
+    without touching the simulator.
+
+Layout on disk::
+
+    <root>/objects/<key[:2]>/<key>.json    # one record per completed unit
+    <root>/manifest.jsonl                  # append-only index (key, kind, tags)
+
+Each object file is one canonical-JSON document carrying the identity it
+was hashed from, a payload checksum, and free-form ``tags`` for listing.
+Writes are atomic (temp file + ``os.replace`` in the same directory) and
+safe from concurrent worker processes: the key *is* the content, so two
+writers racing on one object produce the same bytes, and manifest lines
+are single short appends.  Loads validate the record end-to-end — key
+matches the identity hash, checksum matches the payload — so a corrupted
+or truncated record is indistinguishable from a miss and simply re-runs.
+
+The objects directory is authoritative; the manifest is a listing
+accelerator that :meth:`RunStore.reindex` can rebuild at any time.
+
+A store becomes *active* for the current process via :func:`use_store`;
+:meth:`RunPlan.run` consults :func:`active_store` so cache integration
+needs no signature changes anywhere between the runner and the plan.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.api.results import RunResult
+from repro.store.hashing import SCHEMA_VERSION, canonical_json, fingerprint
+
+
+@dataclass
+class StoreStats:
+    """In-process counters of one store handle's traffic.
+
+    ``hits``/``misses`` count record lookups (a corrupt record counts as
+    both ``corrupt`` and a miss); ``stores`` counts records written.
+    ``runs_loaded``/``runs_stored`` break out the ``run`` kind so callers
+    can tell "derived from cached runs" from "actually simulated".
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+    runs_loaded: int = 0
+    runs_stored: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "runs_loaded": self.runs_loaded,
+            "runs_stored": self.runs_stored,
+        }
+
+
+class RunStore:
+    """One on-disk store rooted at ``root``.
+
+    ``refresh=True`` turns every lookup into a miss while still writing
+    results through — the ``--no-cache`` semantics: recompute everything,
+    leave the store warm for the next invocation.
+    """
+
+    def __init__(self, root: Union[str, Path], refresh: bool = False) -> None:
+        self.root = Path(root)
+        self.refresh = refresh
+        self.stats = StoreStats()
+
+    # -- paths ------------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.jsonl"
+
+    def object_path(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # -- generic record access --------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The validated record at ``key``, or ``None`` on miss/corruption."""
+        if self.refresh:
+            self.stats.misses += 1
+            return None
+        path = self.object_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        if not self._intact(key, record):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        if record["schema"] != SCHEMA_VERSION:
+            # Intact record of another code version: stale, not corrupt —
+            # a plain miss, so the caller recomputes under the current
+            # schema (the new record gets a different key; the old one
+            # stays readable to the code version that wrote it).
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    @staticmethod
+    def _intact(key: str, record: Any) -> bool:
+        """Whether the record's content survives its own hashes —
+        independent of schema version."""
+        if not isinstance(record, dict):
+            return False
+        try:
+            return (
+                record["key"] == key
+                and fingerprint(record["identity"]) == key
+                and fingerprint(record["payload"]) == record["checksum"]
+            )
+        except (KeyError, TypeError):
+            return False
+
+    def put(
+        self,
+        key: str,
+        identity: Dict[str, Any],
+        payload: Any,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Persist one record atomically and append its manifest line."""
+        record = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "kind": identity.get("kind", "record"),
+            "identity": identity,
+            "tags": dict(tags or {}),
+            "payload": payload,
+            "checksum": fingerprint(payload),
+        }
+        path = self.object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(canonical_json(record) + "\n")
+        os.replace(tmp, path)
+        self._append_manifest(record)
+        self.stats.stores += 1
+
+    def _append_manifest(self, record: Dict[str, Any]) -> None:
+        line = canonical_json(
+            {"key": record["key"], "kind": record["kind"], "tags": record["tags"]}
+        )
+        with open(self.manifest_path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
+    # -- run records -------------------------------------------------------
+
+    def load_run(self, key: str) -> Optional[RunResult]:
+        record = self.get(key)
+        if record is None or record.get("kind") != "run":
+            return None
+        self.stats.runs_loaded += 1
+        return RunResult.from_dict(record["payload"])
+
+    def save_run(
+        self,
+        key: str,
+        identity: Dict[str, Any],
+        result: RunResult,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.put(key, identity, result.to_dict(), tags=tags)
+        self.stats.runs_stored += 1
+
+    # -- listing / integrity ----------------------------------------------
+
+    def keys(self) -> List[str]:
+        """Every object key on disk (authoritative, sorted)."""
+        if not self.objects_dir.is_dir():
+            return []
+        return sorted(p.stem for p in self.objects_dir.glob("*/*.json"))
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """Current-schema validated records from the objects directory,
+        sorted by key.
+
+        Corrupt and stale-schema objects are skipped (and counted in
+        :attr:`stats`); pass over :meth:`verify` to see corruption.
+        """
+        for key in self.keys():
+            record = self.get(key)
+            if record is not None:
+                yield record
+
+    def _read_intact(self, key: str) -> Optional[Dict[str, Any]]:
+        """The intact record at ``key`` regardless of schema version, or
+        ``None``; no stats accounting (maintenance-path reads)."""
+        try:
+            with open(self.object_path(key), "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return record if self._intact(key, record) else None
+
+    def manifest(self) -> List[Dict[str, Any]]:
+        """Deduplicated manifest entries (last write per key wins)."""
+        entries: Dict[str, Dict[str, Any]] = {}
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn tail line; verify() reports it
+                    if isinstance(entry, dict) and "key" in entry:
+                        entries[entry["key"]] = entry
+        except FileNotFoundError:
+            pass
+        return [entries[k] for k in sorted(entries)]
+
+    def reindex(self) -> int:
+        """Rebuild the manifest from the objects directory; returns the
+        number of indexed records.
+
+        Every *intact* object is indexed, whatever its schema version —
+        stale records belong to another code version but are still valid
+        store content (only corruption drops an object from the index).
+        """
+        records = [r for key in self.keys() if (r := self._read_intact(key))]
+        tmp = self.root / f".manifest.{os.getpid()}.tmp"
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(
+                    canonical_json(
+                        {
+                            "key": record["key"],
+                            "kind": record["kind"],
+                            "tags": record["tags"],
+                        }
+                    )
+                    + "\n"
+                )
+        os.replace(tmp, self.manifest_path)
+        return len(records)
+
+    def verify(self) -> List[str]:
+        """Integrity problems, empty when the store is sound.
+
+        Checks every object (parse, key↔identity hash, payload checksum)
+        and cross-checks the manifest both ways.  An intact record of a
+        different schema version is *stale*, not corrupt — valid content
+        of another code version — and does not fail verification.
+        """
+        problems: List[str] = []
+        on_disk = set()
+        if self.objects_dir.is_dir():
+            for path in sorted(self.objects_dir.glob("*/*.json")):
+                key = path.stem
+                on_disk.add(key)
+                try:
+                    with open(path, "r", encoding="utf-8") as fh:
+                        record = json.load(fh)
+                except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    problems.append(f"unreadable object {key}: {exc}")
+                    continue
+                if not self._intact(key, record):
+                    problems.append(f"corrupt object {key} (hash/checksum mismatch)")
+        manifest_keys = {entry["key"] for entry in self.manifest()}
+        for key in sorted(manifest_keys - on_disk):
+            problems.append(f"manifest entry without object: {key}")
+        for key in sorted(on_disk - manifest_keys):
+            problems.append(f"object missing from manifest: {key} (run reindex)")
+        return problems
+
+
+# ---------------------------------------------------------------------------
+# active-store context
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[RunStore] = None
+
+
+def active_store() -> Optional[RunStore]:
+    """The store write-through run executions currently target, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_store(store: Optional[RunStore]):
+    """Make ``store`` the process-wide active store for the duration.
+
+    The repetition runner wraps each measurement in this, so every
+    :meth:`RunPlan.run` a measurement performs — however deep in library
+    code — reads and writes the same store.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = store
+    try:
+        yield store
+    finally:
+        _ACTIVE = previous
+
+
+__all__ = ["RunStore", "StoreStats", "active_store", "use_store"]

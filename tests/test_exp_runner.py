@@ -107,8 +107,9 @@ def test_execute_task_is_pure_and_addressable():
         rep_index=0,
         seed=0,
     )
-    case_index, rep_index, value = _execute_task(task)
+    case_index, rep_index, value, status = _execute_task(task)
     assert (case_index, rep_index) == (0, 0)
+    assert status == "simulated"  # no store: the task always executes
     direct = get_spec("fig5").cases(networks=("B4",))[0].measure(0)
     assert value == direct
 

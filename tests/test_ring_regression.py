@@ -1,21 +1,23 @@
-"""Pinned reproduction of the ROADMAP ring-convergence defect.
+"""Regression coverage for the (fixed) ROADMAP ring-convergence defect.
 
-Scenario campaigns (PR 2) surfaced a latent protocol defect: bootstrap
-never converges on larger even rings for some controller placements —
-``ring:16`` at seed 0 (3 controllers, Θ = 10) being the smallest known
-reproduction.  Views and manager sets converge, but
-``LegitimacyChecker.flows_operational()`` stays false: one controller
-permanently lacks working in-band paths to a handful of far-side
-switches (suspected first-shortest-path tie-breaking vs installed-rule
-forwarding on high-diameter even cycles).
+Scenario campaigns (PR 2) surfaced bootstrap non-convergence on larger
+even rings for some controller placements — ``ring:16`` seed 0 and
+``ring:20`` seeds 0–1 being the pinned reproductions.  The root cause
+was *not* path tie-breaking: ``RenaissanceConfig.for_network`` sized
+``max_rules`` as 2·NC·(N−1)·(κ+2), assuming each flow deposits at most
+κ+2 rules per switch.  The fast-failover construction installs one
+detour per primary-path edge, so on a diameter-D graph a single flow
+can deposit up to D+1 rules at one switch; on ring:16 the legitimate
+steady-state rule set (~390 rules/switch) exceeded the 327-rule bound.
+The clogged-memory LRU eviction then made the three controllers
+perpetually evict each other's live rules — ``flows_operational()``
+could never hold, a permanent livelock rather than slow convergence.
 
-The xfail below pins the defect through the public API.  It is *strict*:
-the day the defect is fixed, the test XPASSes loudly and the marker (and
-the ROADMAP open item) must be removed — progress is visible either way.
-
-The 60-simulated-second budget is generous: healthy ring placements at
-these settings bootstrap in well under 20 s (see the sanity check), while
-the defective placement is permanently stuck, not slow.
+The fix makes ``for_network`` diameter-aware (the simulation passes the
+ground-truth diameter), so the bound covers the worst-case per-flow
+footprint.  These tests pin the previously-failing placements as plain
+convergence assertions; the 60-simulated-second budget is generous —
+healthy ring placements at these settings bootstrap in under 20 s.
 """
 
 import pytest
@@ -32,20 +34,37 @@ def _ring_bootstrap(spec: str, seed: int, timeout: float = 60.0):
     )
 
 
-@pytest.mark.xfail(
-    reason="ROADMAP defect: ring:16 seed-0 placement never reaches "
-    "flows_operational (in-band path tie-breaking on even cycles)",
-    strict=True,
+@pytest.mark.parametrize(
+    "spec,seed",
+    [
+        ("ring:16", 0),  # smallest known reproduction of the livelock
+        ("ring:20", 0),
+        ("ring:20", 1),
+    ],
 )
-def test_ring16_seed0_bootstrap_converges():
-    result = _ring_bootstrap("ring:16", seed=0)
+def test_defective_ring_placements_now_converge(spec, seed):
+    result = _ring_bootstrap(spec, seed)
     assert result.bootstrap_time is not None
+    assert result.bootstrap_time < 60.0
 
 
 def test_ring16_other_placements_converge():
-    """Sanity bound for the xfail: the defect is placement-specific, not a
-    blanket ring:16 failure — seed 1's placement bootstraps comfortably
-    inside the same budget."""
+    """The defect was placement-specific; the healthy placement must keep
+    bootstrapping comfortably inside the same budget after the fix."""
     result = _ring_bootstrap("ring:16", seed=1)
     assert result.bootstrap_time is not None
     assert result.bootstrap_time < 60.0
+
+
+def test_ring16_rule_bound_covers_steady_state():
+    """The repaired bound must hold the full legitimate rule set: no
+    evictions may occur on the previously-livelocked placement."""
+    plan = RunPlan("ring:16", controllers=3, seed=0).configure(theta=10).then(
+        Bootstrap(timeout=60.0)
+    )
+    session = plan.session()
+    result = session.run()
+    assert result.bootstrap_time is not None
+    for sid, switch in session.sim.switches.items():
+        assert switch.table.evictions == 0, f"evictions at {sid}"
+        assert len(switch.table) <= session.sim.rena_config.max_rules

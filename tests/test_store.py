@@ -1,0 +1,430 @@
+"""Tests for the content-addressed run store (repro.store)."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.api import Bootstrap, RunPlan
+from repro.exp.runner import expand_tasks, measurement_identity, run_spec
+from repro.store import (
+    RunStore,
+    SCHEMA_VERSION,
+    aggregate,
+    canonical_json,
+    fingerprint,
+    store_summary,
+    use_store,
+)
+
+
+# -- hashing -----------------------------------------------------------------
+
+
+def test_canonical_json_is_order_insensitive():
+    a = {"b": 1, "a": [1.5, {"y": 2, "x": 3}]}
+    b = {"a": [1.5, {"x": 3, "y": 2}], "b": 1}
+    assert canonical_json(a) == canonical_json(b)
+    assert fingerprint(a) == fingerprint(b)
+
+
+def test_canonical_json_rejects_non_json_values():
+    with pytest.raises(TypeError):
+        canonical_json({"fn": object()})
+
+
+def test_fingerprint_stable_across_processes():
+    """The same identity must hash identically in a fresh interpreter —
+    the property that lets worker processes and later invocations address
+    records a different process wrote."""
+    identity = {
+        "kind": "run",
+        "schema": SCHEMA_VERSION,
+        "topology": "ring:16",
+        "seed": 3,
+        "config": {"task_delay": 0.5, "theta": 10},
+        "phases": [{"phase": "bootstrap", "timeout": 60.0, "full": False}],
+    }
+    here = fingerprint(identity)
+    code = (
+        "import json, sys\n"
+        "from repro.store import fingerprint\n"
+        "print(fingerprint(json.load(sys.stdin)))\n"
+    )
+    there = subprocess.run(
+        [sys.executable, "-c", code],
+        input=json.dumps(identity),
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout.strip()
+    assert here == there
+
+
+def test_plan_identity_fingerprint_matches_fresh_process():
+    """End-to-end hash stability: the full RunPlan identity — phases,
+    config snapshot, everything — built independently in a subprocess
+    addresses the same record."""
+    plan = (
+        RunPlan("ring:8", controllers=2, seed=1)
+        .configure(theta=4, task_delay=0.1)
+        .then(Bootstrap(timeout=30.0))
+    )
+    here = fingerprint(plan.identity())
+    code = (
+        "from repro.api import Bootstrap, RunPlan\n"
+        "from repro.store import fingerprint\n"
+        "plan = (RunPlan('ring:8', controllers=2, seed=1)\n"
+        "        .configure(theta=4, task_delay=0.1)\n"
+        "        .then(Bootstrap(timeout=30.0)))\n"
+        "print(fingerprint(plan.identity()))\n"
+    )
+    there = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, check=True
+    ).stdout.strip()
+    assert here == there
+
+
+# -- record round-trips ------------------------------------------------------
+
+
+def test_put_get_round_trip(tmp_path):
+    store = RunStore(tmp_path / "s")
+    identity = {"kind": "measurement", "schema": SCHEMA_VERSION, "x": 1}
+    key = fingerprint(identity)
+    store.put(key, identity, {"value": 4.5}, tags={"spec": "t"})
+    record = store.get(key)
+    assert record["payload"] == {"value": 4.5}
+    assert record["tags"] == {"spec": "t"}
+    assert store.stats.hits == 1 and store.stats.stores == 1
+
+
+def test_get_absent_is_a_miss(tmp_path):
+    store = RunStore(tmp_path / "s")
+    assert store.get("0" * 64) is None
+    assert store.stats.misses == 1
+    assert store.stats.corrupt == 0
+
+
+def test_run_record_round_trips_run_result(tmp_path):
+    store = RunStore(tmp_path / "s")
+    plan = RunPlan("B4", controllers=3, seed=0).then(Bootstrap(timeout=120.0))
+    result = plan.run()
+    identity = plan.identity()
+    key = fingerprint(identity)
+    store.save_run(key, identity, result)
+    loaded = store.load_run(key)
+    assert loaded == result
+    assert loaded.to_json() == result.to_json()
+
+
+def test_plan_run_uses_active_store(tmp_path):
+    store = RunStore(tmp_path / "s")
+    plan = RunPlan("B4", controllers=3, seed=0).then(Bootstrap(timeout=120.0))
+    with use_store(store):
+        first = plan.run()
+        second = plan.run()
+    assert store.stats.runs_stored == 1
+    assert store.stats.runs_loaded == 1
+    assert first.to_json() == second.to_json()
+
+
+def test_unlabeled_fault_builder_makes_plan_uncacheable(tmp_path):
+    """A parametrized closure builder without a label would collapse
+    distinct parametrizations onto one key; the plan must bypass the
+    store rather than risk a wrong cache hit."""
+    from repro.api import AwaitLegitimacy, InjectFaults
+    from repro.sim.faults import FaultPlan
+
+    def make_fault(k):
+        def build(sim, rng):
+            plan = FaultPlan()
+            for victim in sim.topology.controllers[:k]:
+                plan.fail_node(sim.sim.now + 0.05, victim)
+            return plan
+
+        return build
+
+    store = RunStore(tmp_path / "s")
+    plan = RunPlan("B4", controllers=3, seed=0).then(
+        Bootstrap(timeout=120.0),
+        InjectFaults(builder=make_fault(1)),
+        AwaitLegitimacy(timeout=120.0),
+    )
+    assert not plan.cacheable()
+    with use_store(store):
+        plan.run()
+    assert store.stats.stores == 0
+    # The same plan with a parameter-carrying label is addressable.
+    labeled = RunPlan("B4", controllers=3, seed=0).then(
+        Bootstrap(timeout=120.0),
+        InjectFaults(builder=make_fault(1), label="make_fault:1"),
+        AwaitLegitimacy(timeout=120.0),
+    )
+    assert labeled.cacheable()
+
+
+def test_run_spec_honours_store_handle_refresh(tmp_path):
+    """run_spec(store=RunStore(dir, refresh=True)) must carry the
+    handle's --no-cache semantics, not silently serve hits."""
+    store_dir = tmp_path / "s"
+    run_spec("fig5", reps=1, networks=("B4",), store=store_dir)
+    refreshed = run_spec(
+        "fig5", reps=1, networks=("B4",), store=RunStore(store_dir, refresh=True)
+    )
+    assert refreshed.cache_stats == {"hit": 0, "derived": 0, "simulated": 1}
+
+
+def test_stale_schema_record_is_miss_not_corruption(tmp_path):
+    """An intact record of another schema version is stale — a plain
+    miss for get(), not a verification failure, and reindex keeps it."""
+    store = RunStore(tmp_path / "s")
+    identity = {"kind": "measurement", "schema": SCHEMA_VERSION + 1, "x": 1}
+    key = fingerprint(identity)
+    store.put(key, identity, {"value": 1.0})
+    # Rewrite the envelope schema to the foreign version, keeping the
+    # content hashes intact (put() stamps the current SCHEMA_VERSION).
+    path = store.object_path(key)
+    record = json.loads(path.read_text())
+    record["schema"] = SCHEMA_VERSION + 1
+    path.write_text(canonical_json(record))
+    assert store.get(key) is None
+    assert store.stats.corrupt == 0  # stale, not corrupt
+    assert store.verify() == []
+    assert store.reindex() == 1  # still indexed store content
+
+
+def test_uncacheable_plan_bypasses_store(tmp_path):
+    from repro.core.config import RenaissanceConfig
+
+    store = RunStore(tmp_path / "s")
+    rena = RenaissanceConfig.for_network(3, 12)
+    plan = (
+        RunPlan("B4", controllers=3, seed=0)
+        .configure(renaissance=rena)
+        .then(Bootstrap(timeout=120.0))
+    )
+    assert not plan.cacheable()
+    with use_store(store):
+        plan.run()
+    assert store.stats.runs_stored == 0 and store.stats.stores == 0
+
+
+# -- corruption --------------------------------------------------------------
+
+
+def _corrupt_one_object(store):
+    path = sorted(store.objects_dir.glob("*/*.json"))[0]
+    text = path.read_text()
+    path.write_text(text[: len(text) // 2])  # truncate: a torn write
+    return path.stem
+
+
+def test_corrupt_record_is_detected_and_rerun(tmp_path):
+    store_dir = tmp_path / "s"
+    cold = run_spec("fig5", reps=2, networks=("B4",), store=store_dir)
+    store = RunStore(store_dir)
+    key = _corrupt_one_object(store)
+    assert store.get(key) is None
+    assert store.stats.corrupt == 1
+
+    rerun = run_spec("fig5", reps=2, networks=("B4",), store=store_dir)
+    assert rerun.to_json() == cold.to_json()
+    assert rerun.cache_stats["hit"] < 2  # the corrupted repetition re-ran
+    # ...and the store healed: everything hits now.
+    warm = run_spec("fig5", reps=2, networks=("B4",), store=store_dir)
+    assert warm.cache_stats == {"hit": 2, "derived": 0, "simulated": 0}
+
+
+def test_tampered_payload_fails_checksum(tmp_path):
+    store = RunStore(tmp_path / "s")
+    identity = {"kind": "measurement", "schema": SCHEMA_VERSION, "x": 1}
+    key = fingerprint(identity)
+    store.put(key, identity, {"value": 1.0})
+    path = store.object_path(key)
+    record = json.loads(path.read_text())
+    record["payload"]["value"] = 99.0  # silent tamper, checksum left stale
+    path.write_text(json.dumps(record))
+    assert store.get(key) is None
+    assert store.stats.corrupt == 1
+
+
+def test_verify_reports_corruption_and_reindex_heals_manifest(tmp_path):
+    store_dir = tmp_path / "s"
+    run_spec("fig5", reps=1, networks=("B4",), store=store_dir)
+    store = RunStore(store_dir)
+    assert store.verify() == []
+    key = _corrupt_one_object(store)
+    problems = store.verify()
+    assert any(key in p for p in problems)
+    # Remove the corpse; the manifest now points at a missing object...
+    store.object_path(key).unlink()
+    assert any("manifest entry without object" in p for p in store.verify())
+    # ...until reindex rebuilds it from the objects directory.
+    store.reindex()
+    assert store.verify() == []
+
+
+# -- sweep caching -----------------------------------------------------------
+
+
+def test_warm_sweep_is_byte_identical_and_simulation_free(tmp_path):
+    store_dir = tmp_path / "s"
+    cold = run_spec("fig5", reps=3, networks=("B4",), store=store_dir)
+    assert cold.cache_stats == {"hit": 0, "derived": 0, "simulated": 3}
+    warm = run_spec("fig5", reps=3, networks=("B4",), store=store_dir)
+    assert warm.cache_stats == {"hit": 3, "derived": 0, "simulated": 0}
+    assert warm.to_json() == cold.to_json()
+    assert warm == cold  # cache_stats excluded from equality
+
+
+def test_warm_sweep_matches_storeless_run(tmp_path):
+    plain = run_spec("fig5", reps=2, networks=("Clos",))
+    stored = run_spec("fig5", reps=2, networks=("Clos",), store=tmp_path / "s")
+    warm = run_spec("fig5", reps=2, networks=("Clos",), store=tmp_path / "s")
+    assert plain.to_json() == stored.to_json() == warm.to_json()
+
+
+def test_no_cache_bypasses_lookups_but_writes_through(tmp_path):
+    store_dir = tmp_path / "s"
+    run_spec("fig5", reps=2, networks=("B4",), store=store_dir)
+    refreshed = run_spec("fig5", reps=2, networks=("B4",), store=store_dir, refresh=True)
+    assert refreshed.cache_stats == {"hit": 0, "derived": 0, "simulated": 2}
+    # The refresh left the store warm for the next cached invocation.
+    warm = run_spec("fig5", reps=2, networks=("B4",), store=store_dir)
+    assert warm.cache_stats == {"hit": 2, "derived": 0, "simulated": 0}
+
+
+def test_parallel_workers_write_through_and_resume(tmp_path):
+    store_dir = tmp_path / "s"
+    cold = run_spec("fig5", reps=3, networks=("B4",), workers=3, store=store_dir)
+    warm = run_spec("fig5", reps=3, networks=("B4",), workers=3, store=store_dir)
+    assert warm.cache_stats == {"hit": 3, "derived": 0, "simulated": 0}
+    assert warm.to_json() == cold.to_json()
+
+
+def test_network_refilter_derives_from_cached_runs(tmp_path):
+    """A sweep re-filtered to a wider network list reuses every simulation
+    the narrow sweep persisted: run records are content-addressed below
+    the measurement layer."""
+    store_dir = tmp_path / "s"
+    run_spec("fig5", reps=2, networks=("B4",), store=store_dir)
+    widened = run_spec("fig5", reps=2, networks=("B4", "Clos"), store=store_dir)
+    assert widened.cache_stats["hit"] == 0
+    assert widened.cache_stats["derived"] == 2  # B4 reps: no new simulation
+    assert widened.cache_stats["simulated"] == 2  # Clos reps
+
+
+def test_series_spec_measurements_are_cached(tmp_path):
+    store_dir = tmp_path / "s"
+    cold = run_spec("table8", networks=("B4",), store=store_dir)
+    warm = run_spec("table8", networks=("B4",), store=store_dir)
+    assert warm.cache_stats == {"hit": 3, "derived": 0, "simulated": 0}
+    assert warm.to_json() == cold.to_json()
+
+
+# -- report aggregation ------------------------------------------------------
+
+
+def test_report_rebuilds_sweep_from_store_alone(tmp_path):
+    store_dir = tmp_path / "s"
+    cold = run_spec("fig5", reps=3, networks=("B4",), store=store_dir)
+    result, missing = aggregate(
+        RunStore(store_dir), "fig5", reps=3, networks=("B4",)
+    )
+    assert missing == []
+    assert result.to_json() == cold.to_json()
+
+
+def test_report_names_missing_repetitions(tmp_path):
+    store_dir = tmp_path / "s"
+    run_spec("fig5", reps=1, networks=("B4",), store=store_dir)
+    result, missing = aggregate(RunStore(store_dir), "fig5", reps=3, networks=("B4",))
+    assert missing == ["'B4' rep 1 (seed 1)", "'B4' rep 2 (seed 2)"]
+    assert result.series["B4"]  # what exists still aggregates
+
+
+def test_report_addresses_exact_sweep_coordinates(tmp_path):
+    """Measurement records are addressed under the sweep's full
+    coordinates — a report over a different network filter has nothing to
+    load (the run records below still spare the re-simulation)."""
+    store_dir = tmp_path / "s"
+    run_spec("fig5", reps=1, networks=("B4",), store=store_dir)
+    _, missing = aggregate(RunStore(store_dir), "fig5", reps=1, networks=("B4", "Clos"))
+    assert len(missing) == 2
+
+
+def test_measurement_identity_is_task_addressable():
+    """Report-side lookups reconstruct the exact keys the runner wrote:
+    identity is a pure function of the expanded task."""
+    _, cases, _, tasks = expand_tasks("fig5", reps=2, networks=("B4",))
+    identities = [
+        measurement_identity(t, cases[t.case_index].label) for t in tasks
+    ]
+    assert len({fingerprint(i) for i in identities}) == len(tasks)
+    again = [
+        measurement_identity(t, cases[t.case_index].label)
+        for t in expand_tasks("fig5", reps=2, networks=("B4",))[3]
+    ]
+    assert [fingerprint(i) for i in identities] == [fingerprint(i) for i in again]
+
+
+def test_store_summary_counts_records(tmp_path):
+    store_dir = tmp_path / "s"
+    run_spec("fig5", reps=2, networks=("B4",), store=store_dir)
+    summary = store_summary(RunStore(store_dir))
+    assert summary["by_kind"] == {"measurement": 2, "run": 2}
+    assert summary["records"] == 4
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_sweep_report_store_round_trip(tmp_path, capsys):
+    from repro.cli import main
+
+    store_dir = str(tmp_path / "s")
+    base = ["--figure", "fig5", "--network", "B4", "--reps", "2",
+            "--seed", "0", "--store", store_dir, "--json"]
+    assert main(["sweep", *base]) == 0
+    captured = capsys.readouterr()
+    cold_doc = json.loads(captured.out)
+    assert "simulated=2" in captured.err
+
+    assert main(["sweep", *base]) == 0
+    captured = capsys.readouterr()
+    assert json.loads(captured.out) == cold_doc
+    assert "hits=2" in captured.err and "simulated=0" in captured.err
+
+    assert main(["report", *base]) == 0
+    assert json.loads(capsys.readouterr().out) == cold_doc
+
+    assert main(["store", "verify", "--store", store_dir]) == 0
+    assert main(["store", "ls", "--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "measurement" in out and "run" in out
+
+
+def test_cli_report_on_incomplete_store_fails(tmp_path, capsys):
+    from repro.cli import main
+
+    store_dir = str(tmp_path / "s")
+    assert main(["sweep", "--figure", "fig5", "--network", "B4", "--reps", "1",
+                 "--store", store_dir]) == 0
+    capsys.readouterr()
+    assert main(["report", "--figure", "fig5", "--network", "Clos", "--reps", "1",
+                 "--store", store_dir]) == 1
+    captured = capsys.readouterr()
+    assert "missing 1 repetition" in captured.err
+
+
+def test_cli_store_verify_fails_on_corruption(tmp_path, capsys):
+    from repro.cli import main
+
+    store_dir = str(tmp_path / "s")
+    assert main(["sweep", "--figure", "fig5", "--network", "B4", "--reps", "1",
+                 "--store", store_dir]) == 0
+    capsys.readouterr()
+    _corrupt_one_object(RunStore(store_dir))
+    assert main(["store", "verify", "--store", store_dir]) == 1
