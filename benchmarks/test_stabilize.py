@@ -1,0 +1,54 @@
+"""Self-stabilization benchmarks: convergence from arbitrary initial state.
+
+The paper's headline guarantee, measured directly: corrupt a freshly
+built network to an arbitrary configuration (flow tables, reply stores,
+round tags, in-flight channels), optionally hand packet delivery to a
+bounded adversarial scheduler, and time the march back to Definition 1.
+Runs through the same parallel repetition runner as every figure
+(``REPRO_WORKERS`` applies); every repetition derives its topology,
+placement, corrupted state, and scheduler randomness from its own seed.
+"""
+
+from conftest import emit, med, run_figure
+
+
+def _emit_named(result, label):
+    """All benchmarks run the same 'stabilize' spec; qualify the result
+    name so emit() persists them to distinct files."""
+    result.name = f"{result.name} — {label}"
+    return emit(result)
+
+
+def test_stabilize_mixed_on_fat_tree(benchmark):
+    result = benchmark.pedantic(
+        run_figure,
+        args=("stabilize",),
+        kwargs={"reps": 3, "topology": "fattree:4", "corruption": "mixed"},
+        rounds=1,
+        iterations=1,
+    )
+    series = _emit_named(result, "fattree:4 mixed")
+    values = series["fattree:4 mixed none"]
+    assert len(values) == 3, "a repetition failed to stabilize"
+    assert med(values) < 60
+
+
+def test_stabilize_clogged_under_adversarial_delivery(benchmark):
+    """Worst-case-within-bounds delivery on pre-clogged rule memory: the
+    nastiest combination — stabilization must still complete."""
+    result = benchmark.pedantic(
+        run_figure,
+        args=("stabilize",),
+        kwargs={
+            "reps": 3,
+            "topology": "jellyfish:20",
+            "corruption": "clogged-memory",
+            "scheduler": "max-delay",
+        },
+        rounds=1,
+        iterations=1,
+    )
+    series = _emit_named(result, "jellyfish:20 clogged max-delay")
+    values = series["jellyfish:20 clogged-memory max-delay"]
+    assert len(values) == 3, "a repetition failed to stabilize"
+    assert all(0 <= v < 240 for v in values)

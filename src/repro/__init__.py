@@ -22,6 +22,10 @@ Public API overview
   named and generated networks, builder-style phased run plans, and
   JSON-serializable results.  Experiments, scenarios, and the CLI all
   construct their simulations through it.
+* :mod:`repro.adversary` — **adversarial self-stabilization**: seeded
+  arbitrary-initial-state corruption strategies, bounded worst-case
+  delivery schedulers, the ``stabilize`` experiment spec, and the
+  convergence-from-arbitrary-state property harness.
 * :mod:`repro.store` — **the run store**: content-addressed on-disk
   persistence of completed runs/repetitions, resumable sweeps, and
   store-only report aggregation.
@@ -52,6 +56,7 @@ from repro.sim import NetworkSimulation, SimulationConfig, FaultPlan
 from repro.api import (
     AwaitLegitimacy,
     Bootstrap,
+    CorruptState,
     InjectFaults,
     RunFor,
     RunObserver,
@@ -98,6 +103,7 @@ __all__ = [
     "FaultPlan",
     "AwaitLegitimacy",
     "Bootstrap",
+    "CorruptState",
     "InjectFaults",
     "RunFor",
     "RunObserver",

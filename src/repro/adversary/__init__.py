@@ -1,0 +1,45 @@
+"""``repro.adversary`` — convergence from *arbitrary* initial state.
+
+The paper's headline guarantee is self-stabilization: the control plane
+reaches a legitimate configuration from **any** starting state, not just
+from a pristine bootstrap or after faults injected into a clean run.
+This package builds that evaluation axis:
+
+* :mod:`repro.adversary.corruptions` — a seeded registry of composable
+  :class:`StateCorruption` strategies that rewrite component state after
+  topology construction but *before* the protocol runs (garbage flow
+  rules, phantom reply-store entries, desynchronized round tags,
+  pre-clogged rule memory, in-flight channel garbage), plus a ``mixed``
+  sampler drawing an arbitrary configuration from a seed;
+* :mod:`repro.adversary.schedulers` — bounded adversarial delivery
+  schedulers (worst-case-within-bounds delay and reorder policies),
+  pluggable through ``SimulationConfig.scheduler`` exactly like
+  controller placements through ``PLACEMENTS``;
+* :mod:`repro.adversary.spec` — the ``stabilize`` experiment spec:
+  (topology × corruption × scheduler × seed) campaigns through the
+  parallel repetition runner and the run store;
+* :mod:`repro.adversary.harness` — the generate-and-shrink property
+  harness for the convergence-from-arbitrary-state claim, reporting a
+  reproducing ``(topology, corruption, scheduler, seed)`` tuple on
+  failure.
+"""
+
+from repro.adversary.corruptions import (
+    CORRUPTIONS,
+    StateCorruption,
+    apply_corruption,
+)
+from repro.adversary.schedulers import (
+    SCHEDULERS,
+    AdversarialScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "CORRUPTIONS",
+    "SCHEDULERS",
+    "AdversarialScheduler",
+    "StateCorruption",
+    "apply_corruption",
+    "make_scheduler",
+]

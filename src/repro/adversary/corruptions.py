@@ -1,0 +1,404 @@
+"""Seeded, composable arbitrary-state corruption strategies.
+
+A :class:`StateCorruption` rewrites the state of a freshly constructed
+``NetworkSimulation`` — after topology construction, *before* the first
+protocol step — so a following bootstrap measures convergence from an
+**arbitrary** initial configuration, the paper's actual self-stabilization
+claim, rather than from pristine empty state.
+
+Every strategy is a pure function of the injected ``random.Random``
+stream: applying the same corruption with the same seed to two identical
+simulations produces identical component state.  That purity is what lets
+the ``stabilize`` experiment spec re-derive a repetition's corruption in
+any worker process from the repetition seed alone, and what makes
+corrupted runs content-addressable in the run store (the corruption is
+identified by its registry name; the seed is already part of the plan
+identity).
+
+The strategies cover the state surfaces the paper's transient-fault model
+names (Figure 3, rightmost class):
+
+* ``garbage-rules`` — stale and garbage flow-table rules: ghost owners,
+  live owners with wrong round tags, conflicting matches;
+* ``phantom-replies`` — reply-store pollution: phantom nodes stamped with
+  the controller's *live* round tag, plus conflicting entries for real
+  switches reporting wrong adjacencies;
+* ``desync-views`` — desynchronized round state: arbitrary ``prevTag``/
+  ``currTag`` pairs (including collisions and stolen namespaces), skewed
+  tag counters, stale meta-rules on switches;
+* ``clogged-memory`` — rule memory pre-filled to ``max_rules`` with
+  never-refreshed ghost rules, forcing the LRU-eviction and
+  ``delAllRules`` cleanup paths from step one;
+* ``channel-garbage`` — in-flight garbage: spurious query replies and
+  ghost command batches already travelling when the protocol starts, and
+  (under ``reliable_channels``) scrambled end-to-end channel endpoints;
+* ``mixed`` — a seeded sampler drawing an arbitrary combination of the
+  above, the default for ``repro stabilize`` campaigns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.tags import Tag
+from repro.net.channel import LABEL_DOMAIN
+from repro.switch.abstract_switch import BOTTOM
+from repro.switch.commands import (
+    AddManager,
+    CommandBatch,
+    NewRound,
+    QueryReply,
+    UpdateRules,
+)
+from repro.switch.flow_table import META_PRIORITY, Rule
+
+#: Ghost identities planted by corruption.  The ``zz-`` prefix keeps them
+#: lexicographically after every real node id, so sorted iteration orders
+#: stay stable with and without corruption.
+GHOST_CONTROLLERS = ("zz-ghost-0", "zz-ghost-1", "zz-ghost-2")
+PHANTOM_NODES = tuple(f"zz-phantom-{i}" for i in range(8))
+
+#: Tag values planted by corruption are drawn from this range — small, so
+#: collisions with live counters (which start near zero) actually occur.
+_TAG_RANGE = 64
+
+
+def _sample(rng: random.Random, population: List[str], k: int) -> List[str]:
+    return rng.sample(population, min(k, len(population)))
+
+
+def garbage_rules(sim, rng: random.Random, per_switch: int = 3) -> Dict[str, int]:
+    """Plant garbage and stale rules in every flow table.
+
+    Half the planted rules belong to ghost controllers (stale state of
+    owners that never existed); the rest belong to *live* controllers but
+    carry arbitrary round tags and arbitrary matches — the hardest case,
+    because the owner must replace rather than merely delete them.
+    """
+    nodes = list(sim.topology.nodes)
+    controllers = list(sim.topology.controllers)
+    planted = 0
+    for sid, switch in sim.switches.items():
+        neighbors = sim.topology.neighbors(sid)
+        if not neighbors:
+            continue
+        rules = []
+        for _ in range(per_switch):
+            if controllers and rng.random() < 0.5:
+                owner = rng.choice(controllers)
+            else:
+                owner = rng.choice(GHOST_CONTROLLERS)
+            rules.append(
+                Rule(
+                    cid=owner,
+                    sid=sid,
+                    src=rng.choice(nodes),
+                    dst=rng.choice(nodes),
+                    priority=rng.randrange(1, 6),
+                    forward_to=rng.choice(neighbors),
+                    tag=Tag(owner, rng.randrange(_TAG_RANGE)),
+                )
+            )
+        switch.corrupt(rules=tuple(rules), managers=tuple(_sample(rng, list(GHOST_CONTROLLERS), 1)))
+        planted += len(rules)
+    return {"rules_planted": planted}
+
+
+def phantom_replies(sim, rng: random.Random, per_controller: int = 2) -> Dict[str, int]:
+    """Pollute every reply store with phantom and conflicting entries.
+
+    Phantom nodes are stamped with the controller's *current* round tag so
+    they survive the tag-mismatch discard and enter the fused view; a
+    conflicting entry for a real switch reports wrong adjacencies the
+    protocol must overwrite with a genuine reply before views are accurate.
+    """
+    switches = list(sim.topology.switches)
+    planted = 0
+    for cid, controller in sim.controllers.items():
+        entries: List[Tuple[QueryReply, Tag]] = []
+        for _ in range(per_controller):
+            phantom = rng.choice(PHANTOM_NODES)
+            entries.append(
+                (
+                    QueryReply(
+                        node=phantom,
+                        neighbors=tuple(_sample(rng, switches, 2)),
+                        managers=(cid,),
+                        rules=(),
+                    ),
+                    controller.curr_tag,
+                )
+            )
+        if switches and rng.random() < 0.8:
+            real = rng.choice(switches)
+            wrong = tuple(n for n in _sample(rng, switches, 2) if n != real)
+            entries.append(
+                (
+                    QueryReply(
+                        node=real,
+                        neighbors=wrong + (rng.choice(PHANTOM_NODES),),
+                        managers=(rng.choice(GHOST_CONTROLLERS),),
+                        rules=(),
+                    ),
+                    controller.curr_tag,
+                )
+            )
+        controller.replydb.corrupt(entries)
+        planted += len(entries)
+    return {"replies_planted": planted}
+
+
+def desync_views(sim, rng: random.Random) -> Dict[str, int]:
+    """Desynchronize round tags, epoch counters, and meta-rules.
+
+    Controllers get arbitrary ``prevTag``/``currTag`` pairs — sometimes
+    colliding, sometimes borrowed from another controller's namespace —
+    and skewed tag counters; switches get meta-rules claiming rounds that
+    never happened.  The tag-synchronization layer (Section 4.2) must
+    re-establish uniqueness within its Δsynch bound.
+    """
+    controllers = list(sim.controllers)
+    desynced = 0
+    for cid, controller in sim.controllers.items():
+        domain = controller.tags.domain
+        prev = Tag(cid, rng.randrange(_TAG_RANGE))
+        curr = prev if rng.random() < 0.25 else Tag(cid, rng.randrange(_TAG_RANGE))
+        if len(controllers) > 1 and rng.random() < 0.3:
+            other = rng.choice([c for c in controllers if c != cid])
+            prev = Tag(other, rng.randrange(_TAG_RANGE))
+        controller.corrupt_tags(prev, curr)
+        controller.tags.corrupt(rng.randrange(domain))
+        controller.rulegen.invalidate()
+        desynced += 1
+    stale_meta = 0
+    for sid, switch in sim.switches.items():
+        if controllers and rng.random() < 0.5:
+            owner = rng.choice(controllers)
+            switch.corrupt(
+                rules=(
+                    Rule(
+                        cid=owner,
+                        sid=sid,
+                        src=BOTTOM,
+                        dst=BOTTOM,
+                        priority=META_PRIORITY,
+                        forward_to=None,
+                        tag=Tag(owner, rng.randrange(_TAG_RANGE)),
+                    ),
+                )
+            )
+            stale_meta += 1
+    return {"controllers_desynced": desynced, "stale_meta_rules": stale_meta}
+
+
+def clogged_memory(sim, rng: random.Random, fill: float = 1.0) -> Dict[str, int]:
+    """Pre-fill rule memory with never-refreshed ghost rules.
+
+    ``fill`` is the target occupancy as a fraction of ``max_rules``; the
+    default clogs every table completely, so the very first legitimate
+    install must go through the LRU-eviction path and cleanup must issue
+    ``delAllRules`` for owners that never existed.
+    """
+    max_rules = sim.rena_config.max_rules
+    filled = 0
+    for sid, switch in sim.switches.items():
+        neighbors = sim.topology.neighbors(sid)
+        if not neighbors:
+            continue
+        target = max(0, int(max_rules * fill))
+        rules = []
+        index = 0
+        while len(switch.table) + len(rules) < target:
+            rules.append(
+                Rule(
+                    cid=GHOST_CONTROLLERS[index % len(GHOST_CONTROLLERS)],
+                    sid=sid,
+                    src=f"zz-src-{index}",
+                    dst=f"zz-dst-{index}",
+                    priority=1,
+                    forward_to=rng.choice(neighbors),
+                )
+            )
+            index += 1
+        switch.corrupt(rules=tuple(rules))
+        filled += len(rules)
+    return {"rules_planted": filled}
+
+
+def channel_garbage(sim, rng: random.Random, packets: int = 4) -> Dict[str, int]:
+    """Plant garbage already in flight when the protocol starts.
+
+    Schedules spurious deliveries on the event engine: query replies from
+    phantom nodes stamped with a live round tag (landing straight in a
+    reply store), and ghost command batches materializing at switches.
+    Under ``reliable_channels`` one end-to-end channel endpoint is also
+    scrambled — arbitrary labels and a ghost batch in flight — exercising
+    the Δcomm false-acknowledgment bound of Section 3.1.
+    """
+    from repro.sim.events import EventKind
+
+    controllers = list(sim.topology.controllers)
+    switches = list(sim.topology.switches)
+    scheduled = 0
+    for _ in range(packets):
+        at = rng.uniform(0.01, 0.25)
+        if controllers and rng.random() < 0.5:
+            cid = rng.choice(controllers)
+            controller = sim.controllers[cid]
+            phantom = rng.choice(PHANTOM_NODES)
+            echo = Rule(
+                cid=cid,
+                sid=phantom,
+                src=BOTTOM,
+                dst=BOTTOM,
+                priority=META_PRIORITY,
+                forward_to=None,
+                tag=controller.curr_tag,
+            )
+            reply = QueryReply(
+                node=phantom,
+                neighbors=tuple(_sample(rng, switches, 2)),
+                managers=(),
+                rules=(echo,),
+            )
+            sim.sim.schedule_at(
+                at,
+                lambda c=controller, r=reply: c.on_reply(r),
+                kind=EventKind.PACKET_DELIVERY,
+                note=f"adversary reply ->{cid}",
+            )
+        elif switches:
+            sid = rng.choice(switches)
+            neighbors = sim.topology.neighbors(sid)
+            if not neighbors:
+                continue
+            batch = _ghost_batch(sid, neighbors, rng)
+            sim.sim.schedule_at(
+                at,
+                lambda s=sim.switches[sid], b=batch: s.handle_batch(b),
+                kind=EventKind.PACKET_DELIVERY,
+                note=f"adversary batch ->{sid}",
+            )
+        scheduled += 1
+    if sim.config.reliable_channels and controllers and switches:
+        cid = rng.choice(controllers)
+        dst = rng.choice(switches)
+        channel = sim._tx_channel(cid, dst)
+        channel.corrupt(
+            send_label=rng.randrange(LABEL_DOMAIN),
+            recv_label=rng.randrange(LABEL_DOMAIN),
+            in_flight=_ghost_batch(dst, sim.topology.neighbors(dst), rng),
+        )
+        scheduled += 1
+    return {"packets_in_flight": scheduled}
+
+
+def _ghost_batch(sid: str, neighbors: List[str], rng: random.Random) -> CommandBatch:
+    """A syntactically valid batch from a controller that never existed."""
+    ghost = rng.choice(GHOST_CONTROLLERS)
+    rule = Rule(
+        cid=ghost,
+        sid=sid,
+        src=rng.choice(PHANTOM_NODES),
+        dst=rng.choice(PHANTOM_NODES),
+        priority=1,
+        forward_to=rng.choice(neighbors),
+    )
+    return CommandBatch(
+        sender=ghost,
+        commands=(
+            NewRound(Tag(ghost, rng.randrange(_TAG_RANGE))),
+            AddManager(ghost),
+            UpdateRules((rule,)),
+        ),
+    )
+
+
+def mixed(sim, rng: random.Random) -> Dict[str, object]:
+    """An arbitrary configuration, sampled from the whole registry.
+
+    Each atomic strategy is included independently with a fixed
+    probability (clogged memory less often and at a sampled fill level —
+    it dominates when present); at least one always applies.  The sampled
+    combination and every sub-accounting ride along in the returned dict,
+    so a run record shows exactly what state the run started from.
+    """
+    menu: List[Tuple[str, Callable[[], Dict[str, object]], float]] = [
+        ("garbage-rules", lambda: garbage_rules(sim, rng), 0.8),
+        ("phantom-replies", lambda: phantom_replies(sim, rng), 0.75),
+        ("desync-views", lambda: desync_views(sim, rng), 0.75),
+        ("clogged-memory", lambda: clogged_memory(sim, rng, fill=rng.uniform(0.5, 1.0)), 0.35),
+        ("channel-garbage", lambda: channel_garbage(sim, rng), 0.6),
+    ]
+    applied: List[str] = []
+    accounting: Dict[str, object] = {}
+    for name, strategy, probability in menu:
+        if rng.random() < probability:
+            accounting[name] = strategy()
+            applied.append(name)
+    if not applied:
+        accounting["desync-views"] = desync_views(sim, rng)
+        applied.append("desync-views")
+    accounting["applied"] = applied
+    return accounting
+
+
+@dataclass(frozen=True)
+class StateCorruption:
+    """A named, registry-addressable corruption strategy.
+
+    ``apply`` mutates the simulation's component state in place and
+    returns a JSON-able accounting dict (what was planted where) that the
+    ``corrupt_state`` phase surfaces in its :class:`PhaseResult` details.
+    """
+
+    name: str
+    description: str
+    strategy: Callable[..., Dict[str, object]]
+
+    def apply(self, sim, rng: random.Random, **params) -> Dict[str, object]:
+        return self.strategy(sim, rng, **params)
+
+
+#: Pluggable corruption registry; register a strategy here to make it
+#: addressable from every entry point (``CorruptState(corruption=name)``,
+#: ``repro stabilize --corruption name``, the property harness).
+CORRUPTIONS: Dict[str, StateCorruption] = {
+    corruption.name: corruption
+    for corruption in (
+        StateCorruption("garbage-rules", "garbage/stale flow-table rules (ghost and live owners)", garbage_rules),
+        StateCorruption("phantom-replies", "phantom and conflicting reply-store entries", phantom_replies),
+        StateCorruption("desync-views", "desynchronized round tags, epoch counters, stale meta-rules", desync_views),
+        StateCorruption("clogged-memory", "rule memory pre-filled to max_rules with ghost rules", clogged_memory),
+        StateCorruption("channel-garbage", "garbage replies/batches already in flight at start", channel_garbage),
+        StateCorruption("mixed", "an arbitrary seeded combination of all strategies", mixed),
+    )
+}
+
+
+def apply_corruption(name: str, sim, rng: random.Random, **params) -> Dict[str, object]:
+    """Apply the named corruption; raises on unknown names."""
+    try:
+        corruption = CORRUPTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown corruption {name!r}; known: {', '.join(sorted(CORRUPTIONS))}"
+        ) from None
+    return corruption.apply(sim, rng, **params)
+
+
+__all__ = [
+    "CORRUPTIONS",
+    "GHOST_CONTROLLERS",
+    "PHANTOM_NODES",
+    "StateCorruption",
+    "apply_corruption",
+    "channel_garbage",
+    "clogged_memory",
+    "desync_views",
+    "garbage_rules",
+    "mixed",
+    "phantom_replies",
+]

@@ -1,0 +1,118 @@
+"""Bounded adversarial delivery schedulers.
+
+The paper's asynchronous model lets an adversary choose *any* interleaving
+subject to communication fairness: a packet sent is eventually delivered,
+within bounded time.  The simulation's default scheduler is benign — every
+control packet arrives after exactly ``hops × latency``.  The schedulers
+here replace that with worst-case-within-bounds policies: each delivery
+latency ``l`` may be stretched anywhere inside ``[l, l × bound]``, which
+preserves fairness (no packet is lost or starved) while letting the
+adversary pick the nastiest arrival order the bound allows.
+
+Schedulers are pluggable through ``SimulationConfig.scheduler`` — a
+registry *name*, like controller placements through ``PLACEMENTS`` — so a
+scheduled run stays content-addressable in the run store (an injected
+object would not be).  The module depends only on the standard library;
+:mod:`repro.sim.network_sim` imports it lazily.
+
+* ``max-delay`` — every packet takes the full bound: the slowest fair
+  execution, maximizing the window in which state is stale;
+* ``reorder`` — alternates between the bound and the floor, so
+  consecutively sent packets systematically overtake each other —
+  adjacent sends swap arrival order whenever their spacing is below
+  ``(bound − 1) × l``;
+* ``extremes`` — a seeded coin flip between floor and bound per packet:
+  an adversary sampling arbitrary admissible arrival orders.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+
+class AdversarialScheduler:
+    """Base policy: maps a benign delivery latency to an adversarial one.
+
+    Implementations must stay within ``[latency, latency * bound]`` — the
+    bound is the fairness contract; anything outside it would model loss
+    or time travel, not scheduling.
+    """
+
+    name = "adversary"
+
+    def __init__(self, bound: float, rng: Optional[random.Random] = None) -> None:
+        if bound < 1.0:
+            raise ValueError(f"scheduler bound must be >= 1 (got {bound})")
+        self.bound = bound
+        self._rng = rng
+
+    def delay(self, latency: float) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class MaxDelayScheduler(AdversarialScheduler):
+    """Every delivery takes the full bound."""
+
+    name = "max-delay"
+
+    def delay(self, latency: float) -> float:
+        return latency * self.bound
+
+
+class ReorderScheduler(AdversarialScheduler):
+    """Alternate floor/bound so consecutive sends invert arrival order."""
+
+    name = "reorder"
+
+    def __init__(self, bound: float, rng: Optional[random.Random] = None) -> None:
+        super().__init__(bound, rng)
+        self._flip = False
+
+    def delay(self, latency: float) -> float:
+        self._flip = not self._flip
+        return latency * self.bound if self._flip else latency
+
+
+class ExtremesScheduler(AdversarialScheduler):
+    """Seeded coin flip between floor and bound per packet."""
+
+    name = "extremes"
+
+    def __init__(self, bound: float, rng: Optional[random.Random] = None) -> None:
+        super().__init__(bound, rng if rng is not None else random.Random(0))
+
+    def delay(self, latency: float) -> float:
+        return latency * self.bound if self._rng.random() < 0.5 else latency
+
+
+#: Pluggable scheduler registry, keyed by the name ``SimulationConfig.
+#: scheduler`` carries; register a policy here to make it addressable from
+#: every entry point (plans, specs, ``repro stabilize --scheduler``).
+SCHEDULERS: Dict[str, Callable[..., AdversarialScheduler]] = {
+    scheduler.name: scheduler
+    for scheduler in (MaxDelayScheduler, ReorderScheduler, ExtremesScheduler)
+}
+
+
+def make_scheduler(
+    name: str, bound: float = 4.0, rng: Optional[random.Random] = None
+) -> AdversarialScheduler:
+    """Instantiate the named scheduler; raises on unknown names."""
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; known: {', '.join(sorted(SCHEDULERS))}"
+        ) from None
+    return factory(bound, rng)
+
+
+__all__ = [
+    "SCHEDULERS",
+    "AdversarialScheduler",
+    "ExtremesScheduler",
+    "MaxDelayScheduler",
+    "ReorderScheduler",
+    "make_scheduler",
+]

@@ -1,0 +1,171 @@
+"""The ``stabilize`` experiment spec: convergence from arbitrary state.
+
+Registers one :class:`~repro.exp.spec.ExperimentSpec` named ``stabilize``
+whose cases measure the paper's *headline* claim — self-stabilization:
+corrupt the freshly constructed network to an arbitrary configuration
+(flow tables, reply stores, round tags, channel contents), optionally
+hand packet delivery to a bounded adversarial scheduler, and measure the
+time until Definition 1 holds.
+
+Everything is a pure function of the repetition seed: the topology (for
+randomized families), the controller placement, the corruption (its own
+decorrelated :func:`~repro.exp.seeding.adversary_rng` stream), the
+scheduler's randomness, and the simulation's event interleaving.  The
+parallel repetition runner therefore produces bit-identical series at any
+worker count, and every repetition is content-addressable in the run
+store — a warm re-run performs zero simulator steps.  The module is wired
+into the registry lazily through ``repro.exp.spec``'s deferred-module
+hook, like the scenario spec.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.api import AwaitLegitimacy, CorruptState, RunPlan, RunResult
+from repro.exp.spec import CaseSpec, ExperimentSpec, register
+
+
+def stabilize_run_plan(
+    topology: str,
+    corruption: str,
+    seed: int,
+    scheduler: str = "none",
+    scheduler_bound: float = 4.0,
+    n_controllers: int = 3,
+    task_delay: float = 0.5,
+    theta: int = 10,
+    timeout: float = 240.0,
+) -> RunPlan:
+    """The facade plan of one stabilization repetition: corrupt the
+    initial state, then run until a legitimate configuration is reached.
+
+    ``scheduler`` names a bounded adversarial delivery policy from
+    :data:`~repro.adversary.schedulers.SCHEDULERS` (``"none"`` keeps the
+    benign default).  There is deliberately no ``Bootstrap`` phase: the
+    run *starts* corrupted, so the awaited convergence is the
+    stabilization itself.
+    """
+    # robust_views: the adversarial axis injects pure transient corruption
+    # (no permanent removals), so the corroborated-fusion planning view is
+    # sound here and prevents the rule-flap limit cycle the bounded-delay
+    # schedulers otherwise induce on high-diameter topologies.
+    plan = RunPlan(topology, controllers=n_controllers, seed=seed).configure(
+        task_delay=task_delay, theta=theta, robust_views=True
+    )
+    if scheduler != "none":
+        plan.configure(scheduler=scheduler, scheduler_bound=scheduler_bound)
+    return plan.then(
+        CorruptState(corruption=corruption),
+        AwaitLegitimacy(timeout=timeout),
+    )
+
+
+def run_stabilize(
+    topology: str,
+    corruption: str,
+    seed: int,
+    scheduler: str = "none",
+    scheduler_bound: float = 4.0,
+    n_controllers: int = 3,
+    task_delay: float = 0.5,
+    theta: int = 10,
+    timeout: float = 240.0,
+) -> RunResult:
+    """Execute one stabilization repetition; returns its full run record."""
+    return stabilize_run_plan(
+        topology,
+        corruption,
+        seed,
+        scheduler=scheduler,
+        scheduler_bound=scheduler_bound,
+        n_controllers=n_controllers,
+        task_delay=task_delay,
+        theta=theta,
+        timeout=timeout,
+    ).run()
+
+
+def measure_stabilization(
+    topology: str,
+    corruption: str,
+    seed: int,
+    scheduler: str = "none",
+    scheduler_bound: float = 4.0,
+    n_controllers: int = 3,
+    task_delay: float = 0.5,
+    theta: int = 10,
+    timeout: float = 240.0,
+) -> Optional[float]:
+    """Stabilization time from arbitrary initial state to legitimacy, or
+    ``None`` if the run never converged within the timeout."""
+    return run_stabilize(
+        topology,
+        corruption,
+        seed,
+        scheduler=scheduler,
+        scheduler_bound=scheduler_bound,
+        n_controllers=n_controllers,
+        task_delay=task_delay,
+        theta=theta,
+        timeout=timeout,
+    ).stabilization_time
+
+
+def _stabilize_cases(
+    networks=None,
+    topology: str = "jellyfish:20",
+    corruption: str = "mixed",
+    scheduler: str = "none",
+    scheduler_bound: float = 4.0,
+    n_controllers: int = 3,
+    task_delay: float = 0.5,
+    theta: int = 10,
+    timeout: float = 240.0,
+    **_params,
+) -> List[CaseSpec]:
+    label = f"{topology} {corruption} {scheduler}"
+    if networks and topology not in networks and label not in networks:
+        return []
+    return [
+        CaseSpec(
+            label=label,
+            network=topology,
+            measure=lambda s: measure_stabilization(
+                topology,
+                corruption,
+                s,
+                scheduler=scheduler,
+                scheduler_bound=scheduler_bound,
+                n_controllers=n_controllers,
+                task_delay=task_delay,
+                theta=theta,
+                timeout=timeout,
+            ),
+            # Like the scenario spec: the worst-case tail is the point of
+            # an adversarial campaign, so keep every repetition.
+            trim=False,
+        )
+    ]
+
+
+register(
+    ExperimentSpec(
+        name="stabilize",
+        title="Stabilize: convergence from an arbitrary initial state",
+        build_cases=_stabilize_cases,
+        notes=(
+            "seconds from arbitrary-state corruption (applied before the "
+            "first protocol step) to a legitimate configuration "
+            "(Definition 1)"
+        ),
+        default_reps=8,
+    )
+)
+
+
+__all__ = [
+    "measure_stabilization",
+    "run_stabilize",
+    "stabilize_run_plan",
+]

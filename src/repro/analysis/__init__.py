@@ -24,11 +24,13 @@ from repro.analysis.experiments import (
     fig19_bad_tcp,
     fig20_out_of_order,
 )
+from repro.analysis.adversary import stabilize_campaign
 from repro.analysis.scenarios import scenario_campaign
 
 __all__ = [
     "ExperimentResult",
     "scenario_campaign",
+    "stabilize_campaign",
     "table8_topologies",
     "fig5_bootstrap",
     "fig6_bootstrap_vs_controllers",

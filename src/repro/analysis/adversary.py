@@ -1,0 +1,57 @@
+"""Figure-shaped API over the adversarial self-stabilization subsystem.
+
+:func:`stabilize_campaign` is to the ``stabilize`` spec what
+``scenario_campaign`` is to ``scenario``: a stable wrapper that resolves
+the spec in the registry and executes it through the parallel repetition
+runner, bit-identical at any worker count and resumable through the run
+store.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exp.runner import run_spec
+from repro.exp.spec import ExperimentResult
+
+
+def stabilize_campaign(
+    topology: str = "jellyfish:20",
+    corruption: str = "mixed",
+    scheduler: str = "none",
+    reps: int = 8,
+    n_controllers: int = 3,
+    workers: Optional[int] = None,
+    base_seed: int = 0,
+    task_delay: float = 0.5,
+    theta: int = 10,
+    timeout: float = 240.0,
+    store=None,
+    refresh: bool = False,
+) -> ExperimentResult:
+    """Stabilization-time distribution of one corruption strategy (under
+    one delivery scheduler) on one topology; each repetition derives its
+    topology (for randomized families), controller placement, corrupted
+    initial state, and scheduler randomness from its own seed.
+    ``store``/``refresh`` make the campaign resumable exactly like
+    :func:`~repro.exp.runner.run_spec`."""
+    return run_spec(
+        "stabilize",
+        reps=reps,
+        workers=workers,
+        base_seed=base_seed,
+        store=store,
+        refresh=refresh,
+        params={
+            "topology": topology,
+            "corruption": corruption,
+            "scheduler": scheduler,
+            "n_controllers": n_controllers,
+            "task_delay": task_delay,
+            "theta": theta,
+            "timeout": timeout,
+        },
+    )
+
+
+__all__ = ["stabilize_campaign"]

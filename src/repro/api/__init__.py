@@ -21,6 +21,7 @@ Quickstart::
 from repro.api.phases import (
     AwaitLegitimacy,
     Bootstrap,
+    CorruptState,
     FaultBuilder,
     InjectFaults,
     Phase,
@@ -44,6 +45,7 @@ from repro.api.topology import (
 __all__ = [
     "AwaitLegitimacy",
     "Bootstrap",
+    "CorruptState",
     "FaultBuilder",
     "InjectFaults",
     "PLACEMENTS",

@@ -114,6 +114,53 @@ class Bootstrap(Phase):
 
 
 @dataclass(frozen=True)
+class CorruptState(Phase):
+    """Rewrite component state to an *arbitrary* configuration.
+
+    Applies the named :data:`~repro.adversary.corruptions.CORRUPTIONS`
+    strategy — after topology construction, before the first protocol
+    step when placed first in a plan — so a following
+    :class:`AwaitLegitimacy` measures convergence from arbitrary state:
+    the paper's self-stabilization claim itself, not merely recovery from
+    faults injected into a clean run.  The corruption randomness is a
+    pure function of the plan seed (its own decorrelated stream), which
+    keeps corrupted repetitions bit-identical across worker processes and
+    makes the phase content-addressable: the corruption *name* plus the
+    plan's seed fully determine the injected state.
+
+    Marks the metrics recorder's corruption instant, so the run's
+    ``stabilization_time`` (distinct from post-fault ``recovery_time``)
+    measures from here to the first legitimate configuration.
+    """
+
+    corruption: str = "mixed"
+
+    name = "corrupt_state"
+
+    def describe(self) -> dict:
+        return {"phase": self.name, "corruption": self.corruption}
+
+    def execute(self, session) -> PhaseResult:
+        # Lazy: the adversary registry sits above this layer.
+        from repro.adversary.corruptions import apply_corruption
+        from repro.exp.seeding import adversary_rng
+
+        sim = session.sim
+        t_start = sim.sim.now
+        accounting = apply_corruption(
+            self.corruption, sim, adversary_rng(session.seed)
+        )
+        sim.metrics.mark_corruption(sim.sim.now)
+        return PhaseResult(
+            phase=self.name,
+            ok=True,
+            t_start=t_start,
+            t_end=sim.sim.now,
+            details={"corruption": self.corruption, "accounting": accounting},
+        )
+
+
+@dataclass(frozen=True)
 class RunFor(Phase):
     """Advance the simulation clock by a fixed duration."""
 
@@ -289,6 +336,7 @@ class AwaitLegitimacy(Phase):
 __all__ = [
     "AwaitLegitimacy",
     "Bootstrap",
+    "CorruptState",
     "FaultBuilder",
     "InjectFaults",
     "Phase",

@@ -73,6 +73,9 @@ _CONFIG_SCALARS = (
     "out_of_band",
     "reliable_channels",
     "route_cache",
+    "scheduler",
+    "scheduler_bound",
+    "robust_views",
 )
 
 
@@ -99,6 +102,8 @@ def _metrics_snapshot(sim: NetworkSimulation) -> Dict[str, Any]:
         "last_convergence_time": metrics.last_convergence_time,
         "fault_time": metrics.fault_time,
         "recovery_time": metrics.recovery_time,
+        "corruption_time": metrics.corruption_time,
+        "stabilization_time": metrics.stabilization_time,
     }
 
 

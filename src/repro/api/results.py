@@ -104,12 +104,21 @@ class RunResult:
         p = self.phase("await_legitimacy", last=True)
         return p.value if p is not None and p.ok else None
 
+    @property
+    def stabilization_time(self) -> Optional[float]:
+        """Seconds from arbitrary-state corruption (a ``corrupt_state``
+        phase) to the first legitimate configuration, straight from the
+        metrics snapshot; ``None`` when no corruption was applied or the
+        run never stabilized."""
+        return self.metrics.get("stabilization_time")
+
     def summary(self) -> Dict[str, Any]:
         """Small human-oriented digest (also embedded in the JSON)."""
         return {
             "ok": self.ok,
             "bootstrap_time": self.bootstrap_time,
             "recovery_time": self.recovery_time,
+            "stabilization_time": self.stabilization_time,
             "phases": [p.phase for p in self.phases],
         }
 

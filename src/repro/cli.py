@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli figure fig5 --reps 3
     python -m repro.cli sweep --figure fig5 --network Telstra --reps 8 --workers 4
     python -m repro.cli scenario --topology jellyfish:20 --campaign churn --reps 4
+    python -m repro.cli stabilize --topology fattree:4 --corruption mixed --reps 3
     python -m repro.cli sweep --figure fig5 --network B4 --reps 3 --store runs/
     python -m repro.cli report --figure fig5 --network B4 --reps 3 --store runs/
     python -m repro.cli store verify --store runs/
@@ -38,7 +39,10 @@ import sys
 import time
 from typing import Callable, Dict, List
 
+from repro.adversary.corruptions import CORRUPTIONS
+from repro.adversary.schedulers import SCHEDULERS
 from repro.analysis import experiments as exp
+from repro.analysis.adversary import stabilize_campaign
 from repro.analysis.scenarios import scenario_campaign
 from repro.api import (
     AwaitLegitimacy,
@@ -95,6 +99,30 @@ def _network_spec(value: str) -> str:
         raise argparse.ArgumentTypeError(str(exc))
 
 
+def _positive_float(value: str) -> float:
+    """argparse type: a strictly positive float, validated at parse time
+    (a bad value would otherwise surface as a RemoteTraceback from deep
+    inside a pool worker)."""
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {value!r}")
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0 (got {parsed})")
+    return parsed
+
+
+def _theta_value(value: str) -> int:
+    """argparse type: Θ must be >= 1, validated at parse time."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {value!r}")
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"theta must be >= 1 (got {parsed})")
+    return parsed
+
+
 def _emit_json(doc: object, args: argparse.Namespace) -> None:
     """Serialize ``doc`` per the output flags: ``--json`` prints it to
     stdout (replacing the human rows), ``--out FILE`` writes it to disk."""
@@ -143,6 +171,8 @@ def cmd_list(_args: argparse.Namespace) -> int:
         ", ".join(syntax for _, syntax in GENERATORS.values()),
     )
     print("campaigns:", ", ".join(sorted(CAMPAIGNS)))
+    print("corruptions:", ", ".join(sorted(CORRUPTIONS)))
+    print("schedulers:", ", ".join(["none"] + sorted(SCHEDULERS)))
     return 0
 
 
@@ -289,23 +319,35 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_scenario(args: argparse.Namespace) -> int:
-    """Run one (topology, campaign) pair through the repetition runner."""
+def _run_campaign_command(
+    args: argparse.Namespace,
+    name: str,
+    campaign_fn: Callable[..., exp.ExperimentResult],
+    params: Dict[str, object],
+    knob_summary: str,
+    incomplete_message: str,
+) -> int:
+    """Shared body of the campaign commands (``scenario``/``stabilize``):
+    fail fast on a malformed topology, run the campaign through the
+    repetition runner, report cache stats and rows, and fail loudly when
+    repetitions never converged (the runner drops their ``None``
+    measurements from the series, so count them from the survivor tally
+    instead of reporting a clean distribution of survivors)."""
     try:
-        # Fail fast on a malformed spec; without this a typo surfaces as a
-        # RemoteTraceback from inside a pool worker.
+        # Without this a typo surfaces as a RemoteTraceback from inside a
+        # pool worker.
         parse_topology(args.topology, seed=args.seed)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     started = time.perf_counter()
-    result = scenario_campaign(
+    result = campaign_fn(
         reps=args.reps,
         workers=args.workers,
         base_seed=args.seed,
         store=_store_of(args),
         refresh=args.no_cache,
-        **_scenario_params(args),
+        **params,
     )
     elapsed = time.perf_counter() - started
     _report_cache_stats(result, args)
@@ -314,23 +356,59 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         for line in result.rows():
             print(line)
         print(
-            f"-- scenario {args.topology} campaign={args.campaign} reps={args.reps} "
+            f"-- {name} {args.topology} {knob_summary} reps={args.reps} "
             f"seed={args.seed} workers={args.workers}: {elapsed:.2f} s wall"
         )
-    # Non-convergent repetitions are the whole point of this subsystem:
-    # the runner drops their None measurements from the series, so count
-    # them from the survivor tally and fail loudly instead of reporting a
-    # clean distribution of survivors.
     completed = sum(len(values) for values in result.series.values())
     if completed < args.reps:
         if not _quiet(args):
-            print(
-                f"{args.reps - completed}/{args.reps} repetitions never reached "
-                f"a legitimate configuration (bootstrap or post-campaign "
-                f"re-convergence exceeded --timeout {args.timeout})"
-            )
+            print(f"{args.reps - completed}/{args.reps} {incomplete_message}")
         return 1
     return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """Run one (topology, campaign) pair through the repetition runner."""
+    return _run_campaign_command(
+        args,
+        "scenario",
+        scenario_campaign,
+        _scenario_params(args),
+        knob_summary=f"campaign={args.campaign}",
+        incomplete_message=(
+            "repetitions never reached a legitimate configuration "
+            "(bootstrap or post-campaign re-convergence exceeded "
+            f"--timeout {args.timeout})"
+        ),
+    )
+
+
+def cmd_stabilize(args: argparse.Namespace) -> int:
+    """Run one (topology, corruption, scheduler) self-stabilization
+    campaign through the repetition runner: every repetition starts from
+    an arbitrary corrupted state and must reach Definition 1."""
+    return _run_campaign_command(
+        args,
+        "stabilize",
+        stabilize_campaign,
+        _stabilize_params(args),
+        knob_summary=f"corruption={args.corruption} scheduler={args.scheduler}",
+        incomplete_message=(
+            "repetitions never stabilized to a legitimate configuration "
+            f"within --timeout {args.timeout}"
+        ),
+    )
+
+
+def _case_params(args: argparse.Namespace) -> Dict[str, object]:
+    """Knobs shared by every parametrized campaign spec."""
+    return {
+        "topology": args.topology,
+        "n_controllers": args.controllers,
+        "task_delay": args.task_delay,
+        "theta": args.theta,
+        "timeout": args.timeout,
+    }
 
 
 def _scenario_params(args: argparse.Namespace) -> Dict[str, object]:
@@ -341,20 +419,25 @@ def _scenario_params(args: argparse.Namespace) -> Dict[str, object]:
     exact same params): both parsers inherit the same flag definitions,
     and both commands build the dict here.
     """
-    return {
-        "topology": args.topology,
-        "campaign": args.campaign,
-        "n_controllers": args.controllers,
-        "task_delay": args.task_delay,
-        "theta": args.theta,
-        "timeout": args.timeout,
-    }
+    return dict(_case_params(args), campaign=args.campaign)
+
+
+def _stabilize_params(args: argparse.Namespace) -> Dict[str, object]:
+    """The stabilize spec's params (same contract as
+    :func:`_scenario_params`: shared verbatim with ``repro report``)."""
+    return dict(
+        _case_params(args), corruption=args.corruption, scheduler=args.scheduler
+    )
 
 
 def _report_params(args: argparse.Namespace) -> Dict[str, object]:
     """The spec params a ``repro report`` must address records under
-    (only the scenario spec parametrizes its cases)."""
-    return _scenario_params(args) if args.figure == "scenario" else {}
+    (only the scenario/stabilize specs parametrize their cases)."""
+    if args.figure == "scenario":
+        return _scenario_params(args)
+    if args.figure == "stabilize":
+        return _stabilize_params(args)
+    return {}
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -422,7 +505,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list networks and figures").set_defaults(fn=cmd_list)
 
-    common = argparse.ArgumentParser(add_help=False)
+    # One shared parent for the run knobs every simulation-running command
+    # takes; previously --controllers/--seed/--task-delay were defined
+    # independently in `common` and `scenario_knobs` and could drift.
+    run_knobs = argparse.ArgumentParser(add_help=False)
+    run_knobs.add_argument("--controllers", type=int, default=3)
+    run_knobs.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; repetition i derives its randomness from (seed, i)",
+    )
+    run_knobs.add_argument("--task-delay", type=_positive_float, default=0.5)
+
+    common = argparse.ArgumentParser(add_help=False, parents=[run_knobs])
     common.add_argument(
         "--network",
         default="B4",
@@ -431,9 +525,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="a Table-8 name or a generated-topology spec: "
         + ", ".join(topology_spec_syntaxes()),
     )
-    common.add_argument("--controllers", type=int, default=3)
-    common.add_argument("--seed", type=int, default=0)
-    common.add_argument("--task-delay", type=float, default=0.5)
 
     output = argparse.ArgumentParser(add_help=False)
     output.add_argument(
@@ -456,21 +547,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute every repetition (still writes through to --store)",
     )
 
-    # The scenario spec's case params, shared verbatim between `scenario`
+    # Campaign case params, shared verbatim between `scenario`/`stabilize`
     # and `report` so stored records and report lookups can never drift.
-    scenario_knobs = argparse.ArgumentParser(add_help=False)
-    scenario_knobs.add_argument(
+    # Θ and the timeout are validated at parse time: a bad value would
+    # otherwise surface as a RemoteTraceback from deep inside a worker.
+    case_knobs = argparse.ArgumentParser(add_help=False)
+    case_knobs.add_argument(
         "--topology",
         default="jellyfish:20",
         help="a Table-8 name or a parametric spec: "
         + ", ".join(syntax for _, syntax in GENERATORS.values()),
     )
+    case_knobs.add_argument("--theta", type=_theta_value, default=10)
+    case_knobs.add_argument("--timeout", type=_positive_float, default=240.0)
+
+    scenario_knobs = argparse.ArgumentParser(add_help=False)
     scenario_knobs.add_argument("--campaign", default="churn",
                                 choices=sorted(CAMPAIGNS))
-    scenario_knobs.add_argument("--controllers", type=int, default=3)
-    scenario_knobs.add_argument("--task-delay", type=float, default=0.5)
-    scenario_knobs.add_argument("--theta", type=int, default=10)
-    scenario_knobs.add_argument("--timeout", type=float, default=240.0)
+
+    stabilize_knobs = argparse.ArgumentParser(add_help=False)
+    stabilize_knobs.add_argument(
+        "--corruption", default="mixed", choices=sorted(CORRUPTIONS),
+        help="arbitrary-initial-state corruption strategy",
+    )
+    stabilize_knobs.add_argument(
+        "--scheduler", default="none", choices=["none"] + sorted(SCHEDULERS),
+        help="bounded adversarial delivery scheduler",
+    )
 
     boot = sub.add_parser(
         "bootstrap", parents=[common, output], help="measure bootstrap time"
@@ -518,19 +621,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     scen = sub.add_parser(
         "scenario",
-        parents=[output, caching, scenario_knobs],
+        parents=[output, caching, run_knobs, case_knobs, scenario_knobs],
         help="run a fault campaign on a generated topology via the repetition runner",
     )
     scen.add_argument("--reps", type=int, default=8)
     scen.add_argument("--workers", type=int, default=1)
-    scen.add_argument("--seed", type=int, default=0,
-                      help="base seed; repetition i derives its topology, "
-                      "controller placement, and campaign from (seed, i)")
     scen.set_defaults(fn=cmd_scenario)
+
+    stab = sub.add_parser(
+        "stabilize",
+        parents=[output, caching, run_knobs, case_knobs, stabilize_knobs],
+        help="measure convergence from an arbitrary corrupted initial state",
+    )
+    stab.add_argument("--reps", type=int, default=8)
+    stab.add_argument("--workers", type=int, default=1)
+    stab.set_defaults(fn=cmd_stabilize)
 
     report = sub.add_parser(
         "report",
-        parents=[output, scenario_knobs],
+        parents=[output, run_knobs, case_knobs, scenario_knobs, stabilize_knobs],
         help="rebuild a figure/table from a run store, with zero simulation",
     )
     report.add_argument("--figure", required=True, choices=list_specs())
@@ -544,8 +653,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--reps", type=int, default=None,
                         help="repetitions per data point (default: the spec's)")
-    report.add_argument("--seed", type=int, default=0,
-                        help="base seed the sweep ran with")
     report.set_defaults(fn=cmd_report)
 
     store = sub.add_parser("store", help="inspect or repair a run store")

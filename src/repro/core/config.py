@@ -30,6 +30,17 @@ class RenaissanceConfig:
     #: Hop budget for in-band control packets (defends against transient
     #: forwarding loops caused by corrupted rules).
     packet_ttl: int = 64
+    #: Plan rules from the *corroborated fusion* while discovery is
+    #: unstable, instead of Algorithm 2's literal current-round snapshot.
+    #: The literal rule tears down flows to nodes whose replies are merely
+    #: in flight whenever reply round-trips exceed the iteration period —
+    #: a limit cycle under bounded adversarial delivery schedulers — but
+    #: its teardown is also the post-permanent-fault re-expansion
+    #: mechanism, so the robust variant is opt-in: the adversarial
+    #: self-stabilization axis (transient corruption, no permanent
+    #: removals) enables it; the paper's figure experiments keep the
+    #: literal behaviour bit-for-bit.
+    robust_views: bool = False
 
     def __post_init__(self) -> None:
         if self.kappa < 0:
@@ -53,6 +64,7 @@ class RenaissanceConfig:
         kappa: int = 1,
         theta: int = 10,
         diameter: Optional[int] = None,
+        robust_views: bool = False,
     ) -> "RenaissanceConfig":
         """Bounds satisfying Lemma 1 / Section 4.2 for given dimensions:
         maxManagers ≥ NC, maxRules ≥ NC·(NC+NS−1)·nprt (plus meta-rules),
@@ -79,6 +91,7 @@ class RenaissanceConfig:
             max_managers=max(4, n_controllers),
             max_replies=max(8, 2 * n_total),
             theta=theta,
+            robust_views=robust_views,
         )
 
 

@@ -58,9 +58,13 @@ class RenaissanceController:
         # Observability counters.
         self.iterations = 0
         self.rounds_completed = 0
+        self.forced_restarts = 0
         self.batches_sent = 0
         self.last_new_round = False
         self.failed = False
+        # Iterations the current round has been waiting on unanswered
+        # nodes (the bounded round refresh of _maybe_start_round).
+        self._round_age = 0
 
     # -- hooks that variants override -------------------------------------------
 
@@ -114,26 +118,58 @@ class RenaissanceController:
 
     # line 8
     def _prune_reply_db(self, neighbors: Sequence[str]) -> None:
-        reachable: Dict[Tag, Set[str]] = {}
-        for tag in (self.curr_tag, self.prev_tag):
-            view = build_view(self.cid, neighbors, self.replydb.res(tag))
-            reachable[tag] = set(view.bfs_layers(self.cid))
+        # Reachability is evaluated against the *fusion* graph — the
+        # controller's best current knowledge — not per-tag remnants.
+        # Per-tag graphs G(res(x)) shrink as nodes re-answer the newer
+        # round (the reply store keeps one entry per node), so when reply
+        # round-trips span iteration boundaries the previous round's
+        # leftover entries form a disconnected far remnant and would be
+        # pruned as "unreachable", erasing live nodes from the view and
+        # flapping their flows.  The adversarial delivery schedulers
+        # (bounded worst-case delay, RTT > task period) hit this reliably
+        # on high-diameter rings; the fusion graph keeps the prune's
+        # intent — stale tags and genuinely unreachable senders still go —
+        # without the artifact.
+        fusion_view = build_view(
+            self.cid, neighbors, self.replydb.fusion(self.curr_tag, self.prev_tag)
+        )
+        reach = set(fusion_view.bfs_layers(self.cid))
         self.replydb.prune(
-            keep_tags={self.curr_tag, self.prev_tag}, reachable=reachable
+            keep_tags={self.curr_tag, self.prev_tag},
+            reachable={self.curr_tag: reach, self.prev_tag: reach},
         )
 
-    # lines 9-12
+    # lines 9-12, plus the bounded round refresh
     def _maybe_start_round(self, neighbors: Sequence[str]) -> bool:
         current = self.replydb.res(self.curr_tag)
         view = build_view(self.cid, neighbors, current)
         answered = {r.node for r in current} | {self.cid}
         reachable = set(view.bfs_layers(self.cid))
         if not reachable.issubset(answered):
-            return False
+            # Bounded round refresh.  A corrupted replyDB entry can assert
+            # its own reachability — a fabricated reply from a phantom node
+            # claiming adjacency to live switches is stamped with currTag,
+            # so it never goes stale, poisons rule generation (routes
+            # through a node that does not exist), and thereby keeps a real
+            # node from ever answering: the round waits forever and the
+            # poisoned entry is never pruned.  The adversarial
+            # self-stabilization harness finds this livelock reliably.
+            # Restarting a round that cannot complete within twice the
+            # discovery timeout (2Θ iterations — benign failures are
+            # detected and pruned after Θ probes, so legal executions never
+            # trigger this) rotates the tag, after which only genuinely
+            # answering nodes re-enter res() and the fabricated entry ages
+            # out of {currTag, prevTag} and is pruned.
+            self._round_age += 1
+            if self._round_age < max(8, 2 * self.config.theta):
+                return False
+            self.forced_restarts += 1
+        else:
+            self.rounds_completed += 1
+        self._round_age = 0
         self.prev_tag = self.curr_tag
         self.curr_tag = self.tags.next_tag(observed=self._observed_tags())
         self.replydb.drop_tag(self.curr_tag)
-        self.rounds_completed += 1
         return True
 
     def _observed_tags(self) -> List[Tag]:
@@ -152,15 +188,65 @@ class RenaissanceController:
         round; while the discovered topology is still changing it is the
         *current* round's fresh replies — ``G(res(currTag))``, not the
         fusion, which can still carry a stale reply from a node that died
-        mid-round (line 13 / line 18 of Algorithm 2)."""
+        mid-round (line 13 / line 18 of Algorithm 2).
+
+        Under ``config.robust_views`` the unstable branch instead plans
+        from the **corroborated fusion**: current-round replies completed
+        by previous-round fills that some *other* evidence (the
+        controller's own neighbourhood or an admitted reply's adjacency)
+        still names — a reply vouches for its neighbours, never for its
+        own sender's liveness.  Rationale: the reply store keeps one
+        entry per node, so nodes re-answering the new round *shrink*
+        ``res(currTag)``'s complement — when reply round-trips exceed the
+        iteration period (high-diameter networks under bounded
+        adversarial delivery schedulers) the literal current-round view
+        is persistently partial and planning from it tears down flows to
+        nodes whose replies are merely in flight, a limit cycle the
+        stabilization harness hits reliably.  The literal behaviour stays
+        the default because its teardown doubles as the re-expansion
+        mechanism after *permanent* faults (stale fills would otherwise
+        keep planning routes through a removed switch until the bounded
+        round refresh fires); the adversarial axis, whose workloads are
+        pure transient corruption, opts in."""
         fusion_view = build_view(
             self.cid, neighbors, self.replydb.fusion(self.curr_tag, self.prev_tag)
         )
         prev_view = build_view(self.cid, neighbors, self.replydb.res(self.prev_tag))
         if self._same_graph(fusion_view, prev_view):
             return self.prev_tag, prev_view
-        curr_view = build_view(self.cid, neighbors, self.replydb.res(self.curr_tag))
-        return self.curr_tag, curr_view
+        if self.config.robust_views:
+            refer_view = build_view(
+                self.cid, neighbors, self._corroborated_fusion(neighbors)
+            )
+        else:
+            refer_view = build_view(
+                self.cid, neighbors, self.replydb.res(self.curr_tag)
+            )
+        return self.curr_tag, refer_view
+
+    def _corroborated_fusion(self, neighbors: Sequence[str]) -> List[QueryReply]:
+        """Current-round replies plus the previous-round fills that other
+        evidence corroborates (see :meth:`_reference_tag`)."""
+        current = {r.node: r for r in self.replydb.res(self.curr_tag)}
+        fills = {
+            r.node: r
+            for r in self.replydb.res(self.prev_tag)
+            if r.node not in current
+        }
+        evidence: Set[str] = set(neighbors) | {self.cid}
+        for reply in current.values():
+            evidence.update(reply.neighbors)
+        admitted = list(current.values())
+        changed = True
+        while changed and fills:
+            changed = False
+            for node in list(fills):
+                if node in evidence:
+                    reply = fills.pop(node)
+                    admitted.append(reply)
+                    evidence.update(reply.neighbors)
+                    changed = True
+        return admitted
 
     @staticmethod
     def _same_graph(a: Topology, b: Topology) -> bool:
@@ -294,6 +380,7 @@ class RenaissanceController:
         self.rulegen.invalidate()
         self.prev_tag = self.tags.next_tag()
         self.curr_tag = self.tags.next_tag()
+        self._round_age = 0
 
     def corrupt_tags(self, prev: Tag, curr: Tag) -> None:
         """Transient-fault hook: overwrite round state arbitrarily."""

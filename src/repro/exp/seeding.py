@@ -46,4 +46,15 @@ def fault_rng(seed: int) -> random.Random:
     return random.Random(seed * 7919 + 13)
 
 
-__all__ = ["derive_seed", "rep_rng", "fault_rng"]
+def adversary_rng(seed: int) -> random.Random:
+    """The arbitrary-state-corruption stream of one repetition.
+
+    Decorrelated from both the simulation stream (``Random(seed)``) and
+    the fault stream by its own affine step, so corrupting the initial
+    state never perturbs the event interleaving or a later fault campaign
+    of the same repetition.
+    """
+    return random.Random(seed * 6_700_417 + 29)
+
+
+__all__ = ["derive_seed", "rep_rng", "fault_rng", "adversary_rng"]

@@ -117,6 +117,24 @@ class SelfStabilizingChannel:
         self._send_label = 0
         self._recv_label = None
 
+    def corrupt(
+        self,
+        send_label: int = 0,
+        recv_label: Optional[int] = None,
+        in_flight: Any = None,
+        outbox: Optional[List[Any]] = None,
+    ) -> None:
+        """Transient-fault hook: overwrite channel state *arbitrarily*
+        (labels are coerced into the bounded domain, mirroring what a
+        corrupted wire value would look like on arrival).  The adversarial
+        corruption strategies use this to start a run with garbage already
+        owned by the channel — the state from which Section 3.1 bounds
+        false acknowledgments by Δcomm."""
+        self._send_label = send_label % LABEL_DOMAIN
+        self._recv_label = None if recv_label is None else recv_label % LABEL_DOMAIN
+        self._in_flight = in_flight
+        self._outbox = deque(outbox or [])
+
     # -- receive path ----------------------------------------------------------
 
     def on_datagram(self, datagram: Datagram) -> None:

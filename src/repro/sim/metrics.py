@@ -37,20 +37,39 @@ class MetricsRecorder:
         self.convergence_time: Optional[float] = None
         self.last_convergence_time: Optional[float] = None
         self.fault_time: Optional[float] = None
+        self.corruption_time: Optional[float] = None
         self.c_resets = 0
         self.illegitimate_deletions = 0
         self.dropped_control_packets = 0
         self._observers: List[object] = []
+        # First convergence at/after the most recent fault/corruption mark;
+        # re-marking resets the pending measurement (documented semantics
+        # of recovery_time / stabilization_time).
+        self._recovered_at: Optional[float] = None
+        self._stabilized_at: Optional[float] = None
 
     # -- observers ---------------------------------------------------------
 
     def add_observer(self, observer: object) -> None:
-        """Register an object with an ``on_event(time, name, value)`` hook."""
+        """Register an object with an ``on_event(time, name, value)`` hook.
+
+        Observers are notified in registration order.  An exception from
+        one observer does not starve the others — every remaining observer
+        is still notified — but the first exception is re-raised to the
+        caller afterwards, so broken instrumentation stays loud.
+        """
         self._observers.append(observer)
 
     def _notify(self, time: float, name: str, value: object = None) -> None:
+        first_error: Optional[BaseException] = None
         for observer in self._observers:
-            observer.on_event(time, name, value)
+            try:
+                observer.on_event(time, name, value)
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
     # -- traffic -----------------------------------------------------------------
 
@@ -74,8 +93,20 @@ class MetricsRecorder:
         self._notify(time, name, value)
 
     def mark_fault(self, time: float) -> None:
+        """Record a fault instant.  Each mark *restarts* the pending
+        recovery measurement: ``recovery_time`` is defined against the
+        most recent fault, and earlier convergences never count."""
         self.fault_time = time
+        self._recovered_at = None
         self._notify(time, "fault")
+
+    def mark_corruption(self, time: float) -> None:
+        """Record an arbitrary-state-corruption instant (the
+        ``corrupt_state`` phase).  Like :meth:`mark_fault`, re-marking
+        restarts the pending ``stabilization_time`` measurement."""
+        self.corruption_time = time
+        self._stabilized_at = None
+        self._notify(time, "corruption")
 
     def mark_convergence(self, time: float) -> None:
         """Record a convergence instant.  ``convergence_time`` keeps the
@@ -84,17 +115,49 @@ class MetricsRecorder:
         if self.convergence_time is None:
             self.convergence_time = time
         self.last_convergence_time = time
+        if (
+            self.fault_time is not None
+            and self._recovered_at is None
+            and time >= self.fault_time
+        ):
+            self._recovered_at = time
+        if (
+            self.corruption_time is not None
+            and self._stabilized_at is None
+            and time >= self.corruption_time
+        ):
+            self._stabilized_at = time
         self._notify(time, "convergence")
 
     @property
     def recovery_time(self) -> Optional[float]:
-        """Seconds from the (last) fault to the re-convergence after it;
-        ``None`` while no convergence has followed the fault yet."""
-        if self.last_convergence_time is None or self.fault_time is None:
+        """Seconds from the most recent fault mark to the *first*
+        convergence at or after it.
+
+        Defined semantics for the edge cases:
+
+        * no fault marked → ``None`` (a convergence alone is a bootstrap
+          milestone, ``convergence_time``, never a recovery);
+        * no convergence since the most recent fault → ``None``, even if
+          earlier faults did recover — each ``mark_fault`` restarts the
+          measurement;
+        * several convergences after the fault → the first one counts
+          (the instant legitimacy *returned*, not the last re-check).
+        """
+        if self.fault_time is None or self._recovered_at is None:
             return None
-        if self.last_convergence_time < self.fault_time:
+        return self._recovered_at - self.fault_time
+
+    @property
+    def stabilization_time(self) -> Optional[float]:
+        """Seconds from the most recent arbitrary-state corruption to the
+        first legitimate configuration at or after it — the paper's
+        self-stabilization measurement, distinct from post-fault
+        ``recovery_time`` (same first-convergence-after-the-mark
+        semantics, measured from :meth:`mark_corruption`)."""
+        if self.corruption_time is None or self._stabilized_at is None:
             return None
-        return self.last_convergence_time - self.fault_time
+        return self._stabilized_at - self.corruption_time
 
     # -- Figure 9 metric --------------------------------------------------------------
 

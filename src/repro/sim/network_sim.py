@@ -76,6 +76,19 @@ class SimulationConfig:
     #: Memoize in-band route resolution behind an epoch-validated cache
     #: (identical routes, large speedup on the bigger networks).
     route_cache: bool = True
+    #: Named adversarial delivery scheduler (a registry key of
+    #: :data:`repro.adversary.schedulers.SCHEDULERS`), or ``None`` for the
+    #: benign default.  A name rather than an object so scheduled runs
+    #: stay content-addressable in the run store.
+    scheduler: Optional[str] = None
+    #: Fairness bound of the adversarial scheduler: every delivery latency
+    #: ``l`` stays within ``[l, l * scheduler_bound]``.
+    scheduler_bound: float = 4.0
+    #: Plan rules from corroborated-fusion views while discovery is
+    #: unstable (see :class:`~repro.core.config.RenaissanceConfig`);
+    #: enabled by the adversarial stabilization axis, off for the paper's
+    #: literal figure experiments.
+    robust_views: bool = False
     #: Injected randomness source; ``None`` derives one from ``seed``.
     #: Experiment runners inject a per-repetition instance so repetitions
     #: stay reproducible when fanned out over worker processes.
@@ -93,6 +106,20 @@ class SimulationConfig:
             )
         if self.theta < 1:
             raise ValueError(f"theta must be >= 1 (got {self.theta})")
+        if self.scheduler_bound < 1.0:
+            raise ValueError(
+                f"scheduler_bound must be >= 1 (got {self.scheduler_bound})"
+            )
+        if self.scheduler is not None:
+            # Lazy: the adversary package is stdlib-only, but importing it
+            # at module scope would invert the sim <- adversary layering.
+            from repro.adversary.schedulers import SCHEDULERS
+
+            if self.scheduler not in SCHEDULERS:
+                raise ValueError(
+                    f"unknown scheduler {self.scheduler!r}; known: "
+                    f"{', '.join(sorted(SCHEDULERS))}"
+                )
 
 
 class NetworkSimulation:
@@ -107,6 +134,18 @@ class NetworkSimulation:
         self.metrics = MetricsRecorder()
         self._rng = config.rng or random.Random(config.seed)
         self._fault_model = config.fault_model
+        if config.scheduler is not None:
+            from repro.adversary.schedulers import make_scheduler
+
+            # Dedicated stream, decorrelated from the start-offset rng, so
+            # enabling a scheduler never perturbs the other seeded draws.
+            self._scheduler = make_scheduler(
+                config.scheduler,
+                bound=config.scheduler_bound,
+                rng=random.Random(config.seed * 9_176_263 + 7),
+            )
+        else:
+            self._scheduler = None
 
         n_controllers = len(topology.controllers)
         n_switches = len(topology.switches)
@@ -125,6 +164,7 @@ class NetworkSimulation:
                 kappa=config.kappa,
                 theta=config.theta,
                 diameter=diameter,
+                robust_views=config.robust_views,
             )
 
         self.discovery: Dict[str, LocalDiscovery] = {}
@@ -339,8 +379,12 @@ class NetworkSimulation:
     def _wire_fates(self, hops: int) -> List[float]:
         base = max(1, hops) * self.config.link_latency
         if self._fault_model is None:
-            return [base]
-        return self._fault_model.copies_and_delays(base)
+            fates = [base]
+        else:
+            fates = self._fault_model.copies_and_delays(base)
+        if self._scheduler is not None:
+            fates = [self._scheduler.delay(latency) for latency in fates]
+        return fates
 
     def _route(self, src: str, dst: str) -> Optional[List[str]]:
         if dst not in self.topology or not self.topology.node_is_up(dst):

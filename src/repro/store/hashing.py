@@ -26,7 +26,12 @@ import json
 #: Version of the record identity/payload contract.  Part of every hashed
 #: identity: bump it when stored results are no longer comparable across
 #: code versions.
-SCHEMA_VERSION = 1
+#:
+#: v2: the adversarial self-stabilization axis — config snapshots carry
+#: ``scheduler``/``scheduler_bound``, metrics snapshots carry
+#: ``corruption_time``/``stabilization_time``, and ``recovery_time``
+#: switched to first-convergence-after-the-last-fault semantics.
+SCHEMA_VERSION = 2
 
 
 def canonical_json(obj: object) -> str:

@@ -188,3 +188,94 @@ def test_out_file_without_json_keeps_human_rows(tmp_path, capsys):
     assert "bootstrapped" in out  # human rows still printed
     doc = json.loads(artifact.read_text())
     assert doc["runs"][0]["summary"]["ok"] is True
+
+
+# -- stabilize ---------------------------------------------------------------
+
+
+def test_stabilize_command(capsys):
+    assert main([
+        "stabilize", "--topology", "ring:8", "--corruption", "mixed",
+        "--reps", "2", "--workers", "2", "--seed", "0", *SCENARIO_FAST,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "ring:8 mixed none" in out
+    assert "workers=2" in out
+
+
+def test_stabilize_serial_and_parallel_rows_match(capsys):
+    base = ["stabilize", "--topology", "ring:6", "--corruption", "mixed",
+            "--scheduler", "reorder", "--reps", "2", "--seed", "0",
+            *SCENARIO_FAST]
+    # == 0, not just output equality: two identically *failing* runs would
+    # also print matching rows, masking a stabilization regression.
+    assert main(base + ["--workers", "1"]) == 0
+    serial = capsys.readouterr().out.splitlines()
+    assert main(base + ["--workers", "3"]) == 0
+    parallel = capsys.readouterr().out.splitlines()
+    strip = lambda lines: [l for l in lines if not l.startswith("-- stabilize")]
+    assert strip(serial) == strip(parallel)
+
+
+def test_stabilize_json_output(capsys):
+    assert main([
+        "stabilize", "--topology", "ring:6", "--corruption", "desync-views",
+        "--reps", "1", "--json", *SCENARIO_FAST,
+    ]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert "ring:6 desync-views none" in doc["series"]
+
+
+def test_stabilize_rejects_unknown_corruption_and_scheduler():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["stabilize", "--corruption", "gremlins"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["stabilize", "--scheduler", "chaotic"])
+
+
+def test_stabilize_rejects_malformed_topology_before_running(capsys):
+    assert main(["stabilize", "--topology", "gird:3x3"]) == 2
+    assert "unknown topology" in capsys.readouterr().err
+
+
+def test_list_shows_corruptions_and_schedulers(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "corruptions:" in out and "clogged-memory" in out
+    assert "schedulers:" in out and "max-delay" in out
+
+
+# -- parse-time knob validation (shared parent parsers) ----------------------
+
+
+@pytest.mark.parametrize("argv", [
+    ["scenario", "--theta", "0"],
+    ["stabilize", "--theta", "-3"],
+    ["report", "--figure", "scenario", "--store", "x", "--theta", "0"],
+    ["scenario", "--timeout", "0"],
+    ["stabilize", "--timeout", "-1"],
+    ["scenario", "--task-delay", "0"],
+    ["bootstrap", "--task-delay", "-0.5"],
+])
+def test_bad_knobs_rejected_at_parse_time(argv):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(argv)
+
+
+def test_shared_knob_defaults_are_consistent():
+    """The dedup contract: every command carrying the shared knobs parses
+    the same defaults (previously `common` and `scenario_knobs` each
+    defined their own copies)."""
+    parser = build_parser()
+    boot = parser.parse_args(["bootstrap"])
+    scen = parser.parse_args(["scenario"])
+    stab = parser.parse_args(["stabilize"])
+    rep = parser.parse_args(["report", "--figure", "scenario", "--store", "x"])
+    for args in (boot, scen, stab, rep):
+        assert args.controllers == 3
+        assert args.seed == 0
+        assert args.task_delay == 0.5
+    for args in (scen, stab, rep):
+        assert args.theta == 10
+        assert args.timeout == 240.0
+        assert args.topology == "jellyfish:20"

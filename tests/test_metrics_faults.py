@@ -70,6 +70,124 @@ def test_metrics_recovery_time_none_without_fault():
     assert m.recovery_time is None
 
 
+def test_recovery_counts_first_convergence_after_the_fault():
+    """Documented semantics: the instant legitimacy *returned*, not the
+    last re-check — extra convergence marks must not inflate it."""
+    m = MetricsRecorder()
+    m.mark_fault(10.0)
+    m.mark_convergence(12.0)
+    m.mark_convergence(20.0)
+    assert m.recovery_time == 2.0
+
+
+def test_refault_restarts_the_recovery_measurement():
+    """Documented semantics: each mark_fault restarts the measurement —
+    a convergence that preceded the most recent fault never counts."""
+    m = MetricsRecorder()
+    m.mark_fault(10.0)
+    m.mark_convergence(12.0)
+    assert m.recovery_time == 2.0
+    m.mark_fault(15.0)
+    assert m.recovery_time is None  # nothing has followed the new fault
+    m.mark_convergence(18.5)
+    assert m.recovery_time == 3.5
+
+
+def test_convergence_before_any_fault_is_never_a_recovery():
+    m = MetricsRecorder()
+    m.mark_convergence(5.0)
+    m.mark_fault(10.0)
+    assert m.recovery_time is None
+    assert m.convergence_time == 5.0
+
+
+def test_stabilization_time_is_distinct_from_recovery_time():
+    m = MetricsRecorder()
+    m.mark_corruption(0.0)
+    assert m.stabilization_time is None
+    m.mark_convergence(4.0)
+    assert m.stabilization_time == 4.0
+    assert m.recovery_time is None  # no fault was marked
+    m.mark_fault(10.0)
+    m.mark_convergence(11.0)
+    assert m.recovery_time == 1.0
+    assert m.stabilization_time == 4.0  # first convergence after corruption
+
+
+def test_remark_corruption_restarts_stabilization():
+    m = MetricsRecorder()
+    m.mark_corruption(0.0)
+    m.mark_convergence(2.0)
+    m.mark_corruption(5.0)
+    assert m.stabilization_time is None
+    m.mark_convergence(9.0)
+    assert m.stabilization_time == 4.0
+
+
+# -- observers ---------------------------------------------------------------
+
+
+class _Recorder:
+    def __init__(self, name, log):
+        self.name = name
+        self.log = log
+
+    def on_event(self, time, name, value=None):
+        self.log.append((self.name, time, name))
+
+
+class _Exploder:
+    def __init__(self, log):
+        self.log = log
+
+    def on_event(self, time, name, value=None):
+        self.log.append(("boom", time, name))
+        raise RuntimeError("observer exploded")
+
+
+def test_observers_notified_in_registration_order():
+    log = []
+    m = MetricsRecorder()
+    m.add_observer(_Recorder("a", log))
+    m.add_observer(_Recorder("b", log))
+    m.mark_fault(1.0)
+    m.mark_convergence(2.0)
+    assert log == [
+        ("a", 1.0, "fault"),
+        ("b", 1.0, "fault"),
+        ("a", 2.0, "convergence"),
+        ("b", 2.0, "convergence"),
+    ]
+
+
+def test_observer_exception_does_not_starve_later_observers():
+    """Documented semantics: every observer is still notified, then the
+    first exception re-raises — broken instrumentation stays loud but
+    cannot silence other observers or the metric itself."""
+    log = []
+    m = MetricsRecorder()
+    m.add_observer(_Exploder(log))
+    m.add_observer(_Recorder("late", log))
+    with pytest.raises(RuntimeError, match="observer exploded"):
+        m.mark_fault(1.0)
+    assert ("late", 1.0, "fault") in log
+    assert m.fault_time == 1.0  # the milestone itself was recorded
+
+
+def test_mark_event_reaches_observers_with_values():
+    log = []
+    m = MetricsRecorder()
+
+    class Valued:
+        def on_event(self, time, name, value=None):
+            log.append((time, name, value))
+
+    m.add_observer(Valued())
+    m.mark_event(3.0, "custom", {"k": 1})
+    assert log == [(3.0, "custom", {"k": 1})]
+    assert m.events == [(3.0, "custom", {"k": 1})]
+
+
 def test_max_load_per_node_per_iteration():
     m = MetricsRecorder()
     m.record_batch("c0", hops=4)
@@ -140,6 +258,15 @@ def test_fault_plan_shifted_and_last_at():
     assert [a.at for a in plan.actions] == [1.0, 2.5], "shifted must not mutate"
     assert shifted.last_at() == 12.5
     assert FaultPlan().last_at() == 0.0
+
+
+def test_fault_plan_shifted_preserves_kinds_and_targets():
+    plan = FaultPlan().fail_node(1.0, "n").corrupt_controller(2.0, "c0")
+    shifted = plan.shifted(5.0)
+    assert [(a.kind, a.target) for a in shifted.actions] == [
+        (a.kind, a.target) for a in plan.actions
+    ]
+    assert shifted.last_at() == plan.last_at() + 5.0
 
 
 def ring(n=6):

@@ -1,0 +1,136 @@
+"""Property-based self-stabilization tests (seeded generate-and-shrink).
+
+The paper's headline claim is convergence to a legitimate configuration
+from *any* initial state.  The harness in :mod:`repro.adversary.harness`
+generates random ``(topology, corruption, scheduler, seed)`` tuples
+across every topology family, corruption strategy, and bounded
+adversarial delivery scheduler, checks that each stabilizes within the
+bounded horizon, and on failure shrinks to (and prints) a minimal
+reproducing tuple.
+"""
+
+import pytest
+
+from repro.adversary import harness
+from repro.adversary.corruptions import CORRUPTIONS
+from repro.adversary.harness import (
+    SCHEDULER_POOL,
+    StabilizationCase,
+    check_stabilization_case,
+    generate_stabilization_cases,
+    run_stabilization_property,
+    shrink_stabilization_case,
+)
+
+
+def test_generate_cases_deterministic_and_diverse():
+    a = generate_stabilization_cases(64, base_seed=0)
+    assert a == generate_stabilization_cases(64, base_seed=0)
+    assert a != generate_stabilization_cases(64, base_seed=1)
+    assert {case.corruption for case in a} == set(CORRUPTIONS)
+    assert {case.scheduler for case in a} == set(SCHEDULER_POOL)
+    families = {case.topology.split(":")[0] for case in a}
+    assert families == {"ring", "grid", "jellyfish", "harary", "fattree"}
+
+
+def test_stabilization_property_25_cases():
+    """Acceptance: ≥ 25 generated corruption-axis cases in tier-1.  Any
+    failure prints the reproducing (topology, corruption, scheduler,
+    seed) tuple."""
+    report = run_stabilization_property(25, base_seed=0)
+    assert report.ok, f"non-stabilizing cases: {report.failures}"
+    assert len(report.stabilization_times) == 25
+    assert all(t >= 0.0 for t in report.stabilization_times)
+
+
+def test_regression_phantom_reply_livelock():
+    """Regression: a fabricated in-flight reply claiming adjacency to live
+    switches used to livelock a controller permanently (the round waited
+    forever on a node whose route ran through the phantom, and the
+    phantom entry — stamped with the live round tag — was never pruned).
+    Fixed by the bounded round refresh."""
+    case = StabilizationCase("fattree:4", "mixed", "none", seed=0)
+    assert check_stabilization_case(case) is not None
+
+
+def test_regression_slow_reply_rule_flap():
+    """Regression: with reply round-trips stretched past the iteration
+    period (max-delay scheduler on a high-diameter ring), planning rules
+    from the literal current-round snapshot tore down in-flight nodes'
+    flows in a permanent limit cycle.  Fixed by the corroborated-fusion
+    reference view (robust_views)."""
+    case = StabilizationCase("ring:16", "garbage-rules", "max-delay", seed=312990)
+    assert check_stabilization_case(case) is not None
+
+
+def test_shrink_prefers_smaller_topologies(monkeypatch):
+    case = StabilizationCase("ring:10", "mixed", "none", seed=2)
+
+    def fake_check(c):
+        return None if c.topology.startswith("ring") else 0.5
+
+    monkeypatch.setattr(harness, "check_stabilization_case", fake_check)
+    shrunk = shrink_stabilization_case(case)
+    assert shrunk.topology == "ring:5"
+
+
+def test_shrink_drops_scheduler_and_composite_corruption(monkeypatch):
+    """An oracle failing on everything shrinks to the benign scheduler
+    and the first atomic corruption."""
+    case = StabilizationCase("grid:2x3", "mixed", "extremes", seed=3)
+    monkeypatch.setattr(harness, "check_stabilization_case", lambda c: None)
+    shrunk = shrink_stabilization_case(case)
+    assert shrunk.scheduler == "none"
+    assert shrunk.corruption != "mixed"
+
+
+def test_shrink_keeps_scheduler_when_it_is_essential(monkeypatch):
+    """If the failure needs the scheduler, shrinking must not drop it."""
+    case = StabilizationCase("grid:2x3", "desync-views", "max-delay", seed=4)
+
+    def fake_check(c):
+        return None if c.scheduler == "max-delay" else 0.5
+
+    monkeypatch.setattr(harness, "check_stabilization_case", fake_check)
+    shrunk = shrink_stabilization_case(case)
+    assert shrunk.scheduler == "max-delay"
+
+
+def test_repro_line_is_copy_pastable():
+    case = StabilizationCase("grid:2x3", "desync-views", "reorder", seed=77)
+    line = case.repro_line()
+    assert "grid:2x3" in line and "desync-views" in line and "77" in line
+    assert (
+        eval(
+            line,
+            {
+                "check_stabilization_case": check_stabilization_case,
+                "StabilizationCase": StabilizationCase,
+            },
+        )
+        is not None
+    )
+
+
+def test_failing_case_reports_tuple(monkeypatch, capsys):
+    cases = [StabilizationCase("ring:5", "mixed", "reorder", seed=9)]
+    monkeypatch.setattr(
+        harness, "generate_stabilization_cases", lambda n, base_seed=0: cases
+    )
+    monkeypatch.setattr(harness, "check_stabilization_case", lambda c: None)
+    monkeypatch.setattr(harness, "shrink_stabilization_case", lambda c: c)
+    report = run_stabilization_property(1)
+    assert not report.ok
+    out = capsys.readouterr().out
+    assert "ring:5" in out and "mixed" in out and "reorder" in out and "seed=9" in out
+    assert "reproduce:" in out
+
+
+@pytest.mark.parametrize("corruption", sorted(CORRUPTIONS))
+def test_each_corruption_stabilizes_on_a_fixed_small_case(corruption):
+    assert (
+        check_stabilization_case(
+            StabilizationCase("grid:2x3", corruption, "none", seed=13)
+        )
+        is not None
+    )

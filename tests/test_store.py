@@ -214,11 +214,19 @@ def test_uncacheable_plan_bypasses_store(tmp_path):
 # -- corruption --------------------------------------------------------------
 
 
-def _corrupt_one_object(store):
-    path = sorted(store.objects_dir.glob("*/*.json"))[0]
-    text = path.read_text()
-    path.write_text(text[: len(text) // 2])  # truncate: a torn write
-    return path.stem
+def _corrupt_one_object(store, kind="measurement"):
+    """Truncate the first stored record of the given kind (a torn write).
+
+    Kind-targeted, not just sorted-first: the sort order of content hashes
+    shifts whenever the identity schema evolves, and corrupting a *run*
+    record would not force a measurement re-run (measurement hits
+    short-circuit before run lookups)."""
+    for path in sorted(store.objects_dir.glob("*/*.json")):
+        text = path.read_text()
+        if json.loads(text).get("kind") == kind:
+            path.write_text(text[: len(text) // 2])
+            return path.stem
+    raise AssertionError(f"no {kind!r} record in store")
 
 
 def test_corrupt_record_is_detected_and_rerun(tmp_path):
