@@ -292,7 +292,19 @@ def cmd_figure(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run one experiment spec through the parallel repetition runner."""
     networks = tuple(args.network) if args.network else None
+    profiler = None
+    if getattr(args, "profile", False):
+        import cProfile
+
+        # Profiling needs the work in-process and deterministic: one
+        # repetition, no worker fan-out (child processes would escape the
+        # profiler).
+        args.reps = 1
+        args.workers = 1
+        profiler = cProfile.Profile()
     started = time.perf_counter()
+    if profiler is not None:
+        profiler.enable()
     result = run_spec(
         args.figure,
         reps=args.reps,
@@ -302,6 +314,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         store=_store_of(args),
         refresh=args.no_cache,
     )
+    if profiler is not None:
+        profiler.disable()
+        import pstats
+
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(30)
     elapsed = time.perf_counter() - started
     _report_cache_stats(result, args)
     _emit_json(result.to_dict(), args)
@@ -617,6 +635,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=1)
     sweep.add_argument("--seed", type=int, default=0,
                        help="base seed; repetition i runs with a seed derived from (seed, i)")
+    sweep.add_argument("--profile", action="store_true",
+                       help="cProfile the sweep in-process (forces --reps 1 "
+                            "--workers 1) and print the top cumulative-time "
+                            "functions to stderr")
     sweep.set_defaults(fn=cmd_sweep)
 
     scen = sub.add_parser(

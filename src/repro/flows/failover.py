@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
-from repro.net.topology import Topology, NodeId, EdgeId, edge
+from repro.net.topology import Topology, NodeId, EdgeId, edge, _bits
 
 #: Priority of primary-path rules; detours descend from it.  Far above the
 #: meta-rule's priority 0, leaving room for diameter-many detour levels.
@@ -130,33 +130,58 @@ def _bfs_avoiding(
 ) -> Optional[List[NodeId]]:
     """First shortest start→dst path whose *interior* nodes are switches —
     controllers only forward to/from themselves, never relay (Section 2:
-    switches are the packet-forwarding elements)."""
-    from collections import deque
+    switches are the packet-forwarding elements).
 
+    Runs on the view's interned bitmask adjacency: the rule planner calls
+    this for every primary path *and* every per-edge detour of every flow,
+    which makes it the single hottest loop of a bootstrap.  Frontier nodes
+    are expanded in discovery order and neighbours visited in ascending
+    index (= sorted-name) order, reproducing the legacy FIFO/sorted BFS
+    parent assignments exactly.
+    """
     if start in avoid_nodes or dst in avoid_nodes:
         return None
-    parent: Dict[NodeId, NodeId] = {start: start}
-    queue: deque = deque([start])
-    while queue:
-        u = queue.popleft()
-        if u == dst:
-            break
-        if u != start and not view.is_switch(u):
-            continue  # controllers cannot relay
-        for v in view.neighbors(u):
-            if v in parent or v in avoid_nodes:
+    index = view.index()
+    idx = index.idx
+    names = index.names
+    adj_masks = index.adj_masks
+    src_i, dst_i = idx[start], idx[dst]
+    if src_i == dst_i:
+        return [start]
+    avoid_mask = 0
+    for node in avoid_nodes:
+        i = idx.get(node)
+        if i is not None:
+            avoid_mask |= 1 << i
+    excluded = Topology._excluded_masks(index, failed_edges)
+    # Only switches relay; the start node forwards its own packets.
+    relay_mask = index.switch_mask | (1 << src_i)
+    parent: Dict[int, int] = {src_i: src_i}
+    seen = (1 << src_i) | avoid_mask
+    frontier = [src_i]
+    found = False
+    while frontier and not found:
+        next_frontier: List[int] = []
+        for u in frontier:
+            if not (relay_mask >> u) & 1:
                 continue
-            if edge(u, v) in failed_edges:
-                continue
-            parent[v] = u
-            queue.append(v)
-    if dst not in parent:
+            mask = adj_masks[u] & ~seen
+            if excluded is not None and u in excluded:
+                mask &= ~excluded[u]
+            for v in _bits(mask):
+                seen |= 1 << v
+                parent[v] = u
+                next_frontier.append(v)
+                if v == dst_i:
+                    found = True
+        frontier = next_frontier
+    if dst_i not in parent:
         return None
-    path = [dst]
-    while path[-1] != start:
-        path.append(parent[path[-1]])
-    path.reverse()
-    return path
+    path_i = [dst_i]
+    while path_i[-1] != src_i:
+        path_i.append(parent[path_i[-1]])
+    path_i.reverse()
+    return [names[i] for i in path_i]
 
 
 def plan_flow_rules(

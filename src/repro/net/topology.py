@@ -8,16 +8,34 @@ an operational flag per link and per node, so ``Go`` is always derivable.
 Graph algorithms (BFS, diameter, edge connectivity) are implemented from
 scratch: the simulator and flow computation call them on every topology, and
 keeping them local removes any dependency beyond the standard library.
+
+Two mechanisms keep the hot paths cheap on datacenter-scale graphs:
+
+* **Interned integer index** (:meth:`Topology.index`): node ids are mapped
+  to dense integers in sorted-name order and adjacency is materialized as
+  per-node bitmasks, so the BFS inner loops of :meth:`bfs_layers`,
+  :meth:`shortest_path`, :meth:`bridges` and :meth:`edge_connectivity` run
+  on machine integers instead of dict-of-set scans over string keys.  The
+  index is rebuilt lazily when graph *structure* (membership) changes;
+  operational flips reuse it.
+* **Dirty-node tracking** (:meth:`add_dirty_listener`): every mutation
+  publishes the set of nodes whose adjacency or operational neighbourhood
+  it may have changed.  Derived caches (the in-band route cache, the
+  per-node operational-neighbour memo) invalidate only what was touched
+  instead of flushing wholesale on each of the thousands of mutations a
+  convergence run performs.
 """
 
 from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 NodeId = str
 EdgeId = FrozenSet[NodeId]
+
+DirtyListener = Callable[[Tuple[NodeId, ...]], None]
 
 
 def edge(u: NodeId, v: NodeId) -> EdgeId:
@@ -32,6 +50,49 @@ class NodeKind(enum.Enum):
 
     CONTROLLER = "controller"
     SWITCH = "switch"
+
+
+class TopologyIndex:
+    """Dense-integer view of a topology's structure (``Gc``).
+
+    ``names[i]`` is the node at index ``i`` (sorted-name order, so index
+    order *is* the paper's fixed neighbour ordering), ``idx`` the inverse
+    map, ``adj_masks[i]`` the bitmask of ``i``'s neighbours, ``adj_lists``
+    the same as ascending int lists, and ``switch_mask`` the bitmask of
+    switch nodes.  Instances are immutable snapshots: any membership or
+    link mutation makes :meth:`Topology.index` hand out a fresh one.
+    """
+
+    __slots__ = ("names", "idx", "adj_masks", "adj_lists", "switch_mask")
+
+    def __init__(self, topology: "Topology") -> None:
+        self.names: List[NodeId] = sorted(topology._kind)
+        self.idx: Dict[NodeId, int] = {n: i for i, n in enumerate(self.names)}
+        idx = self.idx
+        self.adj_lists: List[List[int]] = []
+        self.adj_masks: List[int] = []
+        switch_mask = 0
+        for i, name in enumerate(self.names):
+            nbrs = sorted(idx[v] for v in topology._adj[name])
+            mask = 0
+            for j in nbrs:
+                mask |= 1 << j
+            self.adj_lists.append(nbrs)
+            self.adj_masks.append(mask)
+            if topology._kind[name] is NodeKind.SWITCH:
+                switch_mask |= 1 << i
+        self.switch_mask = switch_mask
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+
+def _bits(mask: int):
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
 
 
 class Topology:
@@ -56,20 +117,64 @@ class Topology:
         # derived caches (e.g. the in-band route cache) can validate
         # themselves with one integer comparison.
         self._version = 0
-        # Operational-neighbour cache (forwarding walks query No(node)
-        # thousands of times between mutations), validated by _version.
+        # Structure (membership/link existence) version: the interned index
+        # and the sorted links list only depend on Gc, not on Go, so they
+        # survive operational flips.
+        self._structure_version = 0
+        # Operational-neighbour caches (forwarding walks query No(node)
+        # thousands of times between mutations), invalidated per dirty node
+        # rather than wholesale.
         self._op_adj: Dict[NodeId, List[NodeId]] = {}
-        self._op_adj_version = -1
+        self._op_set: Dict[NodeId, FrozenSet[NodeId]] = {}
+        # Interned index and per-node operational bitmasks (index space).
+        self._index: Optional[TopologyIndex] = None
+        self._index_version = -1
+        self._op_mask: Dict[int, int] = {}
+        self._links_cache: Optional[List[Tuple[NodeId, NodeId]]] = None
+        # Consumers notified with the node set each mutation touched.
+        self._dirty_listeners: List[DirtyListener] = []
 
     @property
     def version(self) -> int:
         """Monotone counter of membership and operational-state mutations."""
         return self._version
 
-    def _invalidate(self, *nodes: NodeId) -> None:
+    # -- dirty tracking ------------------------------------------------------
+
+    def add_dirty_listener(self, listener: DirtyListener) -> None:
+        """Subscribe to mutation notifications.
+
+        The listener is called with the tuple of nodes whose adjacency or
+        operational neighbourhood the mutation may have changed — exactly
+        the nodes whose cached ``operational_neighbors``/walk results a
+        derived cache must drop.
+        """
+        self._dirty_listeners.append(listener)
+
+    def remove_dirty_listener(self, listener: DirtyListener) -> None:
+        """Unsubscribe; unknown listeners are ignored."""
+        try:
+            self._dirty_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _mark_dirty(self, nodes: Tuple[NodeId, ...], structural: bool = False) -> None:
         self._version += 1
+        if structural:
+            self._structure_version += 1
+            self._op_mask.clear()
+            self._links_cache = None
+        index_fresh = self._index_version == self._structure_version
         for node in nodes:
             self._sorted_adj.pop(node, None)
+            self._op_adj.pop(node, None)
+            self._op_set.pop(node, None)
+            if index_fresh:
+                i = self._index.idx.get(node)
+                if i is not None:
+                    self._op_mask.pop(i, None)
+        for listener in self._dirty_listeners:
+            listener(nodes)
 
     # -- construction -------------------------------------------------------
 
@@ -79,7 +184,7 @@ class Topology:
         self._kind[node] = kind
         self._adj[node] = set()
         self._node_up[node] = True
-        self._version += 1
+        self._mark_dirty((node,), structural=True)
 
     def add_controller(self, node: NodeId) -> None:
         self.add_node(node, NodeKind.CONTROLLER)
@@ -96,7 +201,7 @@ class Topology:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._link_up[e] = True
-        self._invalidate(u, v)
+        self._mark_dirty((u, v), structural=True)
 
     def remove_link(self, u: NodeId, v: NodeId) -> None:
         """Permanently remove a link from ``Gc`` (a topology change)."""
@@ -106,7 +211,7 @@ class Topology:
         del self._link_up[e]
         self._adj[u].discard(v)
         self._adj[v].discard(u)
-        self._invalidate(u, v)
+        self._mark_dirty((u, v), structural=True)
 
     def remove_node(self, node: NodeId) -> None:
         """Permanently remove a node and all its links from ``Gc``."""
@@ -117,12 +222,14 @@ class Topology:
         del self._kind[node]
         del self._adj[node]
         del self._node_up[node]
-        self._invalidate(node)
+        self._mark_dirty((node,), structural=True)
 
     # -- queries ------------------------------------------------------------
 
     @property
     def nodes(self) -> List[NodeId]:
+        if self._index_version == self._structure_version:
+            return list(self._index.names)
         return sorted(self._kind)
 
     @property
@@ -135,7 +242,9 @@ class Topology:
 
     @property
     def links(self) -> List[Tuple[NodeId, NodeId]]:
-        return sorted(tuple(sorted(e)) for e in self._link_up)
+        if self._links_cache is None:
+            self._links_cache = sorted(tuple(sorted(e)) for e in self._link_up)
+        return list(self._links_cache)
 
     def __contains__(self, node: NodeId) -> bool:
         return node in self._kind
@@ -167,6 +276,30 @@ class Topology:
     def degree(self, node: NodeId) -> int:
         return len(self._adj[node])
 
+    # -- interned index ------------------------------------------------------
+
+    def index(self) -> TopologyIndex:
+        """The dense-integer structure snapshot, rebuilt lazily after
+        membership/link mutations.  Callers must not mutate it."""
+        if self._index_version != self._structure_version:
+            self._index = TopologyIndex(self)
+            self._index_version = self._structure_version
+            self._op_mask.clear()
+        return self._index
+
+    def _op_mask_of(self, i: int) -> int:
+        """Operational-neighbour bitmask of node index ``i`` (valid for the
+        current :meth:`index` snapshot; invalidated per dirty node)."""
+        mask = self._op_mask.get(i)
+        if mask is None:
+            index = self._index
+            idx = index.idx
+            mask = 0
+            for v in self.operational_neighbors(index.names[i]):
+                mask |= 1 << idx[v]
+            self._op_mask[i] = mask
+        return mask
+
     # -- operational status (Go) ---------------------------------------------
 
     def set_link_up(self, u: NodeId, v: NodeId, up: bool) -> None:
@@ -174,13 +307,16 @@ class Topology:
         if e not in self._link_up:
             raise KeyError(f"no such link: {u}-{v}")
         self._link_up[e] = up
-        self._version += 1
+        self._mark_dirty((u, v))
 
     def set_node_up(self, node: NodeId, up: bool) -> None:
         if node not in self._node_up:
             raise KeyError(f"no such node: {node}")
         self._node_up[node] = up
-        self._version += 1
+        # A node's up-state feeds link_operational() of every incident
+        # link, so the operational neighbourhoods of all its neighbours
+        # change with it.
+        self._mark_dirty((node, *self._adj[node]))
 
     def link_is_up(self, u: NodeId, v: NodeId) -> bool:
         return self._link_up.get(edge(u, v), False)
@@ -199,21 +335,27 @@ class Topology:
     def operational_neighbors(self, node: NodeId) -> List[NodeId]:
         """``No(node)``: neighbours reachable over currently-usable links.
 
-        Cached per node until the next mutation; callers must not mutate
-        the returned list.
+        Cached per node until a mutation touches that node; callers must
+        not mutate the returned list.
         """
-        if self._op_adj_version != self._version:
-            self._op_adj.clear()
-            self._op_adj_version = self._version
         cached = self._op_adj.get(node)
         if cached is None:
             if not self.node_is_up(node):
                 cached = []
             else:
-                cached = sorted(
-                    v for v in self._adj[node] if self.link_operational(node, v)
-                )
+                cached = [
+                    v for v in self.neighbors(node) if self.link_operational(node, v)
+                ]
             self._op_adj[node] = cached
+        return cached
+
+    def operational_neighbor_set(self, node: NodeId) -> FrozenSet[NodeId]:
+        """``No(node)`` as a cached frozenset, for membership-heavy callers
+        (the per-hop rule applicability checks of the forwarding walk)."""
+        cached = self._op_set.get(node)
+        if cached is None:
+            cached = frozenset(self.operational_neighbors(node))
+            self._op_set[node] = cached
         return cached
 
     def failed_links(self) -> List[Tuple[NodeId, NodeId]]:
@@ -231,25 +373,55 @@ class Topology:
 
         ``operational_only`` restricts traversal to ``Go``;
         ``excluded_edges`` additionally removes specific edges (used for
-        edge-disjoint path computation).
+        edge-disjoint path computation).  Distances are exact; iteration
+        order of the returned dict is layer-by-layer in index order.
         """
         if source not in self._kind:
             raise KeyError(f"no such node: {source}")
-        excluded = excluded_edges or set()
+        index = self.index()
+        idx = index.idx
+        names = index.names
+        excluded_masks = self._excluded_masks(index, excluded_edges)
+        if operational_only:
+            mask_of = self._op_mask_of
+        else:
+            adj_masks = index.adj_masks
+            mask_of = adj_masks.__getitem__
+        src_i = idx[source]
         dist = {source: 0}
-        queue: deque[NodeId] = deque([source])
-        while queue:
-            u = queue.popleft()
-            for v in self.neighbors(u):
-                if v in dist:
-                    continue
-                if edge(u, v) in excluded:
-                    continue
-                if operational_only and not self.link_operational(u, v):
-                    continue
-                dist[v] = dist[u] + 1
-                queue.append(v)
+        frontier = 1 << src_i
+        seen = frontier
+        depth = 0
+        while frontier:
+            reach = 0
+            for i in _bits(frontier):
+                mask = mask_of(i)
+                if excluded_masks is not None and i in excluded_masks:
+                    mask &= ~excluded_masks[i]
+                reach |= mask
+            frontier = reach & ~seen
+            seen |= frontier
+            depth += 1
+            for i in _bits(frontier):
+                dist[names[i]] = depth
         return dist
+
+    @staticmethod
+    def _excluded_masks(
+        index: TopologyIndex, excluded_edges: Optional[Set[EdgeId]]
+    ) -> Optional[Dict[int, int]]:
+        """Per-node bitmasks of excluded neighbours, or ``None``."""
+        if not excluded_edges:
+            return None
+        masks: Dict[int, int] = {}
+        for e in excluded_edges:
+            u, v = tuple(e)
+            iu, iv = index.idx.get(u), index.idx.get(v)
+            if iu is None or iv is None:
+                continue
+            masks[iu] = masks.get(iu, 0) | (1 << iv)
+            masks[iv] = masks.get(iv, 0) | (1 << iu)
+        return masks or None
 
     def shortest_path(
         self,
@@ -262,35 +434,49 @@ class Topology:
 
         This implements the paper's *first shortest path* definition
         (Section 5.4): among all shortest paths the one whose nodes have
-        the minimum indices according to the neighbourhood ordering.
+        the minimum indices according to the neighbourhood ordering.  The
+        BFS runs on the interned bitmask adjacency; parents are assigned
+        in discovery order, which reproduces the legacy FIFO/sorted-
+        neighbour tie-breaking exactly.
         """
         if source == target:
             return [source]
-        excluded = excluded_edges or set()
-        parent: Dict[NodeId, NodeId] = {}
-        dist = {source: 0}
-        queue: deque[NodeId] = deque([source])
-        while queue:
-            u = queue.popleft()
-            if u == target:
-                break
-            for v in self.neighbors(u):
-                if v in dist:
-                    continue
-                if edge(u, v) in excluded:
-                    continue
-                if operational_only and not self.link_operational(u, v):
-                    continue
-                dist[v] = dist[u] + 1
-                parent[v] = u
-                queue.append(v)
-        if target not in dist:
+        if source not in self._kind or target not in self._kind:
+            raise KeyError(f"no such node: {source if source not in self._kind else target}")
+        index = self.index()
+        idx = index.idx
+        names = index.names
+        excluded_masks = self._excluded_masks(index, excluded_edges)
+        if operational_only:
+            mask_of = self._op_mask_of
+        else:
+            adj_masks = index.adj_masks
+            mask_of = adj_masks.__getitem__
+        src_i, dst_i = idx[source], idx[target]
+        parent = {src_i: src_i}
+        frontier = [src_i]
+        seen = 1 << src_i
+        found = False
+        while frontier and not found:
+            next_frontier: List[int] = []
+            for u in frontier:
+                mask = mask_of(u)
+                if excluded_masks is not None and u in excluded_masks:
+                    mask &= ~excluded_masks[u]
+                for v in _bits(mask & ~seen):
+                    seen |= 1 << v
+                    parent[v] = u
+                    next_frontier.append(v)
+                    if v == dst_i:
+                        found = True
+            frontier = next_frontier
+        if dst_i not in parent:
             return None
-        path = [target]
-        while path[-1] != source:
-            path.append(parent[path[-1]])
-        path.reverse()
-        return path
+        path_i = [dst_i]
+        while path_i[-1] != src_i:
+            path_i.append(parent[path_i[-1]])
+        path_i.reverse()
+        return [names[i] for i in path_i]
 
     def connected(self, operational_only: bool = False) -> bool:
         nodes = [n for n in self.nodes if not operational_only or self.node_is_up(n)]
@@ -321,18 +507,23 @@ class Topology:
 
         Linear in ``|V| + |E|`` — unlike :meth:`edge_connectivity`'s max-flow
         reduction — so generators can afford it inside rejection-sampling
-        loops on networks of hundreds of switches.
+        loops on networks of hundreds of switches.  Runs on the interned
+        integer adjacency.
         """
-        index: Dict[NodeId, int] = {}
-        low: Dict[NodeId, int] = {}
+        index = self.index()
+        adj = index.adj_lists
+        names = index.names
+        n = len(names)
+        order = [-1] * n
+        low = [0] * n
         found: List[Tuple[NodeId, NodeId]] = []
         counter = 0
-        for root in self.nodes:
-            if root in index:
+        for root in range(n):
+            if order[root] != -1:
                 continue
             # Stack frames: (node, parent, iterator over neighbours).
-            stack = [(root, None, iter(self.neighbors(root)))]
-            index[root] = low[root] = counter
+            stack = [(root, -1, iter(adj[root]))]
+            order[root] = low[root] = counter
             counter += 1
             while stack:
                 node, parent, it = stack[-1]
@@ -342,24 +533,26 @@ class Topology:
                         # Skip the tree edge back to the parent once; a
                         # parallel edge would clear bridge status, but the
                         # graph is multigraph-free by construction.
-                        parent = None
+                        parent = -1
                         stack[-1] = (node, parent, it)
                         continue
-                    if child in index:
-                        low[node] = min(low[node], index[child])
+                    if order[child] != -1:
+                        if order[child] < low[node]:
+                            low[node] = order[child]
                         continue
-                    index[child] = low[child] = counter
+                    order[child] = low[child] = counter
                     counter += 1
-                    stack.append((child, node, iter(self.neighbors(child))))
+                    stack.append((child, node, iter(adj[child])))
                     advanced = True
                     break
                 if not advanced:
                     stack.pop()
                     if stack:
-                        up, _, _ = stack[-1]
-                        low[up] = min(low[up], low[node])
-                        if low[node] > index[up]:
-                            found.append(tuple(sorted((up, node))))
+                        up = stack[-1][0]
+                        if low[node] < low[up]:
+                            low[up] = low[node]
+                        if low[node] > order[up]:
+                            found.append(tuple(sorted((names[up], names[node]))))
         return sorted(found)
 
     def two_edge_connected(self) -> bool:
@@ -374,31 +567,34 @@ class Topology:
     def _max_edge_disjoint_paths(self, source: NodeId, target: NodeId) -> int:
         """Max number of edge-disjoint s-t paths via unit-capacity max flow.
 
-        Edmonds-Karp on an implicit residual graph: every undirected edge is
-        two opposite unit arcs.  Complexity is fine for the paper's network
-        sizes (≤ ~250 nodes).
+        Edmonds-Karp on an implicit residual graph over the interned index:
+        every undirected edge is two opposite unit arcs.  The max-flow
+        value is unique, so the integer reformulation is exact.
         """
-        residual: Dict[Tuple[NodeId, NodeId], int] = {}
-        for u, v in self.links:
-            residual[(u, v)] = 1
-            residual[(v, u)] = 1
+        index = self.index()
+        adj = index.adj_lists
+        n = len(index)
+        src_i, dst_i = index.idx[source], index.idx[target]
+        residual = [dict.fromkeys(nbrs, 1) for nbrs in adj]
         flow = 0
         while True:
-            parent: Dict[NodeId, NodeId] = {source: source}
-            queue: deque[NodeId] = deque([source])
-            while queue and target not in parent:
+            parent = [-1] * n
+            parent[src_i] = src_i
+            queue: deque = deque([src_i])
+            while queue and parent[dst_i] == -1:
                 u = queue.popleft()
-                for v in self.neighbors(u):
-                    if v not in parent and residual.get((u, v), 0) > 0:
+                res_u = residual[u]
+                for v, cap in res_u.items():
+                    if cap > 0 and parent[v] == -1:
                         parent[v] = u
                         queue.append(v)
-            if target not in parent:
+            if parent[dst_i] == -1:
                 return flow
-            node = target
-            while node != source:
+            node = dst_i
+            while node != src_i:
                 prev = parent[node]
-                residual[(prev, node)] -= 1
-                residual[(node, prev)] = residual.get((node, prev), 0) + 1
+                residual[prev][node] -= 1
+                residual[node][prev] = residual[node].get(prev, 0) + 1
                 node = prev
             flow += 1
 
@@ -414,7 +610,14 @@ class Topology:
         if not self.connected():
             return 0
         source = nodes[0]
-        return min(self._max_edge_disjoint_paths(source, v) for v in nodes[1:])
+        best: Optional[int] = None
+        for v in nodes[1:]:
+            flow = self._max_edge_disjoint_paths(source, v)
+            if best is None or flow < best:
+                best = flow
+                if best == 0:
+                    break
+        return best
 
     # -- copy -----------------------------------------------------------------
 
@@ -424,8 +627,9 @@ class Topology:
         clone._adj = {n: set(a) for n, a in self._adj.items()}
         clone._link_up = dict(self._link_up)
         clone._node_up = dict(self._node_up)
-        clone._sorted_adj = {}
         clone._version = self._version
+        # Caches, index, and dirty listeners deliberately start fresh: the
+        # clone diverges from the original immediately.
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -440,4 +644,12 @@ def subgraph_reachable(topology: Topology, source: NodeId) -> Set[NodeId]:
     return set(topology.bfs_layers(source))
 
 
-__all__ = ["Topology", "NodeKind", "NodeId", "EdgeId", "edge", "subgraph_reachable"]
+__all__ = [
+    "Topology",
+    "TopologyIndex",
+    "NodeKind",
+    "NodeId",
+    "EdgeId",
+    "edge",
+    "subgraph_reachable",
+]

@@ -524,6 +524,8 @@ class NetworkSimulation:
             max_rules=self.rena_config.max_rules,
             max_managers=self.rena_config.max_managers,
         )
+        if self.route_cache is not None:
+            self.route_cache.watch_switch(sid)
         self._illegit_seen[sid] = 0
         if self._started:
             self.sim.schedule(

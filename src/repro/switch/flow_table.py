@@ -16,10 +16,26 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 #: Priority reserved for round-synchronization meta-rules — the lowest.
 META_PRIORITY = 0
+
+#: Rule-event kinds published to version listeners, ordered by how much of
+#: a cached walk population they can perturb (see ``RouteCache``): a
+#: primary-rule change can redirect any walk of its header; a
+#: ``detour_start`` change additionally only matters to walks that hit a
+#: rule miss (it could rescue them); a plain detour-hop change only
+#: matters to walks that actually travelled stamped.
+EVENT_PRIMARY = 0
+EVENT_START = 1
+EVENT_DETOUR = 2
+
+
+def _event_kind(rule: "Rule") -> int:
+    if rule.detour is None:
+        return EVENT_PRIMARY
+    return EVENT_START if rule.detour_start else EVENT_DETOUR
 
 
 @dataclass(frozen=True)
@@ -79,6 +95,46 @@ class FlowTable:
         # meta-rule tag rotation) deliberately do not bump it: they cannot
         # change any forwarding decision.
         self.version = 0
+        # Subscribers notified on each version bump with this table's sid
+        # and ``(src, dst, event_kind)`` triples describing which packet
+        # headers' match results the mutation may have changed and how —
+        # the dirty-tracking channel route caches use to invalidate only
+        # walks of those flows through this switch.
+        self._version_listeners: List[
+            Callable[[str, Tuple[Tuple[str, str, int], ...]], None]
+        ] = []
+        # Memo of matching() results per header, dropped per key on any
+        # install/delete touching that header (even tag-only refreshes,
+        # which swap the Rule object without bumping version).
+        self._match_cache: Dict[Tuple[str, str], List[Rule]] = {}
+        # Rules per owning controller, so controllers_present() is O(#cids)
+        # instead of a full-table scan on every no_stale_rules probe.
+        self._owner_counts: Dict[str, int] = {}
+
+    def add_version_listener(
+        self, listener: Callable[[str, Tuple[Tuple[str, str, int], ...]], None]
+    ) -> None:
+        """Subscribe to forwarding-relevant mutations of this table.
+
+        Listeners receive ``(sid, events)`` where each event is
+        ``(src, dst, kind)`` with ``kind`` one of ``EVENT_PRIMARY`` /
+        ``EVENT_START`` / ``EVENT_DETOUR``; meta-rule headers are
+        delivered too but match no data-plane flow.
+        """
+        self._version_listeners.append(listener)
+
+    def remove_version_listener(
+        self, listener: Callable[[str, Tuple[Tuple[str, str, int], ...]], None]
+    ) -> None:
+        try:
+            self._version_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _bump_version(self, events: Tuple[Tuple[str, str, int], ...]) -> None:
+        self.version += 1
+        for listener in self._version_listeners:
+            listener(self.sid, events)
 
     def _index_add(self, key: Tuple, rule: Rule) -> None:
         if rule.is_meta:
@@ -102,7 +158,13 @@ class FlowTable:
         rule = self._rules.pop(key)
         del self._touched[key]
         self._index_remove(key, rule)
-        self.version += 1
+        self._match_cache.pop((rule.src, rule.dst), None)
+        count = self._owner_counts.get(rule.cid, 0) - 1
+        if count > 0:
+            self._owner_counts[rule.cid] = count
+        else:
+            self._owner_counts.pop(rule.cid, None)
+        self._bump_version(((rule.src, rule.dst, _event_kind(rule)),))
 
     def __len__(self) -> int:
         return len(self._rules)
@@ -114,7 +176,7 @@ class FlowTable:
         return [r for r in self._rules.values() if r.cid == cid]
 
     def controllers_present(self) -> List[str]:
-        return sorted({r.cid for r in self._rules.values()})
+        return sorted(self._owner_counts)
 
     # -- mutation -------------------------------------------------------------
 
@@ -131,11 +193,19 @@ class FlowTable:
         self._rules[key] = rule
         self._touched[key] = next(self._clock)
         self._index_add(key, rule)
+        self._match_cache.pop((rule.src, rule.dst), None)
+        if prior is None:
+            self._owner_counts[rule.cid] = self._owner_counts.get(rule.cid, 0) + 1
         # The key carries every forwarding-relevant field except
         # ``detour_start``; a same-key refresh differing only in tag (the
         # newRound meta-rule rotation) leaves forwarding untouched.
         if prior is None or prior.detour_start != rule.detour_start:
-            self.version += 1
+            # A detour_start flip is both a removal and an addition; publish
+            # the stronger (lower) of the two kinds.
+            kind = _event_kind(rule)
+            if prior is not None:
+                kind = min(kind, _event_kind(prior))
+            self._bump_version(((rule.src, rule.dst, kind),))
 
     def _evict_one(self) -> None:
         victim = min(self._touched, key=self._touched.get)
@@ -176,20 +246,31 @@ class FlowTable:
         return len(victims)
 
     def clear(self) -> None:
+        kinds: Dict[Tuple[str, str], int] = {}
+        for rule in self._rules.values():
+            header = (rule.src, rule.dst)
+            kind = _event_kind(rule)
+            prior = kinds.get(header)
+            kinds[header] = kind if prior is None else min(prior, kind)
         self._rules.clear()
         self._touched.clear()
         self._by_match.clear()
-        self.version += 1
+        self._match_cache.clear()
+        self._owner_counts.clear()
+        self._bump_version(tuple((s, d, k) for (s, d), k in kinds.items()))
 
     # -- lookup ---------------------------------------------------------------
 
     def matching(self, src: str, dst: str) -> List[Rule]:
         """All non-meta rules matching a packet header, highest priority
         first (deterministic tie-break on owner and out-port)."""
-        keys = self._by_match.get((src, dst), ())
-        hits = [self._rules[k] for k in keys]
-        hits.sort(key=lambda r: (-r.priority, r.cid, r.forward_to or ""))
-        return hits
+        cached = self._match_cache.get((src, dst))
+        if cached is None:
+            keys = self._by_match.get((src, dst), ())
+            cached = [self._rules[k] for k in keys]
+            cached.sort(key=lambda r: (-r.priority, r.cid, r.forward_to or ""))
+            self._match_cache[(src, dst)] = cached
+        return cached
 
     def is_unambiguous(self, operational: Optional[Iterable[str]] = None) -> bool:
         """Check the paper's unambiguity requirement: for every packet
@@ -224,4 +305,11 @@ class FlowTable:
             self.install(replace(rule, sid=self.sid))
 
 
-__all__ = ["Rule", "FlowTable", "META_PRIORITY"]
+__all__ = [
+    "Rule",
+    "FlowTable",
+    "META_PRIORITY",
+    "EVENT_PRIMARY",
+    "EVENT_START",
+    "EVENT_DETOUR",
+]

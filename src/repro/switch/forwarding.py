@@ -34,7 +34,10 @@ def select_rule(
     stamp: Optional[int] = None,
 ) -> Optional[Rule]:
     """The applicable rule for a packet (header + detour stamp)."""
-    usable: Set[str] = set(operational_neighbors)
+    if isinstance(operational_neighbors, (set, frozenset)):
+        usable: Set[str] = operational_neighbors
+    else:
+        usable = set(operational_neighbors)
     matches = table.matching(src, dst)
     applicable = [r for r in matches if r.forward_to in usable]
     if not applicable:
@@ -69,7 +72,10 @@ def next_hop(
        entering a detour stamps, rejoining the primary unstamps;
     3. otherwise ``(None, stamp)`` — the packet is dropped.
     """
-    usable = set(operational_neighbors)
+    if isinstance(operational_neighbors, (set, frozenset)):
+        usable = operational_neighbors
+    else:
+        usable = set(operational_neighbors)
     if dst in usable:
         return dst, stamp
     rule = select_rule(table, src, dst, usable, stamp=stamp)

@@ -1,16 +1,25 @@
-"""Tests for the epoch-based in-band route cache.
+"""Tests for the dependency-tracked in-band route cache.
 
 The cache must be *observationally invisible*: every path it returns must
 equal what a direct :func:`forwarding_path` walk computes at that instant,
 across rule-table rewrites, link failures/recoveries, and node faults.
+On top of that, invalidation must be *fine-grained*: mutations may only
+evict entries whose walk actually depended on the touched state.
 """
 
 import pytest
 
 from repro.core.legitimacy import RouteCache, forwarding_path
 from repro.net.topologies import TOPOLOGY_BUILDERS, attach_controllers
+from repro.net.topology import Topology
 from repro.sim.network_sim import NetworkSimulation, SimulationConfig
-from repro.switch.flow_table import FlowTable, Rule
+from repro.switch.flow_table import (
+    EVENT_DETOUR,
+    EVENT_PRIMARY,
+    EVENT_START,
+    FlowTable,
+    Rule,
+)
 
 
 def _bootstrap(network="B4", cache=True, seed=0):
@@ -139,3 +148,180 @@ def test_cache_respects_extra_failed_key():
     assert detoured == direct
     # The hypothetical failure must not pollute the plain entry.
     assert sim.route_cache.path(cid, sid) == plain
+
+# -- fine-grained invalidation ------------------------------------------------
+
+
+class _TableOnlySwitch:
+    """Minimal stand-in: the walk only touches ``switches[sid].table``."""
+
+    def __init__(self, sid):
+        self.table = FlowTable(sid, max_rules=16)
+
+
+def _two_arm_world():
+    """c0 with two disjoint arms: s1-s2-s3 and t1-t2-t3, with primary
+    rules installed for the flows c0→s3 and c0→t3."""
+    topology = Topology()
+    topology.add_controller("c0")
+    for sid in ("s1", "s2", "s3", "t1", "t2", "t3"):
+        topology.add_switch(sid)
+    for u, v in (
+        ("c0", "s1"), ("s1", "s2"), ("s2", "s3"),
+        ("c0", "t1"), ("t1", "t2"), ("t2", "t3"),
+    ):
+        topology.add_link(u, v)
+    switches = {sid: _TableOnlySwitch(sid) for sid in topology.switches}
+    switches["s1"].table.install(
+        Rule(cid="c0", sid="s1", src="c0", dst="s3", priority=1000, forward_to="s2")
+    )
+    switches["t1"].table.install(
+        Rule(cid="c0", sid="t1", src="c0", dst="t3", priority=1000, forward_to="t2")
+    )
+    return topology, switches
+
+
+def test_per_key_invalidation_spares_unrelated_flows():
+    topology, switches = _two_arm_world()
+    cache = RouteCache(topology, switches)
+    assert cache.path("c0", "s3") == ["c0", "s1", "s2", "s3"]
+    assert cache.path("c0", "t3") == ["c0", "t1", "t2", "t3"]
+    misses = cache.misses
+
+    # A rule change for the flow c0→s3 at a switch its walk consulted must
+    # evict only that entry; the disjoint flow stays cached.
+    switches["s1"].table.install(
+        Rule(cid="c0", sid="s1", src="c0", dst="s3", priority=1100, forward_to="s2")
+    )
+    assert cache.path("c0", "t3") == ["c0", "t1", "t2", "t3"]
+    assert cache.misses == misses  # untouched flow: still a hit
+    assert cache.path("c0", "s3") == ["c0", "s1", "s2", "s3"]
+    assert cache.misses == misses + 1  # touched flow: re-walked
+
+
+def test_unrelated_header_mutation_spares_other_flows_at_same_switch():
+    topology, switches = _two_arm_world()
+    cache = RouteCache(topology, switches)
+    cache.path("c0", "s3")
+    cache.path("c0", "t3")
+    misses = cache.misses
+    # s1 is consulted by BOTH walks (it is c0's first port, so the c0→t3
+    # walk tries and abandons it), but this mutation is for header
+    # (c0, s3) only — the c0→t3 entry must survive.
+    switches["s1"].table.install(
+        Rule(cid="c0", sid="s1", src="c0", dst="s3", priority=900, forward_to="s2")
+    )
+    assert cache.path("c0", "t3") == ["c0", "t1", "t2", "t3"]
+    assert cache.misses == misses
+
+
+def test_operational_mutation_invalidates_only_touched_paths():
+    topology, switches = _two_arm_world()
+    cache = RouteCache(topology, switches)
+    cache.path("c0", "s3")
+    cache.path("c0", "t3")
+    misses = cache.misses
+    topology.set_link_up("t2", "t3", False)
+    # The s-arm entry depends on no dirtied node: still cached.
+    assert cache.path("c0", "s3") == ["c0", "s1", "s2", "s3"]
+    assert cache.misses == misses
+    # The t-arm entry is re-walked against the new operational state.
+    assert cache.path("c0", "t3") == forwarding_path(
+        topology, switches, "c0", "t3"
+    )
+    assert cache.misses == misses + 1
+
+
+def test_shadowed_detour_install_does_not_evict_primary_walk():
+    topology, switches = _two_arm_world()
+    cache = RouteCache(topology, switches)
+    assert cache.path("c0", "s3") == ["c0", "s1", "s2", "s3"]
+    misses = cache.misses
+    # A detour hop rule for the same header at a consulted switch is
+    # invisible to the unstamped zero-failure walk: no eviction.
+    switches["s1"].table.install(
+        Rule(
+            cid="c0", sid="s1", src="c0", dst="s3", priority=999,
+            forward_to="s2", detour=0,
+        )
+    )
+    assert cache.path("c0", "s3") == ["c0", "s1", "s2", "s3"]
+    assert cache.misses == misses
+    # ...but a hypothetical-failure walk of that header does consult
+    # detours, so those entries go through the full event surface.
+    e = frozenset(("s1", "s2"))
+    assert cache.path("c0", "s3", extra_failed={e}) == forwarding_path(
+        topology, switches, "c0", "s3", extra_failed={e}
+    )
+
+
+# -- dirty-set publication ----------------------------------------------------
+
+
+def test_topology_publishes_dirty_nodes_per_mutation():
+    topology = Topology()
+    events = []
+    topology.add_dirty_listener(lambda nodes: events.append(tuple(sorted(nodes))))
+    topology.add_controller("c0")
+    topology.add_switch("s1")
+    topology.add_switch("s2")
+    topology.add_link("c0", "s1")
+    topology.add_link("s1", "s2")
+    assert events == [("c0",), ("s1",), ("s2",), ("c0", "s1"), ("s1", "s2")]
+
+    events.clear()
+    topology.set_link_up("s1", "s2", False)
+    assert events == [("s1", "s2")]
+
+    events.clear()
+    # A node flip changes the operational neighbourhood of every
+    # neighbour, so they are published too.
+    topology.set_node_up("s1", False)
+    assert events == [("c0", "s1", "s2")]
+
+    events.clear()
+    topology.remove_node("s1")
+    assert events[-1] == ("s1",)  # final membership event
+    dirtied = {n for ev in events for n in ev}
+    assert dirtied == {"c0", "s1", "s2"}  # incident links dirtied both ends
+
+
+def test_flow_table_publishes_header_events_per_kind():
+    table = FlowTable("s1", max_rules=16)
+    events = []
+    table.add_version_listener(lambda sid, evs: events.append((sid, evs)))
+
+    primary = Rule(cid="c0", sid="s1", src="a", dst="b", priority=10, forward_to="x")
+    table.install(primary)
+    assert events == [("s1", (("a", "b", EVENT_PRIMARY),))]
+
+    events.clear()
+    table.install(primary)  # idempotent LRU refresh: silent
+    assert events == []
+
+    table.install(
+        Rule(cid="c0", sid="s1", src="a", dst="b", priority=9, forward_to="x", detour=0)
+    )
+    assert events == [("s1", (("a", "b", EVENT_DETOUR),))]
+
+    events.clear()
+    table.install(
+        Rule(
+            cid="c0", sid="s1", src="a", dst="b", priority=9, forward_to="x",
+            detour=0, detour_start=True,
+        )
+    )
+    # detour_start flip on an existing key: published at the stronger kind.
+    assert events == [("s1", (("a", "b", EVENT_START),))]
+
+    events.clear()
+    table.delete_rules_of("c0", include_meta=True)
+    kinds = {ev for _, evs in events for ev in evs}
+    assert ("a", "b", EVENT_PRIMARY) in kinds
+    assert ("a", "b", EVENT_START) in kinds
+
+    events.clear()
+    table.install(primary)
+    events.clear()
+    table.clear()
+    assert events == [("s1", (("a", "b", EVENT_PRIMARY),))]
