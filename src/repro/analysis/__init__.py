@@ -26,11 +26,13 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.adversary import stabilize_campaign
 from repro.analysis.scenarios import scenario_campaign
+from repro.analysis.traffic import traffic_campaign
 
 __all__ = [
     "ExperimentResult",
     "scenario_campaign",
     "stabilize_campaign",
+    "traffic_campaign",
     "table8_topologies",
     "fig5_bootstrap",
     "fig6_bootstrap_vs_controllers",

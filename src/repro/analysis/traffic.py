@@ -1,0 +1,62 @@
+"""Figure-shaped API over the flow-level traffic subsystem.
+
+:func:`traffic_campaign` is to the ``traffic`` spec what
+:func:`~repro.analysis.scenarios.scenario_campaign` is to ``scenario``: a
+stable wrapper that resolves the spec in the registry and executes it
+through the parallel repetition runner, bit-identical at any worker
+count.  One repetition simulates once and reports three metrics (goodput
+under churn, flows disrupted per fault, p99 FCT) — with a ``store``, the
+second and third derive from the first's cached run record.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exp.runner import run_spec
+from repro.exp.spec import ExperimentResult
+
+
+def traffic_campaign(
+    topology: str = "jellyfish:200",
+    campaign: str = "churn",
+    flows: int = 100_000,
+    pairs: int = 128,
+    duration: float = 12.0,
+    ecmp: int = 4,
+    reps: int = 1,
+    n_controllers: int = 0,
+    workers: Optional[int] = None,
+    base_seed: int = 0,
+    task_delay: float = 0.5,
+    timeout: float = 240.0,
+    store=None,
+    refresh: bool = False,
+) -> ExperimentResult:
+    """Goodput/disruption/FCT distributions of one generated tenant
+    workload riding one fault campaign; each repetition derives its
+    topology, workload, and campaign from its own seed.
+    ``store``/``refresh`` make the campaign resumable exactly like
+    :func:`~repro.exp.runner.run_spec`."""
+    return run_spec(
+        "traffic",
+        reps=reps,
+        workers=workers,
+        base_seed=base_seed,
+        store=store,
+        refresh=refresh,
+        params={
+            "topology": topology,
+            "campaign": campaign,
+            "flows": flows,
+            "pairs": pairs,
+            "duration": duration,
+            "ecmp": ecmp,
+            "n_controllers": n_controllers,
+            "task_delay": task_delay,
+            "timeout": timeout,
+        },
+    )
+
+
+__all__ = ["traffic_campaign"]

@@ -29,6 +29,7 @@ from repro.api.phases import (
 )
 from repro.api.plan import RunObserver, RunPlan, RunSession, build_simulation
 from repro.api.results import PhaseResult, RunResult
+from repro.traffic.phase import Traffic
 from repro.api.topology import (
     PLACEMENTS,
     THETA,
@@ -58,6 +59,7 @@ __all__ = [
     "RunResult",
     "RunSession",
     "THETA",
+    "Traffic",
     "TIMEOUT",
     "build_simulation",
     "default_theta",

@@ -88,7 +88,7 @@ def _metrics_snapshot(sim: NetworkSimulation) -> Dict[str, Any]:
     metrics = sim.metrics
     iterations = sim.controller_iterations()
     n_nodes = len(sim.topology.nodes)
-    return {
+    snapshot = {
         "c_resets": metrics.c_resets,
         "illegitimate_deletions": metrics.illegitimate_deletions,
         "dropped_control_packets": metrics.dropped_control_packets,
@@ -105,6 +105,11 @@ def _metrics_snapshot(sim: NetworkSimulation) -> Dict[str, Any]:
         "corruption_time": metrics.corruption_time,
         "stabilization_time": metrics.stabilization_time,
     }
+    # Only runs with a Traffic phase carry the key: snapshots of every
+    # pre-existing plan stay byte-identical (stable store records).
+    if metrics.traffic is not None:
+        snapshot["traffic"] = metrics.traffic
+    return snapshot
 
 
 class RunPlan:

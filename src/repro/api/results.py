@@ -112,6 +112,13 @@ class RunResult:
         run never stabilized."""
         return self.metrics.get("stabilization_time")
 
+    @property
+    def traffic(self) -> Optional[Dict[str, Any]]:
+        """The tenant-traffic metrics block recorded by a ``traffic``
+        phase (goodput, disruption counts, FCT percentiles), or ``None``
+        when the run carried no traffic."""
+        return self.metrics.get("traffic")
+
     def summary(self) -> Dict[str, Any]:
         """Small human-oriented digest (also embedded in the JSON)."""
         return {

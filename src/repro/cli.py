@@ -6,7 +6,8 @@ Usage::
     python -m repro.cli bootstrap --network B4 --controllers 3 --reps 3
     python -m repro.cli bootstrap --network jellyfish:20x4 --json
     python -m repro.cli recover --network Telstra --fault link
-    python -m repro.cli traffic --network Telstra [--no-recovery]
+    python -m repro.cli iperf --network Telstra [--no-recovery]
+    python -m repro.cli traffic --topology jellyfish:200 --flows 100000 --store runs/
     python -m repro.cli figure fig5 --reps 3
     python -m repro.cli sweep --figure fig5 --network Telstra --reps 8 --workers 4
     python -m repro.cli scenario --topology jellyfish:20 --campaign churn --reps 4
@@ -44,6 +45,7 @@ from repro.adversary.schedulers import SCHEDULERS
 from repro.analysis import experiments as exp
 from repro.analysis.adversary import stabilize_campaign
 from repro.analysis.scenarios import scenario_campaign
+from repro.analysis.traffic import traffic_campaign
 from repro.api import (
     AwaitLegitimacy,
     Bootstrap,
@@ -266,7 +268,8 @@ def cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_traffic(args: argparse.Namespace) -> int:
+def cmd_iperf(args: argparse.Namespace) -> int:
+    """Single-pair transport probe (the Figure 15/16 measurement)."""
     topology = TOPOLOGY_BUILDERS[args.network]()
     pair = place_hosts_at_max_distance(topology)
     switches = standalone_switches(topology)
@@ -276,6 +279,21 @@ def cmd_traffic(args: argparse.Namespace) -> int:
     print("throughput (Mbit/s):", [round(x) for x in stats.throughput_series()])
     print("retransmissions (%):", [round(x, 1) for x in stats.retransmission_series()])
     return 0
+
+
+def cmd_traffic(args: argparse.Namespace) -> int:
+    """Run one flow-level traffic campaign through the repetition runner."""
+    return _run_campaign_command(
+        args,
+        "traffic",
+        traffic_campaign,
+        _traffic_params(args),
+        knob_summary=f"campaign={args.campaign} flows={args.flows}",
+        incomplete_message=(
+            "repetitions recorded no traffic metrics (the traffic phase "
+            f"failed or exceeded --timeout {args.timeout})"
+        ),
+    )
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -377,10 +395,13 @@ def _run_campaign_command(
             f"-- {name} {args.topology} {knob_summary} reps={args.reps} "
             f"seed={args.seed} workers={args.workers}: {elapsed:.2f} s wall"
         )
+    # One series per case: scenario/stabilize build one case, traffic
+    # builds one per metric — scale the expectation accordingly.
+    expected = args.reps * max(1, len(result.series))
     completed = sum(len(values) for values in result.series.values())
-    if completed < args.reps:
+    if completed < expected:
         if not _quiet(args):
-            print(f"{args.reps - completed}/{args.reps} {incomplete_message}")
+            print(f"{expected - completed}/{expected} {incomplete_message}")
         return 1
     return 0
 
@@ -448,13 +469,37 @@ def _stabilize_params(args: argparse.Namespace) -> Dict[str, object]:
     )
 
 
+def _traffic_params(args: argparse.Namespace) -> Dict[str, object]:
+    """The traffic spec's params (same contract as
+    :func:`_scenario_params`: shared verbatim with ``repro report``).
+
+    Θ is a control-plane knob the traffic spec does not consume, so it is
+    deliberately absent; the control-plane depth comes from the dedicated
+    ``--control-plane`` flag (default 0: data-plane-only fabric), not the
+    shared ``--controllers``.
+    """
+    return {
+        "topology": args.topology,
+        "campaign": args.campaign,
+        "flows": args.flows,
+        "pairs": args.pairs,
+        "duration": args.duration,
+        "ecmp": args.ecmp,
+        "n_controllers": args.control_plane,
+        "task_delay": args.task_delay,
+        "timeout": args.timeout,
+    }
+
+
 def _report_params(args: argparse.Namespace) -> Dict[str, object]:
     """The spec params a ``repro report`` must address records under
-    (only the scenario/stabilize specs parametrize their cases)."""
+    (only the scenario/stabilize/traffic specs parametrize their cases)."""
     if args.figure == "scenario":
         return _scenario_params(args)
     if args.figure == "stabilize":
         return _stabilize_params(args)
+    if args.figure == "traffic":
+        return _traffic_params(args)
     return {}
 
 
@@ -593,6 +638,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded adversarial delivery scheduler",
     )
 
+    traffic_knobs = argparse.ArgumentParser(add_help=False)
+    traffic_knobs.add_argument(
+        "--flows", type=int, default=100_000,
+        help="concurrent tenant flows to generate (10^5-10^6 supported)",
+    )
+    traffic_knobs.add_argument("--pairs", type=int, default=128,
+                               help="distinct (src, dst) switch pairs")
+    traffic_knobs.add_argument("--duration", type=_positive_float, default=12.0,
+                               help="simulated seconds of traffic")
+    traffic_knobs.add_argument("--ecmp", type=int, default=4,
+                               help="max equal-cost paths per pair")
+    traffic_knobs.add_argument(
+        "--control-plane", type=int, default=0, metavar="N",
+        help="bootstrap N in-band controllers under the workload "
+        "(0 = data-plane-only fabric, the fast default)",
+    )
+
     boot = sub.add_parser(
         "bootstrap", parents=[common, output], help="measure bootstrap time"
     )
@@ -606,9 +668,21 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--fault", default="link", choices=["controller", "link", "switch"])
     rec.set_defaults(fn=cmd_recover)
 
-    traffic = sub.add_parser("traffic", help="throughput under a link failure")
-    traffic.add_argument("--network", default="Telstra", choices=sorted(TOPOLOGY_BUILDERS))
-    traffic.add_argument("--no-recovery", action="store_true")
+    iperf = sub.add_parser(
+        "iperf", help="single-pair throughput under a link failure"
+    )
+    iperf.add_argument("--network", default="Telstra", choices=sorted(TOPOLOGY_BUILDERS))
+    iperf.add_argument("--no-recovery", action="store_true")
+    iperf.set_defaults(fn=cmd_iperf)
+
+    traffic = sub.add_parser(
+        "traffic",
+        parents=[output, caching, run_knobs, case_knobs, scenario_knobs,
+                 traffic_knobs],
+        help="run a flow-level tenant workload under a fault campaign",
+    )
+    traffic.add_argument("--reps", type=int, default=1)
+    traffic.add_argument("--workers", type=int, default=1)
     traffic.set_defaults(fn=cmd_traffic)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure/table")
@@ -661,7 +735,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser(
         "report",
-        parents=[output, run_knobs, case_knobs, scenario_knobs, stabilize_knobs],
+        parents=[output, run_knobs, case_knobs, scenario_knobs,
+                 stabilize_knobs, traffic_knobs],
         help="rebuild a figure/table from a run store, with zero simulation",
     )
     report.add_argument("--figure", required=True, choices=list_specs())

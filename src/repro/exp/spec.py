@@ -167,7 +167,11 @@ SPECS: Dict[str, ExperimentSpec] = {}
 #: registry is complete in *any* process — including ``spawn``-start pool
 #: workers that resolve specs by name — without creating an import cycle
 #: at package-init time.
-_DEFERRED_SPEC_MODULES: List[str] = ["repro.scenarios.spec", "repro.adversary.spec"]
+_DEFERRED_SPEC_MODULES: List[str] = [
+    "repro.scenarios.spec",
+    "repro.adversary.spec",
+    "repro.traffic.spec",
+]
 
 
 def _load_deferred_specs() -> None:

@@ -41,6 +41,9 @@ class MetricsRecorder:
         self.c_resets = 0
         self.illegitimate_deletions = 0
         self.dropped_control_packets = 0
+        #: Tenant-traffic summary recorded by a ``Traffic`` phase (JSON
+        #: dict of goodput/FCT/disruption metrics), or None.
+        self.traffic: Optional[Dict[str, object]] = None
         self._observers: List[object] = []
         # First convergence at/after the most recent fault/corruption mark;
         # re-marking resets the pending measurement (documented semantics
@@ -91,6 +94,10 @@ class MetricsRecorder:
     def mark_event(self, time: float, name: str, value: object = None) -> None:
         self.events.append((time, name, value))
         self._notify(time, name, value)
+
+    def record_traffic(self, summary: Dict[str, object]) -> None:
+        """Attach a ``Traffic`` phase's metrics block to the run."""
+        self.traffic = summary
 
     def mark_fault(self, time: float) -> None:
         """Record a fault instant.  Each mark *restarts* the pending

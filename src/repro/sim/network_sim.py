@@ -126,8 +126,10 @@ class NetworkSimulation:
     """One emulated network: topology + switches + controllers + engine."""
 
     def __init__(self, topology: Topology, config: SimulationConfig) -> None:
-        if not topology.controllers:
-            raise ValueError("topology has no controllers; attach_controllers first")
+        # A controller-less topology is a data-plane-only fabric: switches
+        # forward over externally installed rules (the traffic axis's
+        # default).  Control-plane measurements (bootstrap, legitimacy)
+        # are meaningless there but simply never invoked.
         self.topology = topology
         self.config = config
         self.sim = Simulator()

@@ -1,0 +1,28 @@
+"""Flow-level (fluid) tenant traffic at user scale.
+
+The paper's setting is an in-band control plane serving real tenant
+traffic; this package makes that a measured axis.  A seeded
+:class:`~repro.traffic.workload.WorkloadSpec` generates 10⁵–10⁶
+concurrent flows over sampled host pairs, a tenant rule planner installs
+ECMP multipath + κ-failover rule sets into the *real* switch tables, and
+the vectorized :class:`~repro.traffic.engine.FluidTrafficEngine` solves
+max-min fair per-flow rates over the installed forwarding state — so
+fault campaigns that rewrite the rule set disrupt live flows, and
+goodput/FCT/disruption metrics quantify the recovery the paper claims.
+"""
+
+from repro.traffic.engine import FluidTrafficEngine, HAVE_NUMPY
+from repro.traffic.phase import Traffic
+from repro.traffic.routes import TenantFlows, ecmp_paths, equal_cost_paths
+from repro.traffic.workload import Workload, WorkloadSpec
+
+__all__ = [
+    "FluidTrafficEngine",
+    "HAVE_NUMPY",
+    "TenantFlows",
+    "Traffic",
+    "Workload",
+    "WorkloadSpec",
+    "ecmp_paths",
+    "equal_cost_paths",
+]

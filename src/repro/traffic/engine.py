@@ -1,0 +1,409 @@
+"""The vectorized fluid traffic engine.
+
+Flow-level (not per-packet) traffic simulation over the installed rule
+set.  The scale trick is two-level grouping: 10⁵–10⁶ flows collapse into
+a few thousand *path groups* — one per distinct (header, ECMP path) —
+and every hot quantity (max-min rates, deliveries, completions, queue
+backlogs) is solved over numpy arrays indexed by group or flow:
+
+* **Routing** — each workload pair's routes come from
+  :func:`repro.traffic.routes.ecmp_paths` (the installed tables, with
+  ECMP branching); flows are hash-split ``flow_index % n_paths`` across
+  their pair's paths, so the split is deterministic and reroutes move
+  only the flows whose path actually died.
+* **Rates** — progressive water-filling: per round, each link's fair
+  share is ``remaining_capacity / active_flows``; the lowest bottleneck
+  level freezes its groups (or the per-flow peak rate freezes everyone
+  left), capacity is consumed, repeat.  Rounds are bounded by the number
+  of distinct bottleneck levels, each round a handful of vector ops.
+* **Queues** — a bounded fluid queue per link: backlog integrates
+  ``offered − capacity`` (offered = flows × peak), clipped to the queue
+  bound; per-flow latency is path propagation + Σ backlog/capacity.
+* **Clock** — :meth:`FluidTrafficEngine.advance` integrates one quantum:
+  admit arrivals, solve rates, deliver ``rate·dt``, complete flows with
+  exact sub-quantum completion times, update queues.
+
+Everything is a pure function of (workload, installed tables, fault
+schedule): no wall clock, no hidden RNG — bit-identical at any worker
+count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.topology import EdgeId, NodeId, Topology, edge
+from repro.switch.abstract_switch import AbstractSwitch
+from repro.traffic.routes import Path, ecmp_paths
+from repro.traffic.workload import Workload, require_numpy
+
+try:  # pragma: no cover
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+HAVE_NUMPY = np is not None
+
+_EPS = 1e-9
+
+
+def weighted_percentile(
+    values: "np.ndarray", weights: "np.ndarray", q: float
+) -> Optional[float]:
+    """Percentile ``q`` (0–100) of ``values`` with integer multiplicities
+    ``weights`` — the flow-latency distribution lives as (group value,
+    flow count) pairs, never expanded to per-flow arrays."""
+    if len(values) == 0:
+        return None
+    order = np.argsort(values, kind="stable")
+    v = values[order]
+    w = weights[order]
+    cw = np.cumsum(w)
+    total = cw[-1]
+    if total <= 0:
+        return None
+    cut = (q / 100.0) * total
+    return float(v[int(np.searchsorted(cw, cut))])
+
+
+class FluidTrafficEngine:
+    """Max-min fluid rate simulation of one workload over live tables."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        switches: Dict[str, AbstractSwitch],
+        workload: Workload,
+        *,
+        capacity_mbps: float = 10_000.0,
+        link_latency: float = 0.002,
+        queue_mbits: float = 50.0,
+        max_paths: int = 4,
+        ttl: int = 64,
+    ) -> None:
+        require_numpy()
+        self.topology = topology
+        self.switches = switches
+        self.workload = workload
+        self.capacity_mbps = float(capacity_mbps)
+        self.link_latency = float(link_latency)
+        self.queue_mbits = float(queue_mbits)
+        self.max_paths = max(1, max_paths)
+        self.ttl = ttl
+        self.peak = float(workload.spec.peak_rate_mbps)
+
+        n = workload.n_flows
+        self.now = 0.0
+        self.remaining = workload.size_mbits.astype(np.float64).copy()
+        self.arrival = workload.arrival
+        self.flow_pair = workload.flow_pair
+        self.flow_index = np.arange(n, dtype=np.int64)
+        self.active = np.zeros(n, dtype=bool)
+        self.done = np.zeros(n, dtype=bool)
+        self.completion = np.full(n, -1.0)
+        self.delivered_mbits = 0.0
+        self.disrupted_total = 0
+        self.disruption_events: List[Tuple[float, int]] = []
+        self.goodput_series: List[Tuple[float, float]] = []  # (t_end, Mbit/s)
+
+        # Link interning (stable across rebuilds so queue backlogs survive
+        # reroutes); capacities are uniform for now but stored per-link.
+        self._link_ids: Dict[EdgeId, int] = {}
+        self._capacity = np.zeros(0)
+        self._backlog = np.zeros(0)
+
+        # Group state, populated by _rebuild_routes.
+        self.flow_group = np.full(n, -1, dtype=np.int64)
+        self._group_paths: List[Path] = []
+        self._group_pair: "np.ndarray" = np.zeros(0, dtype=np.int64)
+        self._group_hops: "np.ndarray" = np.zeros(0, dtype=np.int64)
+        self._inc_group: "np.ndarray" = np.zeros(0, dtype=np.int64)
+        self._inc_link: "np.ndarray" = np.zeros(0, dtype=np.int64)
+        self._pair_paths: List[List[Path]] = []
+        self._rebuild_routes(initial=True)
+
+    # -- link interning --------------------------------------------------------
+
+    def _link_id(self, u: NodeId, v: NodeId) -> int:
+        key = edge(u, v)
+        lid = self._link_ids.get(key)
+        if lid is None:
+            lid = len(self._link_ids)
+            self._link_ids[key] = lid
+            self._capacity = np.append(self._capacity, self.capacity_mbps)
+            self._backlog = np.append(self._backlog, 0.0)
+        return lid
+
+    # -- routing ---------------------------------------------------------------
+
+    def _rebuild_routes(self, initial: bool = False) -> int:
+        """Re-resolve every pair's ECMP paths from the installed tables
+        and reassign flows.  Returns the number of *disrupted* flows:
+        active flows whose previous path no longer exists (their bytes in
+        flight are not lost — fluid model — but they stall until
+        reassigned here, and reassignment restarts their rate from the
+        fair share of the new path)."""
+        old_groups = self._group_paths
+        old_pair = self._group_pair
+        old_assignment = self.flow_group
+
+        pair_paths: List[List[Path]] = []
+        group_paths: List[Path] = []
+        group_pair: List[int] = []
+        pair_start = np.zeros(len(self.workload.pairs), dtype=np.int64)
+        pair_npaths = np.zeros(len(self.workload.pairs), dtype=np.int64)
+        for p, (src, dst) in enumerate(self.workload.pairs):
+            paths = ecmp_paths(
+                self.topology,
+                self.switches,
+                src,
+                dst,
+                max_paths=self.max_paths,
+                ttl=self.ttl,
+            )
+            pair_paths.append(paths)
+            pair_start[p] = len(group_paths)
+            pair_npaths[p] = len(paths)
+            for path in paths:
+                group_paths.append(path)
+                group_pair.append(p)
+        self._pair_paths = pair_paths
+        self._group_paths = group_paths
+        self._group_pair = np.asarray(group_pair, dtype=np.int64)
+        self._group_hops = np.asarray(
+            [len(path) - 1 for path in group_paths], dtype=np.int64
+        )
+
+        # Link incidence (interning links lazily keeps ids stable).
+        inc_g: List[int] = []
+        inc_l: List[int] = []
+        for gid, path in enumerate(group_paths):
+            for u, v in zip(path, path[1:]):
+                inc_g.append(gid)
+                inc_l.append(self._link_id(u, v))
+        self._inc_group = np.asarray(inc_g, dtype=np.int64)
+        self._inc_link = np.asarray(inc_l, dtype=np.int64)
+
+        # Reassign flows: keep a flow on its old path when that exact
+        # path survived; rebalance the rest by index hash.
+        fresh = np.where(
+            pair_npaths[self.flow_pair] > 0,
+            pair_start[self.flow_pair]
+            + self.flow_index % np.maximum(pair_npaths[self.flow_pair], 1),
+            -1,
+        )
+        if initial or len(old_groups) == 0:
+            self.flow_group = fresh
+            return 0
+        new_gid_of_path = {
+            (int(pair), path): gid
+            for gid, (pair, path) in enumerate(zip(group_pair, group_paths))
+        }
+        remap = np.full(len(old_groups), -1, dtype=np.int64)
+        for old_gid, path in enumerate(old_groups):
+            remap[old_gid] = new_gid_of_path.get(
+                (int(old_pair[old_gid]), path), -1
+            )
+        had_path = old_assignment >= 0
+        survived = np.where(had_path, remap[np.maximum(old_assignment, 0)], -1)
+        disrupted = self.active & had_path & (survived < 0)
+        self.flow_group = np.where(survived >= 0, survived, fresh)
+        return int(np.count_nonzero(disrupted))
+
+    def reroute(self, now: float, count_disruptions: bool = True) -> int:
+        """Re-resolve routes after the tables or topology changed; counts
+        (and records) disrupted flows unless this is a planned, lossless
+        repair (``count_disruptions=False``)."""
+        disrupted = self._rebuild_routes()
+        if count_disruptions and disrupted:
+            self.disrupted_total += disrupted
+            self.disruption_events.append((now, disrupted))
+        return disrupted if count_disruptions else 0
+
+    # -- rate allocation -------------------------------------------------------
+
+    def _group_counts(self) -> "np.ndarray":
+        G = len(self._group_paths)
+        routed = self.active & (self.flow_group >= 0)
+        return np.bincount(self.flow_group[routed], minlength=G).astype(np.float64)
+
+    def solve_rates(self, counts: Optional["np.ndarray"] = None) -> "np.ndarray":
+        """Per-flow max-min fair rate for each group (Mbit/s), honoring
+        per-link capacity and the per-flow peak cap."""
+        if counts is None:
+            counts = self._group_counts()
+        G = len(counts)
+        rate = np.zeros(G)
+        if G == 0:
+            return rate
+        remaining = self._capacity.copy()
+        unfrozen = counts > 0
+        inc_g, inc_l = self._inc_group, self._inc_link
+        L = len(remaining)
+        while unfrozen.any():
+            m = unfrozen[inc_g]
+            weight = np.zeros(L)
+            np.add.at(weight, inc_l[m], counts[inc_g[m]])
+            share = np.where(weight > 0, remaining / np.maximum(weight, _EPS), np.inf)
+            gshare = np.full(G, np.inf)
+            np.minimum.at(gshare, inc_g[m], share[inc_l[m]])
+            level = float(gshare[unfrozen].min())
+            if self.peak <= level * (1.0 + _EPS) or not np.isfinite(level):
+                rate[unfrozen] = self.peak
+                newly = unfrozen.copy()
+            else:
+                newly = unfrozen & (gshare <= level * (1.0 + 1e-9))
+                rate[newly] = np.maximum(gshare[newly], 0.0)
+            mn = newly[inc_g]
+            np.add.at(
+                remaining, inc_l[mn], -(counts[inc_g[mn]] * rate[inc_g[mn]])
+            )
+            np.maximum(remaining, 0.0, out=remaining)
+            unfrozen &= ~newly
+        return rate
+
+    # -- time integration ------------------------------------------------------
+
+    def advance(self, dt: float) -> None:
+        """Integrate one quantum: arrivals, rates, deliveries, queues."""
+        if dt <= 0:
+            return
+        now = self.now
+        admitted = (~self.done) & (~self.active) & (self.arrival <= now + _EPS)
+        if admitted.any():
+            self.active |= admitted
+
+        counts = self._group_counts()
+        group_rate = self.solve_rates(counts)
+        gid = np.maximum(self.flow_group, 0)
+        rates = np.where(
+            self.active & (self.flow_group >= 0), group_rate[gid], 0.0
+        )
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_finish = np.where(rates > 0, self.remaining / rates, np.inf)
+        finished = self.active & (t_finish <= dt + _EPS)
+        delivered = np.where(finished, self.remaining, rates * dt)
+        delivered = np.where(self.active, delivered, 0.0)
+        window_mbits = float(delivered.sum())
+        self.delivered_mbits += window_mbits
+        self.remaining -= delivered
+        self.completion[finished] = now + t_finish[finished]
+        self.done |= finished
+        self.active &= ~finished
+
+        # Bounded fluid queues: sources offer their peak; links over
+        # capacity build standing backlogs (clipped at the queue bound),
+        # under-loaded links drain.
+        offered = np.zeros(len(self._capacity))
+        np.add.at(
+            offered,
+            self._inc_link,
+            counts[self._inc_group] * self.peak,
+        )
+        self._backlog += dt * (offered - self._capacity)
+        np.clip(self._backlog, 0.0, self.queue_mbits, out=self._backlog)
+
+        self.now = now + dt
+        self.goodput_series.append((self.now, window_mbits / dt))
+
+    # -- metrics ---------------------------------------------------------------
+
+    def latency_percentiles(
+        self, qs: Sequence[float] = (50.0, 99.0, 99.9)
+    ) -> Dict[str, Optional[float]]:
+        """Flow-weighted path latency (propagation + queueing) right now."""
+        counts = self._group_counts()
+        lat = self._group_hops * self.link_latency
+        queue_delay = np.zeros(len(self._group_paths))
+        if len(self._inc_group):
+            np.add.at(
+                queue_delay,
+                self._inc_group,
+                self._backlog[self._inc_link]
+                / np.maximum(self._capacity[self._inc_link], _EPS),
+            )
+        total = lat + queue_delay
+        mask = counts > 0
+        return {
+            f"p{str(q).rstrip('0').rstrip('.')}": weighted_percentile(
+                total[mask], counts[mask], q
+            )
+            for q in qs
+        }
+
+    def fct_percentiles(
+        self,
+        window: Optional[Tuple[float, float]] = None,
+        qs: Sequence[float] = (50.0, 99.0, 99.9),
+    ) -> Dict[str, Optional[float]]:
+        """Percentiles of flow completion time (completion − arrival) over
+        flows that completed, optionally restricted to completions inside
+        ``window`` (the recovery window of a fault campaign)."""
+        done = self.done
+        if window is not None:
+            lo, hi = window
+            done = done & (self.completion >= lo) & (self.completion <= hi)
+        fct = self.completion[done] - self.arrival[done]
+        out: Dict[str, Optional[float]] = {}
+        for q in qs:
+            key = f"p{str(q).rstrip('0').rstrip('.')}"
+            out[key] = float(np.percentile(fct, q)) if len(fct) else None
+        return out
+
+    def summary(
+        self, churn_window: Optional[Tuple[float, float]] = None, n_faults: int = 0
+    ) -> Dict[str, object]:
+        """The JSON-able metrics block recorded into ``RunResult``."""
+        n = self.workload.n_flows
+        series = self.goodput_series
+        goodput_mean = (
+            self.delivered_mbits / self.now if self.now > 0 else 0.0
+        )
+        churn_samples = [
+            g
+            for t, g in series
+            if churn_window is not None and churn_window[0] <= t <= churn_window[1]
+        ]
+        stalled = int(np.count_nonzero(self.active & (self.flow_group < 0)))
+        fct_all = self.fct_percentiles()
+        fct_recovery = (
+            self.fct_percentiles(window=churn_window)
+            if churn_window is not None
+            else {k: None for k in ("p50", "p99", "p99.9")}
+        )
+        return {
+            "flows": int(n),
+            "pairs": len(self.workload.pairs),
+            "completed": int(np.count_nonzero(self.done)),
+            "active": int(np.count_nonzero(self.active)),
+            "stalled": stalled,
+            "delivered_mbits": float(self.delivered_mbits),
+            "goodput_mbps": float(goodput_mean),
+            "goodput_churn_mbps": (
+                float(sum(churn_samples) / len(churn_samples))
+                if churn_samples
+                else float(goodput_mean)
+            ),
+            "n_faults": int(n_faults),
+            "disrupted_total": int(self.disrupted_total),
+            "disrupted_per_fault": (
+                float(self.disrupted_total / n_faults) if n_faults else None
+            ),
+            "disruption_events": [
+                [float(t), int(c)] for t, c in self.disruption_events
+            ],
+            "fct_p50_s": fct_all["p50"],
+            "fct_p99_s": fct_all["p99"],
+            "fct_p999_s": fct_all["p99.9"],
+            "fct_recovery_p50_s": fct_recovery["p50"],
+            "fct_recovery_p99_s": fct_recovery["p99"],
+            "fct_recovery_p999_s": fct_recovery["p99.9"],
+            "latency": self.latency_percentiles(),
+            "goodput_series": [
+                [float(t), float(g)] for t, g in series
+            ],
+        }
+
+
+__all__ = ["FluidTrafficEngine", "HAVE_NUMPY", "weighted_percentile"]

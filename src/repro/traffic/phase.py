@@ -1,0 +1,179 @@
+"""The ``Traffic`` run phase: tenant flows live inside a RunPlan.
+
+Composable with every other phase: on its own it is a data-plane
+campaign (tenant rules installed onto bare or bootstrapped tables, a
+fault schedule disrupting live flows, a maintainer repairing them after
+``repair_latency`` — the transport layer's protocol at 10⁵–10⁶-flow
+scale); after a :class:`~repro.api.phases.Bootstrap` it measures tenant
+traffic riding the real in-band control plane.
+
+The phase interleaves the event-driven control-plane simulation with the
+fluid engine in fixed quanta: each quantum the simulator advances (fault
+actions fire, controllers iterate), topology/table changes trigger an
+engine reroute (counting disrupted flows), and the engine integrates
+flow rates over the quantum.  Fault timing within a quantum is resolved
+at the quantum boundary — the fluid approximation's time resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.api.phases import Phase, describe_fault_plan
+from repro.api.results import PhaseResult
+from repro.sim.faults import FaultPlan
+from repro.traffic.engine import FluidTrafficEngine
+from repro.traffic.routes import TenantFlows
+from repro.traffic.workload import WorkloadSpec
+
+#: Fault kinds that can kill paths (recoveries never disrupt).
+_DISRUPTIVE = ("fail_", "remove_", "corrupt_")
+
+_CLOCK_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Traffic(Phase):
+    """Load a generated workload onto the installed rule set and run it
+    through a fault campaign.
+
+    Exactly one of ``campaign`` (a named
+    :data:`~repro.scenarios.campaigns.CAMPAIGNS` builder, drawn from the
+    session's fault stream) and ``plan`` (an explicit relative-clock
+    :class:`FaultPlan`) may be given; neither means an undisturbed run.
+    """
+
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    duration: float = 12.0
+    campaign: Optional[str] = None
+    plan: Optional[FaultPlan] = None
+    #: Seconds after a disruption until the tenant maintainer re-plans
+    #: its rule sets against the live topology (the transport layer's
+    #: repair model).
+    repair_latency: float = 1.5
+    #: Fluid integration quantum (seconds of simulated time).
+    quantum: float = 0.1
+    #: Equal-cost paths installed (and branched over) per pair.
+    ecmp: int = 4
+    kappa: int = 1
+    capacity_mbps: float = 10_000.0
+    queue_mbits: float = 50.0
+
+    name = "traffic"
+
+    def describe(self) -> dict:
+        doc = {
+            "phase": self.name,
+            "workload": self.workload.to_dict(),
+            "duration": self.duration,
+            "campaign": self.campaign,
+            "faults": describe_fault_plan(self.plan) if self.plan else None,
+            "repair_latency": self.repair_latency,
+            "quantum": self.quantum,
+            "ecmp": self.ecmp,
+            "kappa": self.kappa,
+            "capacity_mbps": self.capacity_mbps,
+            "queue_mbits": self.queue_mbits,
+        }
+        return doc
+
+    def execute(self, session) -> PhaseResult:
+        if self.campaign is not None and self.plan is not None:
+            raise ValueError("Traffic takes campaign or plan, not both")
+        sim = session.sim
+        topology = sim.topology
+        t_start = sim.sim.now
+
+        workload = self.workload.generate(
+            hosts=topology.switches, seed=session.seed, duration=self.duration
+        )
+        tenant = TenantFlows(
+            topology,
+            sim.switches,
+            workload.pairs,
+            kappa=self.kappa,
+            ecmp=self.ecmp,
+        )
+        rules_installed = tenant.install()
+
+        plan = self.plan
+        if self.campaign is not None:
+            # Drawn from the shared fault stream, like InjectFaults.
+            from repro.scenarios.campaigns import build_campaign
+
+            plan = build_campaign(self.campaign, topology, session.fault_stream)
+        n_faults = 0
+        first_fault: Optional[float] = None
+        if plan is not None and plan.actions:
+            shifted = plan.shifted(t_start)
+            sim.inject(shifted)
+            session.fault_at = shifted.last_at()
+            session.trivial_recovery = False
+            n_faults = sum(
+                1
+                for a in shifted.actions
+                if any(a.kind.startswith(p) for p in _DISRUPTIVE)
+            )
+            first_fault = min(a.at for a in shifted.actions)
+
+        engine = FluidTrafficEngine(
+            topology,
+            sim.switches,
+            workload,
+            capacity_mbps=self.capacity_mbps,
+            link_latency=sim.config.link_latency,
+            queue_mbits=self.queue_mbits,
+            max_paths=self.ecmp,
+        )
+        engine.now = t_start
+
+        end = t_start + self.duration
+        repairs: List[float] = []
+        last_version = topology.version
+        last_repair: Optional[float] = None
+        while end - sim.sim.now > _CLOCK_EPS:
+            target = min(sim.sim.now + self.quantum, end)
+            if repairs:
+                target = min(target, repairs[0])
+            dt = target - sim.sim.now
+            sim.run_for(dt)
+            now = sim.sim.now
+            if repairs and now >= repairs[0] - _CLOCK_EPS:
+                repairs = [r for r in repairs if r > now + _CLOCK_EPS]
+                tenant.install()
+                last_repair = now
+                # A planned repair is a consistent update: flows migrate
+                # losslessly, so the reroute is not a disruption.
+                engine.reroute(now, count_disruptions=False)
+                sim.metrics.mark_event(now, "traffic_repair", None)
+            if topology.version != last_version:
+                last_version = topology.version
+                disrupted = engine.reroute(now)
+                if disrupted:
+                    sim.metrics.mark_event(now, "traffic_disrupted", disrupted)
+                if plan is not None:
+                    repairs = sorted(set(repairs + [now + self.repair_latency]))
+            engine.advance(dt)
+
+        churn_window = None
+        if first_fault is not None:
+            churn_end = max(
+                last_repair if last_repair is not None else first_fault,
+                session.fault_at or first_fault,
+            ) + self.quantum
+            churn_window = (first_fault, min(churn_end, end))
+        summary = engine.summary(churn_window=churn_window, n_faults=n_faults)
+        summary["rules_installed"] = int(rules_installed)
+        sim.metrics.record_traffic(summary)
+        return PhaseResult(
+            phase=self.name,
+            ok=True,
+            t_start=t_start,
+            t_end=sim.sim.now,
+            value=summary["goodput_mbps"],
+            details=summary,
+        )
+
+
+__all__ = ["Traffic"]

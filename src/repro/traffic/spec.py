@@ -1,0 +1,163 @@
+"""The ``traffic`` experiment spec: tenant flows under a fault campaign.
+
+Registers one :class:`~repro.exp.spec.ExperimentSpec` named ``traffic``
+whose cases report the three headline metrics of a flow-level campaign —
+goodput under churn, flows disrupted per fault, and the p99 flow
+completion time — each measured from the *same* content-addressed
+:class:`~repro.api.RunPlan`.  With a run store attached, the first case
+simulates and the other two derive from the cached run record (the
+runner's ``DERIVED`` status), so a three-metric sweep costs one
+simulation per repetition.
+
+The default plan is a data-plane campaign (``controllers=0``: bare
+switch fabric, the tenant maintainer repairing after each fault) — the
+transport layer's protocol at 10⁵-flow scale, fast enough for
+jellyfish:200 sweeps.  ``controllers>0`` composes the same phase after a
+:class:`~repro.api.Bootstrap` for traffic riding the real in-band
+control plane.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.api import Bootstrap, RunPlan, RunResult, Traffic
+from repro.exp.spec import CaseSpec, ExperimentSpec, register
+from repro.traffic.workload import WorkloadSpec
+
+#: metric label → key into the run's traffic metrics block.
+TRAFFIC_METRICS = {
+    "goodput": "goodput_churn_mbps",
+    "disrupted": "disrupted_per_fault",
+    "fct-p99": "fct_p99_s",
+}
+
+
+def traffic_run_plan(
+    topology: str,
+    seed: int,
+    flows: int = 100_000,
+    pairs: int = 128,
+    campaign: Optional[str] = "churn",
+    duration: float = 12.0,
+    ecmp: int = 4,
+    n_controllers: int = 0,
+    task_delay: float = 0.5,
+    timeout: float = 240.0,
+) -> RunPlan:
+    """The facade plan of one traffic repetition."""
+    workload = WorkloadSpec(flows=flows, pairs=pairs)
+    phase = Traffic(
+        workload=workload,
+        duration=duration,
+        campaign=campaign or None,
+        ecmp=ecmp,
+    )
+    plan = RunPlan(topology, controllers=n_controllers, seed=seed)
+    if n_controllers > 0:
+        return plan.configure(task_delay=task_delay).then(
+            Bootstrap(timeout=timeout), phase
+        )
+    return plan.then(phase)
+
+
+def run_traffic(
+    topology: str,
+    seed: int,
+    flows: int = 100_000,
+    pairs: int = 128,
+    campaign: Optional[str] = "churn",
+    duration: float = 12.0,
+    ecmp: int = 4,
+    n_controllers: int = 0,
+    task_delay: float = 0.5,
+    timeout: float = 240.0,
+) -> RunResult:
+    """Execute one traffic repetition and return its full run record."""
+    return traffic_run_plan(
+        topology,
+        seed,
+        flows=flows,
+        pairs=pairs,
+        campaign=campaign,
+        duration=duration,
+        ecmp=ecmp,
+        n_controllers=n_controllers,
+        task_delay=task_delay,
+        timeout=timeout,
+    ).run()
+
+
+def measure_traffic_metric(metric: str, **kwargs) -> float:
+    """One repetition's value of the named traffic metric (NaN when the
+    run recorded no value — e.g. a percentile with zero completions)."""
+    key = TRAFFIC_METRICS[metric]
+    result = run_traffic(**kwargs)
+    block = result.traffic or {}
+    value = block.get(key)
+    return float(value) if value is not None else math.nan
+
+
+def _traffic_cases(
+    networks=None,
+    topology: str = "jellyfish:200",
+    campaign: str = "churn",
+    flows: int = 100_000,
+    pairs: int = 128,
+    duration: float = 12.0,
+    ecmp: int = 4,
+    n_controllers: int = 0,
+    task_delay: float = 0.5,
+    timeout: float = 240.0,
+    **_params,
+) -> List[CaseSpec]:
+    if networks and topology not in networks and not any(
+        str(n).startswith(topology) for n in networks
+    ):
+        return []
+
+    def case(metric: str) -> CaseSpec:
+        return CaseSpec(
+            label=f"{topology} {campaign} {metric}",
+            network=topology,
+            measure=lambda s: measure_traffic_metric(
+                metric,
+                topology=topology,
+                seed=s,
+                flows=flows,
+                pairs=pairs,
+                campaign=campaign,
+                duration=duration,
+                ecmp=ecmp,
+                n_controllers=n_controllers,
+                task_delay=task_delay,
+                timeout=timeout,
+            ),
+            trim=False,
+        )
+
+    return [case(metric) for metric in TRAFFIC_METRICS]
+
+
+register(
+    ExperimentSpec(
+        name="traffic",
+        title="Traffic: flow-level tenant workload under a fault campaign",
+        build_cases=_traffic_cases,
+        notes=(
+            "goodput under churn (Mbit/s), flows disrupted per fault, and "
+            "p99 flow-completion time (s) of a generated 10^5-10^6-flow "
+            "workload on the installed rule set"
+        ),
+        default_reps=1,
+    )
+)
+
+
+__all__ = [
+    "TRAFFIC_METRICS",
+    "measure_traffic_metric",
+    "run_traffic",
+    "traffic_run_plan",
+]

@@ -1,0 +1,144 @@
+"""Seeded tenant workload generation.
+
+A :class:`WorkloadSpec` is a small frozen value object (JSON
+round-trippable, hashed into run identities by the ``Traffic`` phase);
+:meth:`WorkloadSpec.generate` expands it into numpy arrays — one entry
+per flow — deterministically from ``(spec, hosts, seed)``, so serial and
+parallel sweeps see bit-identical workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+try:  # pragma: no cover - exercised implicitly by every traffic test
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+#: Salt mixed into the seed sequence so workload draws never collide with
+#: other consumers of the repetition seed.
+_SEED_SALT = 0x7472_6166
+
+_ARRIVALS = ("all", "poisson")
+_SIZE_DISTS = ("lognormal", "fixed")
+
+
+def require_numpy() -> None:
+    """The traffic engine is vectorized; without numpy it refuses to run
+    (the rest of the repository stays importable)."""
+    if np is None:
+        raise RuntimeError(
+            "repro.traffic requires numpy; install it or skip the traffic axis"
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative tenant workload: how many flows, between whom, how big.
+
+    ``pairs`` caps the number of distinct (ingress, egress) switch pairs:
+    rule installation and path enumeration scale with pairs, while the
+    flow arrays scale with ``flows`` — that split is what keeps 10⁶ flows
+    tractable on a 200-switch fabric.
+    """
+
+    flows: int = 100_000
+    pairs: int = 256
+    #: ``all`` starts every flow at t=0 (maximum concurrency);
+    #: ``poisson`` draws exponential interarrivals.
+    arrival: str = "all"
+    #: Poisson arrival rate in flows/s; 0 spreads ``flows`` over the run.
+    arrival_rate: float = 0.0
+    #: Mean flow size in megabits.
+    size_mbits: float = 50.0
+    size_dist: str = "lognormal"
+    size_sigma: float = 1.5
+    #: Per-flow access-link cap in Mbit/s (the max-min allocation never
+    #: grants a flow more than this).
+    peak_rate_mbps: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.flows < 1:
+            raise ValueError("flows must be >= 1")
+        if self.pairs < 1:
+            raise ValueError("pairs must be >= 1")
+        if self.arrival not in _ARRIVALS:
+            raise ValueError(f"arrival must be one of {_ARRIVALS}")
+        if self.size_dist not in _SIZE_DISTS:
+            raise ValueError(f"size_dist must be one of {_SIZE_DISTS}")
+        if self.size_mbits <= 0 or self.peak_rate_mbps <= 0:
+            raise ValueError("size_mbits and peak_rate_mbps must be positive")
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkloadSpec":
+        return cls(**data)
+
+    # -- expansion -------------------------------------------------------------
+
+    def generate(
+        self, hosts: Sequence[str], seed: int, duration: float
+    ) -> "Workload":
+        """Expand into per-flow arrays, pure in ``(self, hosts, seed)``.
+
+        ``hosts`` are the candidate ingress/egress switches (sorted
+        internally); ``duration`` bounds the poisson arrival horizon.
+        """
+        require_numpy()
+        names = sorted(hosts)
+        if len(names) < 2:
+            raise ValueError("need at least two hosts to draw pairs")
+        rng = np.random.default_rng([seed & 0xFFFF_FFFF_FFFF_FFFF, _SEED_SALT])
+        n_hosts = len(names)
+        src = rng.integers(0, n_hosts, size=self.pairs)
+        dst = rng.integers(0, n_hosts - 1, size=self.pairs)
+        dst = dst + (dst >= src)  # never a self-pair
+        pairs: List[Tuple[str, str]] = [
+            (names[int(s)], names[int(d)]) for s, d in zip(src, dst)
+        ]
+        flow_pair = rng.integers(0, self.pairs, size=self.flows).astype(np.int64)
+        if self.size_dist == "fixed":
+            sizes = np.full(self.flows, float(self.size_mbits))
+        else:
+            sigma = float(self.size_sigma)
+            mu = math.log(self.size_mbits) - sigma * sigma / 2.0
+            sizes = rng.lognormal(mu, sigma, size=self.flows)
+        if self.arrival == "all":
+            arrivals = np.zeros(self.flows)
+        else:
+            rate = self.arrival_rate or (self.flows / max(duration, 1e-9))
+            arrivals = np.cumsum(rng.exponential(1.0 / rate, size=self.flows))
+        return Workload(
+            spec=self,
+            hosts=names,
+            pairs=pairs,
+            flow_pair=flow_pair,
+            size_mbits=sizes,
+            arrival=arrivals,
+        )
+
+
+@dataclass
+class Workload:
+    """A generated workload: per-flow arrays plus the sampled pair set."""
+
+    spec: WorkloadSpec
+    hosts: List[str]
+    pairs: List[Tuple[str, str]]
+    flow_pair: "np.ndarray"  # pair index per flow
+    size_mbits: "np.ndarray"  # flow size per flow
+    arrival: "np.ndarray"  # arrival time per flow (seconds)
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.flow_pair)
+
+
+__all__ = ["Workload", "WorkloadSpec", "require_numpy"]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass
@@ -39,8 +39,16 @@ class SecondStats:
 class TrafficStats:
     """Accumulates per-second stats and renders the paper's series."""
 
-    def __init__(self, mbits_per_segment: float) -> None:
+    def __init__(
+        self, mbits_per_segment: float, duration: Optional[float] = None
+    ) -> None:
         self.mbits_per_segment = mbits_per_segment
+        #: Nominal run length in seconds.  When set, the series span
+        #: ``[0, ceil(duration))`` densely: a second that received no
+        #: bucket (e.g. because a reroute or blackhole step jumped the
+        #: clock across it) appears as all-zero counters instead of
+        #: silently shifting every later point one position left.
+        self.duration = duration
         self._seconds: Dict[int, SecondStats] = {}
 
     def bucket(self, time: float) -> SecondStats:
@@ -50,7 +58,17 @@ class TrafficStats:
         return self._seconds[second]
 
     def seconds(self) -> List[SecondStats]:
-        return [self._seconds[s] for s in sorted(self._seconds)]
+        """Per-second counters, one entry per wall-clock second.
+
+        Dense (zero-filled gaps) over the nominal duration when it is
+        known; otherwise falls back to the observed seconds in order.
+        """
+        if self.duration is None:
+            return [self._seconds[s] for s in sorted(self._seconds)]
+        horizon = math.ceil(self.duration)
+        return [
+            self._seconds.get(s) or SecondStats(second=s) for s in range(horizon)
+        ]
 
     # -- the four series of Figures 15/16 and 18-20 ------------------------------
 
@@ -86,7 +104,9 @@ def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
     var_x = sum((x - mean_x) ** 2 for x in xs)
     var_y = sum((y - mean_y) ** 2 for y in ys)
     if var_x == 0 or var_y == 0:
-        raise ValueError("zero variance series")
+        # A flatline series (e.g. a run that never delivers) has no
+        # defined correlation; report NaN instead of aborting the sweep.
+        return float("nan")
     return cov / math.sqrt(var_x * var_y)
 
 

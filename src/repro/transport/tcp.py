@@ -73,6 +73,10 @@ class RenoConnection:
         self.ssthresh = 1e9
         self._backlog_retrans = 0
         self._last_path: Optional[Tuple[str, ...]] = None
+        #: Hop count of the last successfully resolved path; used to size
+        #: the RTO step while blackholed (before the first resolution a
+        #: mid-size 4-hop path is assumed).
+        self._last_hops = 4
         self._in_blackhole = False
         self._consistent_update_pending = False
         self.now = 0.0
@@ -99,39 +103,55 @@ class RenoConnection:
 
     # -- simulation ----------------------------------------------------------------
 
+    _CLOCK_EPS = 1e-9
+
     def run(self, duration: float) -> TrafficStats:
-        """Advance the connection for ``duration`` seconds."""
+        """Advance the connection for exactly ``duration`` seconds.
+
+        The final step is clamped to the boundary: a step whose RTT would
+        overshoot ``end`` is scaled down to the remaining fraction, so no
+        bucket ever accumulates time past the horizon (the old behaviour
+        reported a partial trailing second as a full one — a spurious
+        terminal valley in Figure 15 — and made ``advance_to`` land up to
+        one RTT late)."""
         end = self.now + duration
-        while self.now < end:
-            self._step()
+        while end - self.now > self._CLOCK_EPS:
+            self._step(end)
+        self.now = end  # snap away float residue so callers can compare
         return self.stats
 
-    def _step(self) -> None:
+    def _step(self, limit: float) -> None:
         path = self._path_provider()
         if path is None:
-            self._step_blackhole()
+            self._step_blackhole(limit)
             return
         hops = len(path) - 1
         rtt = self._rtt(hops)
         path_key = tuple(path)
         self._in_blackhole = False
+        self._last_hops = hops
         if self._last_path is not None and path_key != self._last_path:
-            self._on_reroute(hops)
+            self._on_reroute(hops, limit)
         self._last_path = path_key
-        self._step_transfer(hops, rtt)
-        self.now += rtt
+        dt = min(rtt, limit - self.now)
+        if dt <= 0:
+            return
+        self._step_transfer(hops, rtt, dt / rtt)
+        self.now += dt
 
-    def _step_blackhole(self) -> None:
+    def _step_blackhole(self, limit: float) -> None:
         """No route at all: everything sent is lost; RTO fires.
 
         ``ssthresh`` halves only on the *first* RTO of the outage (one
         loss event): Reno's retry timeouts do not keep collapsing it, so
         after the route returns, slow start climbs back to half the old
         window and recovery is fast."""
-        p = self.params
-        dt = max(self._rtt(4), 0.01)
+        full_dt = max(self._rtt(self._last_hops), 0.01)
+        dt = min(full_dt, limit - self.now)
+        if dt <= 0:
+            return
         bucket = self.stats.bucket(self.now)
-        sent = int(self.cwnd)
+        sent = int(self.cwnd * (dt / full_dt))
         bucket.segments_sent += sent
         self._backlog_retrans += sent
         if not self._in_blackhole:
@@ -147,7 +167,7 @@ class RenoConnection:
         while in-flight packets drain from the old path."""
         self._consistent_update_pending = True
 
-    def _on_reroute(self, hops: int) -> None:
+    def _on_reroute(self, hops: int, limit: float) -> None:
         """The path changed: model the failover blackhole + reordering."""
         p = self.params
         if self._consistent_update_pending:
@@ -167,17 +187,24 @@ class RenoConnection:
         # Fast retransmit / fast recovery: halve, skip slow start.
         self.ssthresh = max(2.0, self.cwnd / 2.0)
         self.cwnd = self.ssthresh
-        # The blackhole consumes wall-clock before delivery resumes.
-        self.now += p.failover_latency
+        # The blackhole consumes wall-clock before delivery resumes (it
+        # may legitimately jump the clock across whole seconds; the dense
+        # series keeps those seconds as zero-filled buckets).
+        self.now = min(self.now + p.failover_latency, limit)
 
-    def _step_transfer(self, hops: int, rtt: float) -> None:
+    def _step_transfer(self, hops: int, rtt: float, fraction: float = 1.0) -> None:
+        """One RTT's worth of transfer, scaled by ``fraction`` when the
+        step was clamped at a run boundary (a partial final step sends and
+        grows proportionally less)."""
         p = self.params
         bucket = self.stats.bucket(self.now)
         rwnd = self._rwnd(hops)
         window = min(self.cwnd, rwnd)
         capacity_per_rtt = self._effective_capacity_mbps(hops) * rtt / p.segment_mbits
-        budget = int(min(window, capacity_per_rtt))
+        budget = int(min(window, capacity_per_rtt) * fraction)
         if budget <= 0:
+            if fraction < 1.0:
+                return  # a sliver too short to carry a segment
             budget = 1
         # Retransmissions drain first (they occupy the same window space).
         retrans = min(self._backlog_retrans, budget)
@@ -196,10 +223,12 @@ class RenoConnection:
             bucket.duplicate_acks += lost
         # Window growth: slow start doubles per RTT, congestion avoidance
         # adds one segment per RTT; the receiver window caps everything.
+        # Partial steps grow linearly in the elapsed fraction of an RTT
+        # (identical to the old rule when fraction == 1).
         if self.cwnd < self.ssthresh:
-            self.cwnd = min(self.cwnd * 2.0, rwnd)
+            self.cwnd = min(self.cwnd * (1.0 + fraction), rwnd)
         else:
-            self.cwnd = min(self.cwnd + 1.0, rwnd)
+            self.cwnd = min(self.cwnd + fraction, rwnd)
 
 
 __all__ = ["RenoParams", "RenoConnection"]

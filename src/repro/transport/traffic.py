@@ -164,19 +164,23 @@ class TrafficRun:
         maintainer.install()
         fail_u, fail_v = middle_primary_link(self.topology, self.pair)
 
-        state = {"failed": False, "repaired": False}
         connection = RenoConnection(
             path_provider=lambda: self._current_path(),
             params=self.params,
         )
+        # Dense per-second series over the whole protocol; seconds a
+        # reroute jumps across stay as zero-filled buckets in place.
+        connection.stats.duration = self.duration
 
         def advance_to(t: float) -> None:
             if connection.now < t:
                 connection.run(t - connection.now)
 
         advance_to(self.failure_at)
+        # The clamped stepping lands exactly on the boundary, so the
+        # failure is injected in the advertised second, not one RTT late.
+        assert connection.now == self.failure_at
         self.topology.set_link_up(fail_u, fail_v, False)
-        state["failed"] = True
         if self.recovery:
             advance_to(self.failure_at + self.repair_latency)
             # The paper's variant repairs flows with tag-based consistent
@@ -184,7 +188,6 @@ class TrafficRun:
             # planned and lossless.
             maintainer.install()
             connection.notify_consistent_update()
-            state["repaired"] = True
         advance_to(self.duration)
         return connection.stats
 

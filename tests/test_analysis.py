@@ -47,7 +47,7 @@ def test_table8_experiment_runs():
 
 def test_fig15_series_are_thirty_seconds():
     result = fig15_throughput_with_recovery(networks=("B4",))
-    assert len(result.series["B4"]) >= 29
+    assert len(result.series["B4"]) == 30
 
 
 def test_table17_uses_papers_network_list():

@@ -26,10 +26,64 @@ def test_recover_command(capsys):
     assert "recovered in" in out
 
 
-def test_traffic_command(capsys):
-    assert main(["traffic", "--network", "B4"]) == 0
+def test_iperf_command(capsys):
+    assert main(["iperf", "--network", "B4"]) == 0
     out = capsys.readouterr().out
     assert "throughput" in out
+
+
+TRAFFIC_FAST = ["--topology", "jellyfish:12", "--flows", "2000",
+                "--pairs", "16", "--duration", "6"]
+
+from repro.traffic import HAVE_NUMPY
+
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="traffic engine needs numpy"
+)
+
+
+@requires_numpy
+def test_traffic_command(capsys):
+    assert main(["traffic", *TRAFFIC_FAST, "--reps", "1"]) == 0
+    out = capsys.readouterr().out
+    for metric in ("goodput", "disrupted", "fct-p99"):
+        assert f"jellyfish:12 churn {metric}" in out
+
+
+@requires_numpy
+def test_traffic_serial_and_parallel_rows_match(capsys):
+    base = ["traffic", *TRAFFIC_FAST, "--reps", "2", "--seed", "0"]
+    assert main(base + ["--workers", "1"]) == 0
+    serial = capsys.readouterr().out.splitlines()
+    assert main(base + ["--workers", "3"]) == 0
+    parallel = capsys.readouterr().out.splitlines()
+    strip = lambda lines: [l for l in lines if not l.startswith("-- traffic")]
+    assert strip(serial) == strip(parallel)
+
+
+@requires_numpy
+def test_traffic_store_cold_then_warm(tmp_path, capsys):
+    """One simulation serves all three metrics (DERIVED), and a second
+    invocation resumes entirely from the store (HIT) with byte-identical
+    stdout."""
+    store = str(tmp_path / "runs")
+    base = ["traffic", *TRAFFIC_FAST, "--reps", "1", "--store", store]
+    assert main(base) == 0
+    cold = capsys.readouterr()
+    assert "store: hits=0 derived=2 simulated=1" in cold.err
+    assert main(base) == 0
+    warm = capsys.readouterr()
+    assert "store: hits=3 derived=0 simulated=0" in warm.err
+    strip = lambda text: [l for l in text.splitlines()
+                          if not l.startswith("-- traffic")]
+    assert strip(cold.out) == strip(warm.out)
+
+
+@requires_numpy
+def test_traffic_json_output(capsys):
+    assert main(["traffic", *TRAFFIC_FAST, "--reps", "1", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert "jellyfish:12 churn goodput" in doc["series"]
 
 
 def test_figure_command_table8(capsys):

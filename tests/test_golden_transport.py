@@ -1,0 +1,50 @@
+"""Golden pins for the transport figures after the timing fixes.
+
+Re-pinned after making the per-second series dense and clamping
+``RenoConnection.run`` to the horizon (the failure now lands exactly in
+second 10).  Any change to the Reno model, the failover construction, or
+the series bucketing shows up here as a diff against these literals.
+"""
+
+from __future__ import annotations
+
+from repro.exp.spec import _table17_measure, _traffic_stats
+
+GOLDEN_FIG15_B4 = [
+    461.196, 505.8, 512.964, 505.812, 512.964, 505.8, 505.836, 512.964,
+    505.872, 507.82800000000003, 409.596, 505.368, 513.0, 505.728,
+    512.976, 505.884, 505.824, 512.928, 505.704, 513.0840000000001,
+    505.74, 513.024, 505.848, 505.728, 512.892, 505.8, 513.0120000000001,
+    505.728, 512.88, 501.75600000000003,
+]
+
+GOLDEN_FIG16_B4 = [
+    461.196, 505.8, 512.964, 505.812, 512.964, 505.8, 505.836, 512.964,
+    505.872, 507.82800000000003, 409.596, 506.688, 503.48400000000004,
+    511.452, 503.46000000000004, 511.596, 511.548, 503.41200000000003,
+    511.416, 503.556, 511.476, 503.50800000000004, 511.548,
+    503.32800000000003, 511.488, 503.40000000000003, 511.62,
+    503.34000000000003, 511.464, 499.38,
+]
+
+GOLDEN_TABLE17_B4 = 0.9716898298400357
+
+
+def test_golden_fig15_series():
+    series = _traffic_stats("B4", recovery=True).throughput_series()
+    assert series == GOLDEN_FIG15_B4
+
+
+def test_golden_fig16_series():
+    series = _traffic_stats("B4", recovery=False).throughput_series()
+    assert series == GOLDEN_FIG16_B4
+
+
+def test_golden_table17_pearson():
+    assert _table17_measure("B4", seed=0) == [GOLDEN_TABLE17_B4]
+
+
+def test_recovery_and_norecovery_share_prefix():
+    """Both runs are identical until the repair second: same seed, same
+    failure instant, dense series — the first 11 seconds must match."""
+    assert GOLDEN_FIG15_B4[:11] == GOLDEN_FIG16_B4[:11]

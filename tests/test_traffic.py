@@ -57,7 +57,7 @@ def test_traffic_run_produces_30_seconds():
     topo = b4()
     pair = place_hosts_at_max_distance(topo)
     stats = TrafficRun(topo, standalone_switches(topo), pair).run()
-    assert len(stats.throughput_series()) >= 29
+    assert len(stats.throughput_series()) == 30
 
 
 def test_traffic_valley_at_failure_second():

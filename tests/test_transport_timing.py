@@ -1,0 +1,142 @@
+"""Regression tests for the transport-series timing fixes.
+
+Three bugs corrupted the per-second series feeding Figures 15/16/18-20
+and Table 17:
+
+* ``TrafficStats.seconds()`` was sparse, so a second skipped by a
+  reroute/blackhole time jump shifted every later point one position
+  left (series/second misalignment);
+* ``RenoConnection.run`` stepped while ``now < end`` and overshot the
+  horizon by up to one RTT, reporting partial trailing buckets as full
+  seconds and injecting the failure late;
+* ``pearson`` raised ``ValueError`` on flatline series, aborting the
+  Table 17 sweep.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.transport.stats import TrafficStats, pearson
+from repro.transport.tcp import RenoConnection, RenoParams
+from repro.transport.traffic import (
+    HostPair,
+    TrafficRun,
+    place_hosts_at_max_distance,
+    standalone_switches,
+)
+from repro.net.topologies import TOPOLOGY_BUILDERS
+
+PATH_A = ["s1", "s2", "s3", "s4"]
+PATH_B = ["s1", "s5", "s6", "s4"]
+
+
+def test_run_clamps_exactly_to_duration():
+    conn = RenoConnection(lambda: PATH_A)
+    conn.stats.duration = 5.3
+    conn.run(5.3)
+    assert conn.now == 5.3
+    # No bucket may sit past the horizon.
+    assert all(s.second < math.ceil(5.3) for s in conn.stats.seconds())
+
+
+def test_run_boundary_split_is_consistent():
+    """Advancing in two segments lands on the same clock as one run and
+    carries a comparable amount of traffic (the clamped partial steps
+    scale their budget instead of sending a full window)."""
+    whole = RenoConnection(lambda: PATH_A)
+    whole.run(2.0)
+    split = RenoConnection(lambda: PATH_A)
+    split.run(0.7)
+    assert split.now == 0.7
+    split.run(1.3)
+    assert split.now == 2.0
+    sent_whole = sum(s.segments_sent for s in whole.stats.seconds())
+    sent_split = sum(s.segments_sent for s in split.stats.seconds())
+    assert abs(sent_whole - sent_split) <= 0.02 * sent_whole
+
+
+def test_dense_series_keeps_skipped_second_aligned():
+    """A failover latency above one second jumps the connection clock
+    across a whole wall-clock second; the dense series must keep that
+    second as a zero bucket at its own index instead of shifting every
+    later point left."""
+    conn = RenoConnection(
+        lambda: PATH_A if conn.now < 3.0 else PATH_B,
+        params=RenoParams(failover_latency=2.3),
+    )
+    conn.stats.duration = 10.0
+    conn.run(10.0)
+    seconds = conn.stats.seconds()
+    assert [s.second for s in seconds] == list(range(10))
+    series = conn.stats.throughput_series()
+    assert len(series) == 10
+    # The reroute at ~3.0 jumps the clock to ~5.3: second 3 keeps only
+    # the reroute counters (nothing delivered) and second 4 is skipped
+    # entirely — it must stay a zero bucket at index 4.
+    assert series[3] == 0.0 and series[4] == 0.0
+    assert series[2] > 0.0 and series[6] > 0.0
+    assert seconds[3].segments_sent > 0  # the void-sent failover burst
+    assert seconds[4].segments_sent == 0  # truly skipped, zero-filled
+    # The sparse fallback (no duration) would have misaligned exactly here.
+    assert len([s for s in conn.stats._seconds]) < 10
+
+
+def test_blackhole_step_uses_last_known_path_length():
+    calls = []
+    long_path = ["s%d" % i for i in range(9)]  # 8 hops
+
+    def provider():
+        calls.append(conn.now)
+        return long_path if conn.now < 2.0 else None
+
+    conn = RenoConnection(provider)
+    conn.run(2.0)
+    assert conn._last_hops == len(long_path) - 1
+    # While blackholed, the RTO step is one RTT of the *last* path
+    # (0.004 + 2*0.001*8 = 0.02 s), not the old hardcoded 4-hop step.
+    del calls[:]
+    conn.run(0.1)
+    assert len(calls) == 5
+    assert conn.now == 2.1
+
+
+def test_failure_lands_in_second_ten():
+    topology = TOPOLOGY_BUILDERS["B4"]()
+    switches = standalone_switches(topology)
+    pair = place_hosts_at_max_distance(topology)
+    stats = TrafficRun(topology, switches, pair).run()
+    series = stats.throughput_series()
+    assert len(series) == 30
+    assert [s.second for s in stats.seconds()] == list(range(30))
+    # The valley sits exactly in the advertised failure second.
+    window = series[8:14]
+    assert 8 + window.index(min(window)) == 10
+
+
+def test_pearson_flatline_returns_nan():
+    assert math.isnan(pearson([1.0] * 10, [float(i) for i in range(10)]))
+    assert math.isnan(pearson([float(i) for i in range(10)], [0.0] * 10))
+    assert math.isnan(pearson([2.0] * 5, [2.0] * 5))
+
+
+def test_pearson_still_requires_two_points():
+    try:
+        pearson([1.0], [2.0])
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError for a single point")
+
+
+def test_traffic_stats_sparse_fallback_without_duration():
+    stats = TrafficStats(0.012)
+    stats.bucket(3.5).segments_delivered = 7
+    stats.bucket(9.1).segments_delivered = 2
+    assert [s.second for s in stats.seconds()] == [3, 9]
+    stats.duration = 10.0
+    assert [s.second for s in stats.seconds()] == list(range(10))
+    dense = stats.throughput_series()
+    assert dense[3] == 7 * 0.012
+    assert dense[9] == 2 * 0.012
+    assert sum(dense) == dense[3] + dense[9]
