@@ -21,7 +21,7 @@ cycle.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.net.topologies import TOPOLOGY_BUILDERS, attach_controllers
 from repro.net.topology import Topology
@@ -169,6 +169,37 @@ def topology_spec_syntaxes() -> List[str]:
     return sorted(TOPOLOGY_BUILDERS) + [syntax for _, syntax in GENERATORS.values()]
 
 
+#: Per-process memo of resolved topologies, keyed by the full resolution
+#: input ``(spec string, seed, controllers, placement)``.  ``None`` means
+#: memoization is off (the default: serial entry points keep the exact
+#: historical build-per-call behavior).  Long-lived workers — the
+#: repetition pool's initializer and fabric workers — enable it so
+#: repeated repetitions of the same network stop re-running the generator
+#: and placement; cached entries are pristine and callers always receive
+#: a fresh :meth:`Topology.copy`, so simulations can mutate freely.
+_RESOLUTION_CACHE: Optional[Dict[Tuple[str, int, int, str], Topology]] = None
+
+
+def enable_resolution_cache() -> None:
+    """Turn on per-process memoization of :func:`resolve_topology`."""
+    global _RESOLUTION_CACHE
+    if _RESOLUTION_CACHE is None:
+        _RESOLUTION_CACHE = {}
+
+
+def disable_resolution_cache() -> None:
+    """Turn memoization back off and drop every cached topology."""
+    global _RESOLUTION_CACHE
+    _RESOLUTION_CACHE = None
+
+
+def resolution_cache_stats() -> Optional[Dict[str, int]]:
+    """``{"entries": n}`` while the cache is enabled, else ``None``."""
+    if _RESOLUTION_CACHE is None:
+        return None
+    return {"entries": len(_RESOLUTION_CACHE)}
+
+
 def resolve_topology(
     spec: TopologyLike,
     seed: int = 0,
@@ -185,15 +216,32 @@ def resolve_topology(
     families and the placement strategy.  When ``controllers`` is zero,
     or the topology already has controllers, placement is skipped (an
     existing placement always wins over the ``placement`` argument).
+
+    With :func:`enable_resolution_cache` on, string specs are resolved
+    once per ``(spec, seed, controllers, placement)`` and subsequent calls
+    return a fresh copy of the pristine result — bit-identical to a fresh
+    build, since generators and placements are deterministic in ``seed``.
     """
     if isinstance(spec, Topology):
         topo = spec
-    else:
-        from repro.scenarios.generators import parse_topology
+        if controllers > 0 and not topo.controllers:
+            place_controllers(topo, controllers, seed=seed, placement=placement)
+        return topo
 
-        topo = parse_topology(spec, seed=seed)
+    cache = _RESOLUTION_CACHE
+    key = (spec, seed, controllers, placement)
+    if cache is not None:
+        pristine = cache.get(key)
+        if pristine is not None:
+            return pristine.copy()
+
+    from repro.scenarios.generators import parse_topology
+
+    topo = parse_topology(spec, seed=seed)
     if controllers > 0 and not topo.controllers:
         place_controllers(topo, controllers, seed=seed, placement=placement)
+    if cache is not None:
+        cache[key] = topo.copy()
     return topo
 
 
@@ -207,7 +255,10 @@ __all__ = [
     "TopologyLike",
     "default_theta",
     "default_timeout",
+    "disable_resolution_cache",
+    "enable_resolution_cache",
     "place_controllers",
+    "resolution_cache_stats",
     "resolve_topology",
     "topology_spec_syntaxes",
     "validate_topology_spec",

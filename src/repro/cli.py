@@ -29,7 +29,16 @@ FILE`` to additionally write that JSON to disk.
 repetitions into a content-addressed run store and resume from it
 (``--no-cache`` recomputes while still writing through); ``report``
 rebuilds figures/tables from a store with zero simulation, and ``store
-ls``/``verify``/``reindex`` inspect and repair one.
+ls``/``verify``/``reindex``/``gc`` inspect and repair one.
+
+The distributed sweep fabric runs campaigns across independent worker
+processes coordinated through a shared store directory: ``repro fabric
+start --store DIR --workers N`` joins N persistent workers to the fleet
+(run it on any host that mounts DIR), ``repro sweep --figure fig5
+--fabric DIR`` submits the sweep's work units and blocks as the
+aggregator, ``repro fabric run`` is the one-shot local convenience
+(fleet up → campaign → fleet down), and ``repro fabric status``/``stop``
+inspect and shut down a fleet.
 """
 
 from __future__ import annotations
@@ -310,6 +319,8 @@ def cmd_figure(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run one experiment spec through the parallel repetition runner."""
     networks = tuple(args.network) if args.network else None
+    if getattr(args, "fabric", None):
+        return _sweep_via_fabric(args, networks)
     profiler = None
     if getattr(args, "profile", False):
         import cProfile
@@ -352,6 +363,177 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if not _quiet(args):
             print("no data produced (all repetitions timed out?)")
         return 1
+    return 0
+
+
+def _sweep_via_fabric(args: argparse.Namespace, networks) -> int:
+    """``repro sweep --fabric DIR``: submit the sweep's work units to the
+    fabric queue at DIR and block as the aggregator.  The workers are
+    whoever shares the store (``repro fabric start`` fleets, here or on
+    other hosts); the merged output is byte-identical to a serial sweep."""
+    from repro.fabric import FabricError, run_fabric_campaign
+
+    if getattr(args, "profile", False):
+        print("error: --profile needs the work in-process; it cannot be "
+              "combined with --fabric", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    try:
+        result = run_fabric_campaign(
+            args.fabric,
+            args.figure,
+            reps=args.reps,
+            networks=networks,
+            base_seed=args.seed,
+            timeout=args.fabric_timeout,
+        )
+    except FabricError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+    _emit_json(result.to_dict(), args)
+    if not _quiet(args):
+        for line in result.rows():
+            print(line)
+        print(
+            f"-- sweep {args.figure} reps={args.reps} seed={args.seed} "
+            f"fabric={args.fabric}: {elapsed:.2f} s wall"
+        )
+    if not any(result.series.values()):
+        if not _quiet(args):
+            print("no data produced (all repetitions timed out?)")
+        return 1
+    return 0
+
+
+def cmd_fabric(args: argparse.Namespace) -> int:
+    """Manage the distributed sweep fabric: start/status/stop/run."""
+    from repro.fabric import (
+        FabricError,
+        LocalFleet,
+        WorkQueue,
+        run_local_campaign,
+        worker_main,
+    )
+
+    store = RunStore(args.store)
+    if args.action == "start":
+        queue = WorkQueue(store, ttl=args.ttl)
+        worker_kwargs = dict(
+            ttl=args.ttl,
+            poll=args.poll,
+            max_attempts=args.max_attempts,
+            backoff=args.backoff,
+            drain=args.drain,
+            preload=tuple(args.preload or ()),
+        )
+        if args.workers == 1:
+            # In-process: this very process is the worker (its pid is the
+            # one to SIGKILL in crash-recovery drills).
+            queue.clear_stop()
+            stats = worker_main(args.store, **worker_kwargs)
+            print(f"worker drained: {dict(stats) or 'no work'}")
+            return 0
+        fleet = LocalFleet(args.store, workers=args.workers, **worker_kwargs)
+        fleet.start()
+        print(f"fabric fleet: {args.workers} worker(s) on {args.store} "
+              f"(pids {', '.join(str(p) for p in fleet.pids())})")
+        print("stop with: repro fabric stop --store " + args.store)
+        for process in fleet.processes:
+            process.join()
+        return 0
+    if args.action == "status":
+        return _fabric_status(store)
+    if args.action == "stop":
+        WorkQueue(store).request_stop()
+        print(f"fabric {args.store}: stop requested (workers exit at "
+              "their next poll)")
+        return 0
+    # run: one-shot local fleet + campaign + aggregate
+    networks = tuple(args.network) if args.network else None
+    started = time.perf_counter()
+    try:
+        result = run_local_campaign(
+            args.store,
+            args.figure,
+            reps=args.reps,
+            networks=networks,
+            base_seed=args.seed,
+            workers=args.workers,
+            ttl=args.ttl,
+            poll=args.poll,
+            max_attempts=args.max_attempts,
+            backoff=args.backoff,
+            timeout=args.fabric_timeout,
+        )
+    except FabricError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+    _emit_json(result.to_dict(), args)
+    if not _quiet(args):
+        for line in result.rows():
+            print(line)
+        print(
+            f"-- fabric run {args.figure} reps={args.reps} seed={args.seed} "
+            f"workers={args.workers}: {elapsed:.2f} s wall"
+        )
+    return 0 if any(result.series.values()) else 1
+
+
+def _fabric_status(store: RunStore) -> int:
+    """Per-campaign progress, lease state, and quarantine for one store."""
+    from repro.fabric import WorkQueue
+
+    queue = WorkQueue(store)
+    campaigns = queue.campaigns()
+    print(f"fabric {store.root}: {len(campaigns)} campaign(s)")
+    for request in campaigns:
+        progress = queue.progress(request)
+        print(
+            f"  {request.campaign_id[:12]} spec={request.name} "
+            f"seed={request.base_seed}: done={progress['done']}/"
+            f"{progress['total']} leased={progress['leased']} "
+            f"quarantined={progress['quarantined']}"
+        )
+    now = time.time()
+    leases = queue.leases()
+    if leases:
+        print(f"leases ({len(leases)}):")
+        for lease in leases:
+            state = "cooldown" if not lease.token else (
+                "active" if lease.expires_at > now else "expired"
+            )
+            print(
+                f"  {lease.key[:12]} worker={lease.worker} "
+                f"attempts={lease.attempts} {state} "
+                f"expires-in={lease.expires_at - now:+.1f}s"
+            )
+    quarantined = queue.quarantine_entries()
+    if quarantined:
+        print(f"quarantine ({len(quarantined)}):")
+        for entry in quarantined:
+            print(
+                f"  {entry.get('key', '?')[:12]} "
+                f"attempts={entry.get('attempts')} "
+                f"error={entry.get('error')}"
+            )
+    started: Dict[str, int] = {}
+    exited: Dict[str, int] = {}
+    for event in queue.events():
+        if event.get("kind") == "worker-start":
+            started[event.get("worker", "?")] = started.get(
+                event.get("worker", "?"), 0) + 1
+        elif event.get("kind") == "worker-exit":
+            exited[event.get("worker", "?")] = exited.get(
+                event.get("worker", "?"), 0) + 1
+    active = [w for w, n in started.items() if n > exited.get(w, 0)]
+    print(
+        f"workers: {len(active)} active, {len(started)} ever started"
+        + (f" ({', '.join(sorted(active))})" if active else "")
+    )
+    if queue.stop_requested():
+        print("stop flag is raised (fleet is shutting down)")
     return 0
 
 
@@ -536,8 +718,19 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_store(args: argparse.Namespace) -> int:
-    """Inspect or repair a run store: ls / verify / reindex."""
+    """Inspect or repair a run store: ls / verify / reindex / gc."""
     store = RunStore(args.store)
+    if args.action == "gc":
+        from repro.fabric import WorkQueue
+
+        pruned = WorkQueue(store).gc(grace=args.grace)
+        tmp_removed = store.prune_tmp(max_age=args.tmp_age)
+        print(
+            f"store {args.store}: gc removed {pruned['leases']} expired "
+            f"lease(s), {pruned['orphans']} orphaned fabric file(s), "
+            f"{tmp_removed} stale tmp file(s)"
+        )
+        return 0
     if args.action == "ls":
         summary = store_summary(store)
         print(f"store {args.store}: {summary['records']} record(s)")
@@ -713,7 +906,56 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cProfile the sweep in-process (forces --reps 1 "
                             "--workers 1) and print the top cumulative-time "
                             "functions to stderr")
+    sweep.add_argument("--fabric", metavar="DIR", default=None,
+                       help="submit the sweep's work units to the fabric "
+                            "queue at DIR and block as the aggregator "
+                            "(workers: repro fabric start --store DIR)")
+    sweep.add_argument("--fabric-timeout", type=_positive_float, default=None,
+                       metavar="S",
+                       help="give up aggregating after S seconds (default: "
+                            "block until the fleet finishes)")
     sweep.set_defaults(fn=cmd_sweep)
+
+    fab = sub.add_parser(
+        "fabric",
+        parents=[output],
+        help="distributed sweep fabric: persistent workers coordinated "
+             "through a shared run store",
+    )
+    fab.add_argument("action", choices=["start", "status", "stop", "run"])
+    fab.add_argument("--store", metavar="DIR", required=True,
+                     help="the shared run store coordinating the fleet")
+    fab.add_argument("--workers", type=int, default=2,
+                     help="worker processes (start/run); --workers 1 runs "
+                          "the worker in this very process")
+    fab.add_argument("--ttl", type=_positive_float, default=30.0,
+                     help="lease time-to-live in seconds; a crashed "
+                          "worker's unit is re-claimed after this")
+    fab.add_argument("--poll", type=_positive_float, default=0.2,
+                     help="idle poll interval in seconds")
+    fab.add_argument("--max-attempts", type=int, default=3,
+                     help="quarantine a task after this many failed attempts")
+    fab.add_argument("--backoff", type=_positive_float, default=0.5,
+                     help="base retry backoff in seconds (doubles per attempt)")
+    fab.add_argument("--drain", action="store_true",
+                     help="exit workers once no pending work remains "
+                          "instead of polling for new campaigns")
+    fab.add_argument("--preload", action="append", metavar="MODULE",
+                     help="import MODULE in each worker before draining "
+                          "(extra experiment-spec registrations); repeatable")
+    fab.add_argument("--figure", choices=list_specs(), default="fig5",
+                     help="the spec to run (action: run)")
+    fab.add_argument("--network", action="append",
+                     choices=sorted(TOPOLOGY_BUILDERS),
+                     help="restrict to one network (repeatable; action: run)")
+    fab.add_argument("--reps", type=int, default=None,
+                     help="repetitions per data point (action: run)")
+    fab.add_argument("--seed", type=int, default=0,
+                     help="base seed (action: run)")
+    fab.add_argument("--fabric-timeout", type=_positive_float, default=None,
+                     metavar="S",
+                     help="give up after S seconds (action: run)")
+    fab.set_defaults(fn=cmd_fabric)
 
     scen = sub.add_parser(
         "scenario",
@@ -753,8 +995,14 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(fn=cmd_report)
 
     store = sub.add_parser("store", help="inspect or repair a run store")
-    store.add_argument("action", choices=["ls", "verify", "reindex"])
+    store.add_argument("action", choices=["ls", "verify", "reindex", "gc"])
     store.add_argument("--store", metavar="DIR", required=True)
+    store.add_argument("--grace", type=float, default=0.0,
+                       help="gc: only remove leases expired at least this "
+                            "many seconds ago (default 0: any expired lease)")
+    store.add_argument("--tmp-age", type=_positive_float, default=3600.0,
+                       help="gc: remove orphaned .tmp files older than this "
+                            "many seconds")
     store.set_defaults(fn=cmd_store)
 
     return parser

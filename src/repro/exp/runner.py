@@ -286,13 +286,40 @@ def run_spec(
     return result
 
 
+def worker_initializer() -> None:
+    """Per-process one-time setup for repetition workers.
+
+    Loads the deferred spec registry once (instead of on the first task)
+    and enables the memoized topology-resolution cache, so repeated
+    repetitions of the same network in one worker stop re-running the
+    generator and controller placement.  Import errors are deliberately
+    swallowed here: a broken registry module re-raises from the first
+    task's ``get_spec`` with a full traceback instead of killing the pool
+    during initialization.
+
+    Shared by the ``multiprocessing`` pool below and the fabric's
+    persistent workers — the same warm-process semantics either way.
+    """
+    from repro.api.topology import enable_resolution_cache
+
+    enable_resolution_cache()
+    try:
+        from repro.exp.spec import list_specs
+
+        list_specs()
+    except Exception:
+        pass
+
+
 def _execute(
     tasks: List[RepetitionTask], workers: int
 ) -> List[Tuple[int, int, Measurement, str]]:
     if workers <= 1 or len(tasks) <= 1:
         return [_execute_task(task) for task in tasks]
     ctx = _pool_context()
-    with ctx.Pool(processes=min(workers, len(tasks))) as pool:
+    with ctx.Pool(
+        processes=min(workers, len(tasks)), initializer=worker_initializer
+    ) as pool:
         # chunksize 1: repetition cost varies by orders of magnitude across
         # networks, so fine-grained dispatch keeps the pool balanced.
         return pool.map(_execute_task, tasks, chunksize=1)
@@ -313,4 +340,5 @@ __all__ = [
     "measurement_identity",
     "merge_measurements",
     "run_spec",
+    "worker_initializer",
 ]

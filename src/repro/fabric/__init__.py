@@ -1,0 +1,60 @@
+"""``repro.fabric`` — the distributed sweep fabric.
+
+Fault-tolerant campaign execution across N independent worker processes
+coordinated purely through a shared :class:`~repro.store.store.RunStore`
+directory (one host or many hosts over a shared filesystem).  Workers
+*claim* ``(spec, coordinate, seed)`` work units via atomic lease files,
+heartbeat while executing, and publish results as the ordinary
+content-addressed measurement records — so ``repro sweep`` and ``repro
+report`` stay byte-identical consumers of a fabric-filled store, and a
+SIGKILLed worker's unit is re-claimed after lease expiry with no lost or
+duplicated repetitions.
+
+Quickstart (single host)::
+
+    from repro.fabric import run_local_campaign
+
+    result = run_local_campaign("runs", "fig5", reps=8,
+                                networks=("B4",), workers=4)
+
+Shared-filesystem fleet: start ``repro fabric start --store DIR`` on any
+number of hosts mounting ``DIR``, then ``repro sweep --figure fig5
+--fabric DIR`` from anywhere to submit and aggregate.
+"""
+
+from repro.fabric.campaign import (
+    LocalFleet,
+    aggregate_campaign,
+    run_fabric_campaign,
+    run_local_campaign,
+    submit_campaign,
+    wait_for_campaign,
+)
+from repro.fabric.queue import (
+    CampaignRequest,
+    FabricError,
+    Lease,
+    LeaseLost,
+    WorkQueue,
+    WorkUnit,
+    worker_identity,
+)
+from repro.fabric.worker import FabricWorker, worker_main
+
+__all__ = [
+    "CampaignRequest",
+    "FabricError",
+    "FabricWorker",
+    "Lease",
+    "LeaseLost",
+    "LocalFleet",
+    "WorkQueue",
+    "WorkUnit",
+    "aggregate_campaign",
+    "run_fabric_campaign",
+    "run_local_campaign",
+    "submit_campaign",
+    "wait_for_campaign",
+    "worker_identity",
+    "worker_main",
+]

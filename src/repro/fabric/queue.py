@@ -1,0 +1,633 @@
+"""Store-coordinated work claiming: the fabric's lease-based queue.
+
+The :class:`WorkQueue` turns a :class:`~repro.store.store.RunStore`
+directory into a coordination substrate for N independent worker
+processes — same host or several hosts sharing the directory over a
+common filesystem.  There is no broker and no network protocol: every
+primitive is a filesystem operation whose atomicity POSIX guarantees.
+
+*Work units* are the repetition tasks the runner already executes:
+``(spec, coordinate, seed)`` tuples with stable content-addressed
+identities (:func:`~repro.exp.runner.measurement_identity`).  A unit is
+*done* exactly when its measurement record exists in the store — the
+ordinary record a serial sweep would write, so ``repro sweep`` and
+``repro report`` remain byte-identical consumers of a fabric-filled
+store.
+
+Coordination state lives under ``<store>/fabric/``::
+
+    fabric/campaigns/<id>.json    # submitted campaign requests (immutable)
+    fabric/leases/<key>.lease     # one claim record per in-flight unit
+    fabric/quarantine/<key>.json  # poison tasks taken out of rotation
+    fabric/events.jsonl           # append-only claim/complete/... journal
+    fabric/stop                   # fleet shutdown flag
+
+**Lease protocol.**  Claiming writes the lease record to a temp file and
+atomically *links* it to ``leases/<key>.lease`` — ``os.link`` fails with
+``FileExistsError`` when the name is taken, and the lease appears with
+its full content (a reader can never observe a claimed-but-empty lease).
+Leases carry a TTL; the owning worker renews (heartbeats) at ``ttl/3``
+while executing.  A worker that is SIGKILLed stops renewing, its lease
+expires, and the next claimant *reclaims* the unit: it atomically renames
+the expired lease aside (only one renamer can win — the source vanishes
+for everyone else), carries the attempt count forward, and claims
+afresh.  Because results are idempotent content-addressed writes, even
+the pathological interleavings (a live lease stolen in the instant
+between expiry and renewal) at worst duplicate work, never lose or
+double-count a repetition.
+
+**Failure handling.**  A task that raises is re-leased to nobody for an
+exponentially growing cooldown (the failed lease stays on disk with a
+short expiry and no owner, so any worker retries it after the backoff);
+after ``max_attempts`` total attempts the unit is quarantined — removed
+from rotation with its error recorded — and the aggregator fails loudly
+instead of waiting forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exp.runner import RepetitionTask, expand_tasks, measurement_identity
+from repro.store.hashing import SCHEMA_VERSION, canonical_json, fingerprint
+from repro.store.store import RunStore, append_line
+
+DEFAULT_TTL = 30.0
+DEFAULT_MAX_ATTEMPTS = 3
+DEFAULT_BACKOFF = 0.5
+
+
+class FabricError(RuntimeError):
+    """A fabric campaign cannot make progress (quarantine, timeout, ...)."""
+
+
+class LeaseLost(FabricError):
+    """A heartbeat found its lease gone or owned by someone else."""
+
+
+def worker_identity() -> str:
+    """A human-readable id for this worker process: host + pid."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class CampaignRequest:
+    """One submitted sweep: the exact arguments a serial ``run_spec`` or
+    ``repro report`` of the same campaign would use.
+
+    The request is the single source of truth for task expansion — the
+    submitting aggregator and every worker expand the *same* unit list
+    from it, so their content-addressed keys can never drift.
+    """
+
+    name: str
+    reps: Optional[int] = None
+    networks: Optional[Tuple[str, ...]] = None
+    base_seed: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def identity(self) -> Dict[str, Any]:
+        return {
+            "kind": "campaign",
+            "schema": SCHEMA_VERSION,
+            "name": self.name,
+            "reps": self.reps,
+            "networks": list(self.networks) if self.networks else None,
+            "base_seed": self.base_seed,
+            "params": [[k, v] for k, v in sorted(self.params.items())],
+        }
+
+    @property
+    def campaign_id(self) -> str:
+        return fingerprint(self.identity())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.campaign_id,
+            "name": self.name,
+            "reps": self.reps,
+            "networks": list(self.networks) if self.networks else None,
+            "base_seed": self.base_seed,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignRequest":
+        networks = data.get("networks")
+        return cls(
+            name=data["name"],
+            reps=data.get("reps"),
+            networks=tuple(networks) if networks else None,
+            base_seed=data.get("base_seed", 0),
+            params=dict(data.get("params") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One claimable repetition: the runner task plus its store address."""
+
+    task: RepetitionTask
+    key: str
+    label: str
+    campaign_id: str
+
+
+@dataclass
+class Lease:
+    """One claim on one work unit.  ``token`` is unique per acquisition:
+    ownership checks compare tokens, so a worker that lost its lease (and
+    had it reclaimed and re-claimed) cannot renew or release the
+    successor's."""
+
+    key: str
+    worker: str
+    token: str
+    acquired_at: float
+    expires_at: float
+    attempts: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "worker": self.worker,
+            "token": self.token,
+            "acquired_at": self.acquired_at,
+            "expires_at": self.expires_at,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Lease":
+        return cls(
+            key=data["key"],
+            worker=data["worker"],
+            token=data["token"],
+            acquired_at=float(data["acquired_at"]),
+            expires_at=float(data["expires_at"]),
+            attempts=int(data["attempts"]),
+        )
+
+
+class WorkQueue:
+    """Lease-coordinated access to one store's pending work units."""
+
+    def __init__(
+        self,
+        store: RunStore,
+        ttl: float = DEFAULT_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff: float = DEFAULT_BACKOFF,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be > 0 (got {ttl})")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1 (got {max_attempts})")
+        self.store = store
+        self.ttl = ttl
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+        #: Campaign files are immutable once submitted, so unit expansion
+        #: is memoized per campaign id for the life of this handle.
+        self._units_memo: Dict[str, List[WorkUnit]] = {}
+        for directory in (self.leases_dir, self.quarantine_dir, self.campaigns_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- layout ------------------------------------------------------------
+
+    @property
+    def fabric_dir(self) -> Path:
+        return self.store.root / "fabric"
+
+    @property
+    def leases_dir(self) -> Path:
+        return self.fabric_dir / "leases"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.fabric_dir / "quarantine"
+
+    @property
+    def campaigns_dir(self) -> Path:
+        return self.fabric_dir / "campaigns"
+
+    @property
+    def events_path(self) -> Path:
+        return self.fabric_dir / "events.jsonl"
+
+    @property
+    def stop_path(self) -> Path:
+        return self.fabric_dir / "stop"
+
+    def _lease_path(self, key: str) -> Path:
+        return self.leases_dir / f"{key}.lease"
+
+    def _quarantine_path(self, key: str) -> Path:
+        return self.quarantine_dir / f"{key}.json"
+
+    # -- atomic file primitives -------------------------------------------
+
+    def _create_exclusive(self, path: Path, doc: Dict[str, Any]) -> bool:
+        """Atomically create ``path`` with ``doc`` as content; ``False``
+        when the name is already taken.
+
+        Write-to-temp + ``os.link`` makes creation atomic *with content*:
+        no reader can observe the file empty or half-written, which
+        matters because a corrupt lease is treated as reclaimable.
+        """
+        tmp = path.parent / f".{path.name}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(canonical_json(doc) + "\n")
+        try:
+            os.link(tmp, path)
+            return True
+        except FileExistsError:
+            return False
+        finally:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+
+    def _replace(self, path: Path, doc: Dict[str, Any]) -> None:
+        tmp = path.parent / f".{path.name}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(canonical_json(doc) + "\n")
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    def _read_lease(self, path: Path) -> Optional[Lease]:
+        doc = self._read_json(path)
+        if doc is None:
+            return None
+        try:
+            return Lease.from_dict(doc)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # -- event journal -----------------------------------------------------
+
+    def log_event(self, kind: str, **fields: Any) -> None:
+        """Append one line to the fabric journal (single O_APPEND write)."""
+        entry = {"t": round(time.time(), 3), "kind": kind}
+        entry.update(fields)
+        append_line(self.events_path, canonical_json(entry))
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Every intact journal entry, in append order (a torn tail line
+        from a writer that died mid-append is skipped)."""
+        entries: List[Dict[str, Any]] = []
+        try:
+            with open(self.events_path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        doc = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(doc, dict):
+                        entries.append(doc)
+        except FileNotFoundError:
+            pass
+        return entries
+
+    # -- campaigns ---------------------------------------------------------
+
+    def submit(self, request: CampaignRequest) -> str:
+        """Publish a campaign for the fleet; idempotent (the id is the
+        content hash, so re-submitting the same campaign is a no-op)."""
+        campaign_id = request.campaign_id
+        path = self.campaigns_dir / f"{campaign_id}.json"
+        if self._create_exclusive(path, request.to_dict()):
+            self.log_event("submit", campaign=campaign_id, spec=request.name)
+        return campaign_id
+
+    def campaigns(self) -> List[CampaignRequest]:
+        """Every submitted campaign, sorted by id."""
+        requests = []
+        for path in sorted(self.campaigns_dir.glob("*.json")):
+            doc = self._read_json(path)
+            if doc is None:
+                continue
+            try:
+                requests.append(CampaignRequest.from_dict(doc))
+            except (KeyError, TypeError):
+                continue
+        return requests
+
+    def units_of(self, request: CampaignRequest) -> List[WorkUnit]:
+        """The campaign's full unit list — the exact tasks (and therefore
+        store keys) a serial ``run_spec`` of the same arguments executes."""
+        campaign_id = request.campaign_id
+        memo = self._units_memo.get(campaign_id)
+        if memo is not None:
+            return memo
+        _spec, cases, _reps, tasks = expand_tasks(
+            request.name,
+            reps=request.reps,
+            networks=request.networks,
+            base_seed=request.base_seed,
+            params=request.params,
+            store_dir=str(self.store.root),
+        )
+        units = [
+            WorkUnit(
+                task=task,
+                key=fingerprint(
+                    measurement_identity(task, cases[task.case_index].label)
+                ),
+                label=cases[task.case_index].label,
+                campaign_id=campaign_id,
+            )
+            for task in tasks
+        ]
+        self._units_memo[campaign_id] = units
+        return units
+
+    # -- unit state --------------------------------------------------------
+
+    def is_done(self, key: str) -> bool:
+        """Whether the unit's measurement record is on disk.  Existence
+        only — the aggregator's final :func:`~repro.store.report.aggregate`
+        pass validates content and is authoritative."""
+        return self.store.object_path(key).exists()
+
+    def is_quarantined(self, key: str) -> bool:
+        return self._quarantine_path(key).exists()
+
+    def pending_units(
+        self, requests: Optional[Sequence[CampaignRequest]] = None
+    ) -> List[WorkUnit]:
+        """Units not yet done and not quarantined, across ``requests``
+        (default: every submitted campaign).  Leased units are included —
+        pending means *unfinished*, not *claimable*."""
+        pending: List[WorkUnit] = []
+        for request in requests if requests is not None else self.campaigns():
+            for unit in self.units_of(request):
+                if not self.is_done(unit.key) and not self.is_quarantined(unit.key):
+                    pending.append(unit)
+        return pending
+
+    # -- the lease protocol ------------------------------------------------
+
+    def claim(self, unit: WorkUnit, worker: str) -> Optional[Lease]:
+        """Try to acquire ``unit`` for ``worker``; ``None`` when the unit
+        is done, quarantined, or validly held by someone else."""
+        if self.is_done(unit.key) or self.is_quarantined(unit.key):
+            return None
+        path = self._lease_path(unit.key)
+        now = time.time()
+        token = f"{worker}.{os.urandom(8).hex()}"
+        prior_attempts = 0
+        if path.exists():
+            current = self._read_lease(path)
+            if current is not None and current.expires_at > now:
+                return None  # validly held (or cooling down after a failure)
+            # Expired or unreadable: reclaim.  The rename is the
+            # arbitration point — the source vanishes for every loser.
+            tomb = path.parent / f".{path.name}.reclaim.{os.urandom(8).hex()}"
+            try:
+                os.rename(path, tomb)
+            except FileNotFoundError:
+                return None  # another claimant renamed it first
+            tomb_lease = self._read_lease(tomb)
+            prior_attempts = tomb_lease.attempts if tomb_lease else 0
+            try:
+                os.unlink(tomb)
+            except FileNotFoundError:
+                pass
+            self.log_event(
+                "reclaim",
+                key=unit.key,
+                worker=worker,
+                prior_attempts=prior_attempts,
+                prior_worker=tomb_lease.worker if tomb_lease else None,
+            )
+        lease = Lease(
+            key=unit.key,
+            worker=worker,
+            token=token,
+            acquired_at=now,
+            expires_at=now + self.ttl,
+            attempts=prior_attempts + 1,
+        )
+        if not self._create_exclusive(path, lease.to_dict()):
+            return None  # lost the post-reclaim (or fresh-claim) race
+        self.log_event(
+            "claim",
+            key=unit.key,
+            worker=worker,
+            attempts=lease.attempts,
+            label=unit.label,
+            campaign=unit.campaign_id,
+        )
+        return lease
+
+    def renew(self, lease: Lease) -> None:
+        """Extend the lease's expiry by one TTL (the heartbeat).
+
+        Raises :class:`LeaseLost` when the on-disk lease is gone or owned
+        by another token — the unit was reclaimed out from under us (e.g.
+        after a long GC pause or clock skew beyond the TTL); the work
+        itself may continue, its idempotent result write is harmless.
+        """
+        path = self._lease_path(lease.key)
+        current = self._read_lease(path)
+        if current is None or current.token != lease.token:
+            raise LeaseLost(f"lease on {lease.key} lost by {lease.worker}")
+        lease.expires_at = time.time() + self.ttl
+        self._replace(path, lease.to_dict())
+
+    def release(self, lease: Lease) -> None:
+        """Drop the lease if we still own it; a lost lease is a no-op."""
+        path = self._lease_path(lease.key)
+        current = self._read_lease(path)
+        if current is not None and current.token == lease.token:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+
+    def complete(self, lease: Lease, status: str) -> None:
+        """Record a successful unit and release its lease."""
+        self.log_event(
+            "complete",
+            key=lease.key,
+            worker=lease.worker,
+            attempts=lease.attempts,
+            status=status,
+        )
+        self.release(lease)
+
+    def fail(self, lease: Lease, error: str) -> bool:
+        """Record a failed attempt.
+
+        Below the attempt bound: the lease is rewritten as an ownerless
+        cooldown whose expiry implements exponential backoff — any worker
+        (including this one) reclaims it after the delay.  At the bound:
+        the unit is quarantined and leaves rotation.  Returns ``True``
+        when the unit was quarantined.
+        """
+        if lease.attempts >= self.max_attempts:
+            self._create_exclusive(
+                self._quarantine_path(lease.key),
+                {
+                    "key": lease.key,
+                    "attempts": lease.attempts,
+                    "worker": lease.worker,
+                    "error": error,
+                    "t": round(time.time(), 3),
+                },
+            )
+            self.log_event(
+                "quarantine",
+                key=lease.key,
+                worker=lease.worker,
+                attempts=lease.attempts,
+                error=error,
+            )
+            self.release(lease)
+            return True
+        delay = self.backoff * (2 ** (lease.attempts - 1))
+        path = self._lease_path(lease.key)
+        current = self._read_lease(path)
+        if current is not None and current.token == lease.token:
+            cooldown = Lease(
+                key=lease.key,
+                worker=lease.worker,
+                token="",  # ownerless: nobody can renew a cooldown
+                acquired_at=lease.acquired_at,
+                expires_at=time.time() + delay,
+                attempts=lease.attempts,
+            )
+            self._replace(path, cooldown.to_dict())
+        self.log_event(
+            "failed",
+            key=lease.key,
+            worker=lease.worker,
+            attempts=lease.attempts,
+            error=error,
+            retry_in=round(delay, 3),
+        )
+        return False
+
+    # -- introspection / maintenance ---------------------------------------
+
+    def leases(self) -> List[Lease]:
+        """Every readable lease on disk, sorted by key."""
+        found = []
+        for path in sorted(self.leases_dir.glob("*.lease")):
+            lease = self._read_lease(path)
+            if lease is not None:
+                found.append(lease)
+        return found
+
+    def quarantine_entries(self) -> List[Dict[str, Any]]:
+        entries = []
+        for path in sorted(self.quarantine_dir.glob("*.json")):
+            doc = self._read_json(path)
+            if doc is not None:
+                entries.append(doc)
+        return entries
+
+    def progress(self, request: CampaignRequest) -> Dict[str, int]:
+        """Unit counts for one campaign: total/done/quarantined/leased."""
+        units = self.units_of(request)
+        done = sum(1 for u in units if self.is_done(u.key))
+        quarantined = sum(1 for u in units if self.is_quarantined(u.key))
+        now = time.time()
+        held = {
+            lease.key
+            for lease in self.leases()
+            if lease.expires_at > now and lease.token
+        }
+        leased = sum(
+            1
+            for u in units
+            if u.key in held and not self.is_done(u.key)
+        )
+        return {
+            "total": len(units),
+            "done": done,
+            "quarantined": quarantined,
+            "leased": leased,
+        }
+
+    def gc(self, grace: float = 0.0) -> Dict[str, int]:
+        """Prune leftovers: leases expired at least ``grace`` seconds ago
+        and orphaned reclaim/temp files older than ``grace``.
+
+        Removing an expired lease loses its carried attempt count (the
+        next claim restarts at 1) — acceptable for explicit maintenance,
+        and the quarantine records themselves are never touched.
+        """
+        cutoff = time.time() - grace
+        removed_leases = 0
+        for path in list(self.leases_dir.glob("*.lease")):
+            lease = self._read_lease(path)
+            if lease is None or lease.expires_at <= cutoff:
+                try:
+                    path.unlink()
+                    removed_leases += 1
+                except FileNotFoundError:
+                    pass
+        removed_orphans = 0
+        for pattern in (".*.tmp", ".*.reclaim.*"):
+            for path in list(self.leases_dir.glob(pattern)) + list(
+                self.campaigns_dir.glob(pattern)
+            ) + list(self.quarantine_dir.glob(pattern)):
+                try:
+                    if path.stat().st_mtime <= cutoff:
+                        path.unlink()
+                        removed_orphans += 1
+                except FileNotFoundError:
+                    continue
+        if removed_leases or removed_orphans:
+            self.log_event(
+                "gc", leases=removed_leases, orphans=removed_orphans
+            )
+        return {"leases": removed_leases, "orphans": removed_orphans}
+
+    # -- fleet stop flag ---------------------------------------------------
+
+    def request_stop(self) -> None:
+        self._create_exclusive(self.stop_path, {"t": round(time.time(), 3)})
+
+    def clear_stop(self) -> None:
+        try:
+            os.unlink(self.stop_path)
+        except FileNotFoundError:
+            pass
+
+    def stop_requested(self) -> bool:
+        return self.stop_path.exists()
+
+
+__all__ = [
+    "DEFAULT_BACKOFF",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_TTL",
+    "CampaignRequest",
+    "FabricError",
+    "Lease",
+    "LeaseLost",
+    "WorkQueue",
+    "WorkUnit",
+    "worker_identity",
+]

@@ -1,0 +1,175 @@
+"""The fabric's persistent worker loop.
+
+A :class:`FabricWorker` is one long-lived process that initializes once —
+spec registry import, memoized topology-resolution cache — and then
+drains work from a :class:`~repro.fabric.queue.WorkQueue`: scan the
+submitted campaigns for unfinished units, claim one, execute it through
+the runner's ordinary task path (so the measurement lands in the store as
+the exact record a serial sweep would write), and move on.  A heartbeat
+thread renews the unit's lease at ``ttl/3`` while the task runs; if the
+process is SIGKILLed the heartbeat dies with it, the lease expires, and
+another worker reclaims the unit.
+
+Transient task failures are retried with exponential backoff (the queue
+re-leases the unit to nobody for a growing cooldown) and quarantined as
+poison after ``max_attempts`` total attempts across all workers.
+
+Workers are address-free: they discover campaigns by polling the shared
+store directory, so ``repro fabric start`` on any host that mounts the
+store joins the fleet.
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.exp.runner import _execute_task, worker_initializer
+from repro.fabric.queue import (
+    DEFAULT_BACKOFF,
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_TTL,
+    Lease,
+    LeaseLost,
+    WorkQueue,
+    WorkUnit,
+    worker_identity,
+)
+from repro.store.store import RunStore
+
+DEFAULT_POLL = 0.2
+
+
+class FabricWorker:
+    """One persistent worker process draining a store's work queue."""
+
+    def __init__(
+        self,
+        store_dir: Union[str, Path],
+        worker_id: Optional[str] = None,
+        ttl: float = DEFAULT_TTL,
+        poll: float = DEFAULT_POLL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff: float = DEFAULT_BACKOFF,
+        drain: bool = False,
+        preload: Sequence[str] = (),
+    ) -> None:
+        self.store = RunStore(store_dir)
+        self.queue = WorkQueue(
+            self.store, ttl=ttl, max_attempts=max_attempts, backoff=backoff
+        )
+        self.worker_id = worker_id or worker_identity()
+        self.poll = poll
+        self.drain = drain
+        self.preload = tuple(preload)
+        self.stats: Counter = Counter()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def initialize(self) -> None:
+        """One-time per-process setup: user preload modules (extra spec
+        registrations), the deferred spec registry, and the memoized
+        topology-resolution cache."""
+        for module in self.preload:
+            importlib.import_module(module)
+        worker_initializer()
+
+    def run(self) -> Dict[str, int]:
+        """Drain the queue until stopped.
+
+        Persistent mode (the default) keeps polling for new campaigns
+        until the store's stop flag appears.  ``drain=True`` exits once no
+        pending unit remains — the one-shot fleet and test mode.  Returns
+        the worker's completion tally.
+        """
+        self.initialize()
+        self.queue.log_event("worker-start", worker=self.worker_id)
+        try:
+            while True:
+                if self.queue.stop_requested():
+                    break
+                claimed = self._claim_next()
+                if claimed is None:
+                    if self.drain and not self.queue.pending_units():
+                        break
+                    time.sleep(self.poll)
+                    continue
+                self._run_unit(*claimed)
+        finally:
+            self.queue.log_event(
+                "worker-exit", worker=self.worker_id, stats=dict(self.stats)
+            )
+        return dict(self.stats)
+
+    # -- claiming ----------------------------------------------------------
+
+    def _claim_next(self) -> Optional[Tuple[WorkUnit, Lease]]:
+        """Claim the first available pending unit, scanning from a
+        worker-specific offset so a fleet fans out across the unit list
+        instead of contending on its head."""
+        pending = self.queue.pending_units()
+        if not pending:
+            return None
+        offset = hash(self.worker_id) % len(pending)
+        for unit in self._rotated(pending, offset):
+            lease = self.queue.claim(unit, self.worker_id)
+            if lease is not None:
+                return unit, lease
+        return None
+
+    @staticmethod
+    def _rotated(units: Sequence[WorkUnit], offset: int) -> Iterable[WorkUnit]:
+        return list(units[offset:]) + list(units[:offset])
+
+    # -- execution ---------------------------------------------------------
+
+    def _run_unit(self, unit: WorkUnit, lease: Lease) -> None:
+        stop_heartbeat = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat,
+            args=(lease, stop_heartbeat),
+            daemon=True,
+        )
+        heartbeat.start()
+        try:
+            _case, _rep, _value, status = _execute_task(unit.task)
+        except Exception as exc:  # noqa: BLE001 — every task error is retryable
+            stop_heartbeat.set()
+            heartbeat.join()
+            quarantined = self.queue.fail(lease, repr(exc))
+            self.stats["quarantined" if quarantined else "failed"] += 1
+        else:
+            stop_heartbeat.set()
+            heartbeat.join()
+            self.queue.complete(lease, status)
+            self.stats[status] += 1
+
+    def _heartbeat(self, lease: Lease, stop: threading.Event) -> None:
+        interval = self.queue.ttl / 3.0
+        while not stop.wait(interval):
+            try:
+                self.queue.renew(lease)
+            except LeaseLost:
+                # Reclaimed out from under us (pause beyond the TTL).  The
+                # running task finishes anyway; its content-addressed
+                # result write is idempotent, so the worst case is
+                # duplicated effort, never duplicated data.
+                self.queue.log_event(
+                    "lease-lost", key=lease.key, worker=self.worker_id
+                )
+                break
+            except OSError:
+                continue  # transient filesystem hiccup; retry next beat
+
+
+def worker_main(store_dir: str, **kwargs) -> Dict[str, int]:
+    """Top-level worker entry point (picklable for ``spawn`` contexts);
+    the target of fleet processes and ``repro fabric start``."""
+    return FabricWorker(store_dir, **kwargs).run()
+
+
+__all__ = ["DEFAULT_POLL", "FabricWorker", "worker_main"]

@@ -22,7 +22,13 @@ Quickstart::
 
 from repro.store.hashing import SCHEMA_VERSION, canonical_json, fingerprint
 from repro.store.report import aggregate, store_summary
-from repro.store.store import RunStore, StoreStats, active_store, use_store
+from repro.store.store import (
+    RunStore,
+    StoreStats,
+    active_store,
+    append_line,
+    use_store,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -30,6 +36,7 @@ __all__ = [
     "StoreStats",
     "active_store",
     "aggregate",
+    "append_line",
     "canonical_json",
     "fingerprint",
     "store_summary",

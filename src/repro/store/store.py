@@ -42,8 +42,10 @@ needs no signature changes anywhere between the runner and the plan.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -51,6 +53,28 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.api.results import RunResult
 from repro.store.hashing import SCHEMA_VERSION, canonical_json, fingerprint
+
+#: Distinguishes temp files of concurrent writers *within* one process
+#: (threads, or two store handles) on top of the pid in the name.
+_TMP_COUNTER = itertools.count()
+
+
+def append_line(path: Union[str, Path], line: str) -> None:
+    """Append one line to ``path`` as a single ``write`` on an ``O_APPEND``
+    descriptor.
+
+    A single ``write(2)`` to an ``O_APPEND`` file is atomic with respect to
+    the offset on POSIX filesystems, so concurrent appenders — worker
+    processes on one host, or several hosts on a shared filesystem — never
+    interleave bytes mid-line.  (Readers still tolerate a torn *tail* line
+    from a writer that died mid-call.)
+    """
+    data = (line + "\n").encode("utf-8")
+    fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
 
 
 @dataclass
@@ -173,7 +197,7 @@ class RunStore:
         }
         path = self.object_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        tmp = path.parent / f".{key}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
             fh.write(canonical_json(record) + "\n")
         os.replace(tmp, path)
@@ -181,11 +205,15 @@ class RunStore:
         self.stats.stores += 1
 
     def _append_manifest(self, record: Dict[str, Any]) -> None:
-        line = canonical_json(
-            {"key": record["key"], "kind": record["kind"], "tags": record["tags"]}
+        # Single O_APPEND write: safe under concurrent multi-process
+        # writers (two workers completing at once never tear each other's
+        # manifest lines).
+        append_line(
+            self.manifest_path,
+            canonical_json(
+                {"key": record["key"], "kind": record["kind"], "tags": record["tags"]}
+            ),
         )
-        with open(self.manifest_path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
 
     # -- run records -------------------------------------------------------
 
@@ -264,7 +292,7 @@ class RunStore:
         store content (only corruption drops an object from the index).
         """
         records = [r for key in self.keys() if (r := self._read_intact(key))]
-        tmp = self.root / f".manifest.{os.getpid()}.tmp"
+        tmp = self.root / f".manifest.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
         self.root.mkdir(parents=True, exist_ok=True)
         with open(tmp, "w", encoding="utf-8") as fh:
             for record in records:
@@ -310,6 +338,30 @@ class RunStore:
             problems.append(f"object missing from manifest: {key} (run reindex)")
         return problems
 
+    def prune_tmp(self, max_age: float = 3600.0) -> int:
+        """Remove orphaned ``*.tmp`` files older than ``max_age`` seconds.
+
+        A writer that is SIGKILLed between creating its temp file and the
+        ``os.replace`` leaves the temp behind; they are harmless to reads
+        (never addressed) but accumulate.  Age-gating keeps in-flight
+        writes of live workers safe.  Returns the number removed.
+        """
+        cutoff = time.time() - max_age
+        removed = 0
+        candidates: List[Path] = []
+        if self.root.is_dir():
+            candidates.extend(self.root.glob(".*.tmp"))
+        if self.objects_dir.is_dir():
+            candidates.extend(self.objects_dir.glob("*/.*.tmp"))
+        for path in candidates:
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except FileNotFoundError:
+                continue  # another pruner got it first
+        return removed
+
 
 # ---------------------------------------------------------------------------
 # active-store context
@@ -340,4 +392,4 @@ def use_store(store: Optional[RunStore]):
         _ACTIVE = previous
 
 
-__all__ = ["RunStore", "StoreStats", "active_store", "use_store"]
+__all__ = ["RunStore", "StoreStats", "active_store", "append_line", "use_store"]

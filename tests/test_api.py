@@ -308,3 +308,80 @@ def test_experiment_result_json_round_trip():
     loaded = ExperimentResult.from_json(result.to_json())
     assert loaded == result
     assert loaded.summary() == result.summary()
+
+
+# -- memoized topology resolution (the fabric/pool worker cache) -------------
+
+
+@pytest.fixture
+def resolution_cache():
+    from repro.api.topology import (
+        disable_resolution_cache,
+        enable_resolution_cache,
+    )
+
+    enable_resolution_cache()
+    yield
+    disable_resolution_cache()
+
+
+def test_resolution_cache_returns_fresh_equal_copies(resolution_cache):
+    from repro.api.topology import resolution_cache_stats
+
+    first = resolve_topology("fattree:4", seed=0, controllers=3)
+    second = resolve_topology("fattree:4", seed=0, controllers=3)
+    assert first is not second
+    assert resolution_cache_stats() == {"entries": 1}
+    assert sorted(first.nodes) == sorted(second.nodes)
+    assert sorted(first.links) == sorted(second.links)
+    assert first.controllers == second.controllers
+    # Mutating one copy must not leak into the next resolution.
+    victim = sorted(first.switches)[0]
+    first.remove_node(victim)
+    third = resolve_topology("fattree:4", seed=0, controllers=3)
+    assert victim in third.nodes
+
+
+def test_resolution_cache_matches_uncached_build(resolution_cache):
+    from repro.api.topology import disable_resolution_cache
+
+    resolve_topology("jellyfish:20", seed=3, controllers=3)  # warm the cache
+    cached = resolve_topology("jellyfish:20", seed=3, controllers=3)
+    disable_resolution_cache()
+    fresh = resolve_topology("jellyfish:20", seed=3, controllers=3)
+    assert sorted(cached.nodes) == sorted(fresh.nodes)
+    assert sorted(cached.links) == sorted(fresh.links)
+    assert cached.controllers == fresh.controllers
+
+
+def test_resolution_cache_keys_on_all_resolution_inputs(resolution_cache):
+    from repro.api.topology import resolution_cache_stats
+
+    resolve_topology("ring:8", seed=0, controllers=2)
+    resolve_topology("ring:8", seed=1, controllers=2)
+    resolve_topology("ring:8", seed=0, controllers=3)
+    assert resolution_cache_stats() == {"entries": 3}
+
+
+def test_resolution_cache_off_by_default():
+    from repro.api.topology import resolution_cache_stats
+
+    assert resolution_cache_stats() is None
+
+
+def test_run_spec_identical_with_and_without_resolution_cache():
+    """The cache must be invisible to results: a sweep over cached
+    resolutions is bit-identical to the uncached baseline."""
+    from repro.api.topology import (
+        disable_resolution_cache,
+        enable_resolution_cache,
+    )
+    from repro.exp.runner import run_spec
+
+    baseline = run_spec("fig5", reps=2, networks=("B4",), base_seed=0)
+    enable_resolution_cache()
+    try:
+        cached = run_spec("fig5", reps=2, networks=("B4",), base_seed=0)
+    finally:
+        disable_resolution_cache()
+    assert cached.to_dict() == baseline.to_dict()
