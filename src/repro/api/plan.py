@@ -27,12 +27,14 @@ instrumentation no longer requires editing ``NetworkSimulation``.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.api.phases import Phase
 from repro.api.results import PhaseResult, RunResult
 from repro.api.topology import TopologyLike, default_theta, resolve_topology
 from repro.net.topology import Topology
+from repro.obs.telemetry import active as active_telemetry
 from repro.sim.network_sim import NetworkSimulation, SimulationConfig
 
 
@@ -285,6 +287,11 @@ class RunSession:
     def run(self, observer: Optional[RunObserver] = None) -> RunResult:
         if observer is not None:
             self.sim.metrics.add_observer(observer)
+        # Per-phase host cost is measured only under telemetry, so untimed
+        # runs skip the clock reads entirely and their serialized records
+        # stay byte-identical (RunResult omits an empty timings list).
+        telemetry = active_telemetry()
+        timings: List[Dict[str, Any]] = []
         phase_results: List[PhaseResult] = []
         aborted = False
         for phase in self.plan._phases:
@@ -297,8 +304,32 @@ class RunSession:
                     t_end=now,
                     details={"skipped": True},
                 )
-            else:
+            elif telemetry is None:
                 result = phase.execute(self)
+            else:
+                wall_start = telemetry.now()
+                cpu_start = time.process_time()
+                t_sim = self.sim.sim.now
+                result = phase.execute(self)
+                wall = telemetry.now() - wall_start
+                cpu = time.process_time() - cpu_start
+                telemetry.record_span(
+                    f"phase:{phase.name}",
+                    "phase",
+                    wall_start,
+                    wall,
+                    t_sim=t_sim,
+                    args={"ok": result.ok, "value": result.value},
+                )
+                timings.append(
+                    {
+                        "phase": phase.name,
+                        "wall_seconds": wall,
+                        "cpu_seconds": cpu,
+                        "sim_seconds": result.t_end - result.t_start,
+                        "ok": result.ok,
+                    }
+                )
             phase_results.append(result)
             if observer is not None:
                 observer.on_phase_end(result)
@@ -312,6 +343,7 @@ class RunSession:
             config=_config_snapshot(self.sim.config),
             phases=phase_results,
             metrics=_metrics_snapshot(self.sim),
+            timings=timings,
         )
 
 

@@ -75,6 +75,11 @@ class RunResult:
     config: Dict[str, Any] = field(default_factory=dict)
     phases: List[PhaseResult] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Per-phase host-side cost (``{"phase", "wall_seconds",
+    #: "cpu_seconds"}`` dicts), measured only when telemetry is active —
+    #: empty otherwise, and omitted from the JSON so untimed runs stay
+    #: byte-identical to records written before this field existed.
+    timings: List[Dict[str, Any]] = field(default_factory=list)
 
     # -- verdicts ---------------------------------------------------------
 
@@ -132,7 +137,7 @@ class RunResult:
     # -- serialization ----------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "topology": self.topology,
             "n_controllers": self.n_controllers,
             "placement": self.placement,
@@ -142,6 +147,9 @@ class RunResult:
             "metrics": dict(self.metrics),
             "summary": self.summary(),
         }
+        if self.timings:
+            doc["timings"] = [dict(t) for t in self.timings]
+        return doc
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
@@ -153,6 +161,7 @@ class RunResult:
             config=dict(data.get("config", {})),
             phases=[PhaseResult.from_dict(p) for p in data.get("phases", [])],
             metrics=dict(data.get("metrics", {})),
+            timings=[dict(t) for t in data.get("timings", [])],
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -15,6 +15,9 @@ Usage::
     python -m repro.cli sweep --figure fig5 --network B4 --reps 3 --store runs/
     python -m repro.cli report --figure fig5 --network B4 --reps 3 --store runs/
     python -m repro.cli store verify --store runs/
+    python -m repro.cli trace record --network fattree:4 --store runs/ --out boot.trace.json
+    python -m repro.cli trace summary --store runs/
+    python -m repro.cli fabric top --store runs/ --watch 2
 
 Every simulation-running command constructs its runs through the public
 facade (:mod:`repro.api`), so ``--network`` accepts both the named
@@ -444,6 +447,8 @@ def cmd_fabric(args: argparse.Namespace) -> int:
         return 0
     if args.action == "status":
         return _fabric_status(store)
+    if args.action == "top":
+        return _fabric_top(store, watch=args.watch)
     if args.action == "stop":
         WorkQueue(store).request_stop()
         print(f"fabric {args.store}: stop requested (workers exit at "
@@ -518,23 +523,45 @@ def _fabric_status(store: RunStore) -> int:
                 f"attempts={entry.get('attempts')} "
                 f"error={entry.get('error')}"
             )
-    started: Dict[str, int] = {}
-    exited: Dict[str, int] = {}
-    for event in queue.events():
-        if event.get("kind") == "worker-start":
-            started[event.get("worker", "?")] = started.get(
-                event.get("worker", "?"), 0) + 1
-        elif event.get("kind") == "worker-exit":
-            exited[event.get("worker", "?")] = exited.get(
-                event.get("worker", "?"), 0) + 1
-    active = [w for w, n in started.items() if n > exited.get(w, 0)]
+    from repro.obs.dashboard import worker_stats
+
+    stats = worker_stats(queue.events(), now=now)
+    active = [w for w, s in stats.items() if s["active"]]
     print(
-        f"workers: {len(active)} active, {len(started)} ever started"
+        f"workers: {len(active)} active, {len(stats)} ever started"
         + (f" ({', '.join(sorted(active))})" if active else "")
     )
+    for worker in sorted(stats):
+        digest = stats[worker]
+        age = digest["heartbeat_age"]
+        heartbeat = "never" if age is None else f"{age:.1f}s ago"
+        print(
+            f"  {worker}: heartbeat {heartbeat}, claims={digest['claims']} "
+            f"done={digest['completes']} failed={digest['failures']} "
+            f"renews={digest['renews']}"
+        )
     if queue.stop_requested():
         print("stop flag is raised (fleet is shutting down)")
     return 0
+
+
+def _fabric_top(store: RunStore, watch: float = 0.0) -> int:
+    """``repro fabric top``: the live campaign dashboard (per-worker task
+    rates, heartbeat ages, retry/quarantine counts, ETA), rendered from
+    the fabric journal; ``--watch S`` refreshes every S seconds."""
+    from repro.fabric import WorkQueue
+    from repro.obs.dashboard import render_fabric_top
+
+    queue = WorkQueue(store)
+    while True:
+        print(render_fabric_top(queue))
+        if not watch:
+            return 0
+        try:
+            time.sleep(watch)
+        except KeyboardInterrupt:
+            return 0
+        print()
 
 
 def _run_campaign_command(
@@ -558,7 +585,19 @@ def _run_campaign_command(
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    profiler = None
+    if getattr(args, "profile", False):
+        import cProfile
+
+        # Same contract as `repro sweep --profile`: the work must stay
+        # in-process and deterministic (a pool worker would escape the
+        # profiler), so one repetition, no fan-out.
+        args.reps = 1
+        args.workers = 1
+        profiler = cProfile.Profile()
     started = time.perf_counter()
+    if profiler is not None:
+        profiler.enable()
     result = campaign_fn(
         reps=args.reps,
         workers=args.workers,
@@ -567,6 +606,12 @@ def _run_campaign_command(
         refresh=args.no_cache,
         **params,
     )
+    if profiler is not None:
+        profiler.disable()
+        import pstats
+
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(30)
     elapsed = time.perf_counter() - started
     _report_cache_stats(result, args)
     _emit_json(result.to_dict(), args)
@@ -685,9 +730,52 @@ def _report_params(args: argparse.Namespace) -> Dict[str, object]:
     return {}
 
 
+def _report_timings(store: RunStore) -> None:
+    """Aggregate the per-phase host-cost breakdown over every stored run
+    record that carries one (runs executed under telemetry): where the
+    campaign's wall/CPU time actually went."""
+    totals: Dict[str, Dict[str, float]] = {}
+    timed_runs = 0
+    for record in store.records():
+        if record.get("kind") != "run":
+            continue
+        timings = record.get("payload", {}).get("timings") or []
+        if timings:
+            timed_runs += 1
+        for timing in timings:
+            bucket = totals.setdefault(
+                timing.get("phase", "?"), {"wall": 0.0, "cpu": 0.0, "n": 0}
+            )
+            bucket["wall"] += float(timing.get("wall_seconds", 0.0))
+            bucket["cpu"] += float(timing.get("cpu_seconds", 0.0))
+            bucket["n"] += 1
+    if not totals:
+        print(
+            "no timed run records (record some with telemetry active, e.g. "
+            "repro trace record --store ...)"
+        )
+        return
+    grand = sum(b["wall"] for b in totals.values())
+    print(f"phase timings over {timed_runs} timed run(s):")
+    for phase, bucket in sorted(
+        totals.items(), key=lambda kv: -kv[1]["wall"]
+    ):
+        share = 100.0 * bucket["wall"] / grand if grand else 0.0
+        print(
+            f"  {phase}: wall={bucket['wall']:.3f}s ({share:.0f}%) "
+            f"cpu={bucket['cpu']:.3f}s n={bucket['n']}"
+        )
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Rebuild a figure/table purely from stored records — no simulation."""
     store = RunStore(args.store)
+    if getattr(args, "timings", False):
+        _report_timings(store)
+        return 0
+    if args.figure is None:
+        print("error: --figure is required (or use --timings)", file=sys.stderr)
+        return 2
     networks = tuple(args.network) if args.network else None
     result, missing = aggregate(
         store,
@@ -715,6 +803,145 @@ def cmd_report(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Record, export, and summarize telemetry traces.
+
+    ``record`` runs one bootstrap under an active telemetry handle (the
+    run always executes — a cached result would have nothing to trace),
+    optionally persisting both the run record and a content-addressed
+    TRACE record into ``--store``, and exporting Chrome trace-event JSON
+    to ``--out``.  ``export`` re-exports a stored TRACE record;
+    ``summary`` prints its counters/histograms/phase-timing digest.
+    """
+    from repro.obs import Telemetry, use_telemetry
+    from repro.obs.export import (
+        chrome_trace_from_payload,
+        find_traces,
+        load_trace,
+        save_trace,
+        to_chrome_trace,
+        trace_payload,
+        validate_chrome_trace,
+    )
+
+    if args.action == "record":
+        timeout = args.timeout or default_timeout(args.network)
+        overrides = {"task_delay": args.task_delay}
+        if args.theta is not None:
+            overrides["theta"] = args.theta
+        plan = (
+            RunPlan(args.network, controllers=args.controllers, seed=args.seed)
+            .configure(**overrides)
+            .then(Bootstrap(timeout=timeout))
+        )
+        with use_telemetry(Telemetry(flight_capacity=args.flight)) as telemetry:
+            result = plan.session().run()
+        run_key = None
+        store = _store_of(args)
+        if store is not None:
+            from repro.store.hashing import fingerprint
+
+            identity = plan.identity()
+            run_key = fingerprint(identity)
+            store.save_run(run_key, identity, result,
+                           tags={"topology": args.network, "seed": args.seed})
+            trace_key = save_trace(store, telemetry, run_key=run_key,
+                                   label=args.label)
+            print(f"trace {trace_key[:12]} recorded for run {run_key[:12]} "
+                  f"in {args.store}")
+        doc = to_chrome_trace(telemetry)
+        problems = validate_chrome_trace(doc)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 1
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=None, sort_keys=True)
+                fh.write("\n")
+            print(f"chrome trace ({len(doc['traceEvents'])} events) -> {args.out}")
+        _print_trace_summary(trace_payload(telemetry), result)
+        return 0 if result.ok else 1
+
+    # export / summary read a stored TRACE record
+    if not args.store:
+        print(f"error: trace {args.action} needs --store DIR", file=sys.stderr)
+        return 2
+    store = RunStore(args.store)
+    key = args.key
+    if key is None:
+        traces = find_traces(store)
+        if not traces:
+            print(f"error: no trace records in {args.store} "
+                  "(record one with: repro trace record --store ...)",
+                  file=sys.stderr)
+            return 1
+        key = traces[-1]
+    record = load_trace(store, key)
+    if record is None:
+        print(f"error: no trace record at key {key}", file=sys.stderr)
+        return 1
+    payload = record["payload"]
+    if args.action == "export":
+        doc = chrome_trace_from_payload(payload)
+        problems = validate_chrome_trace(doc)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 1
+        out = args.out or f"{key[:12]}.trace.json"
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=None, sort_keys=True)
+            fh.write("\n")
+        print(f"chrome trace {key[:12]} ({len(doc['traceEvents'])} events) "
+              f"-> {out}  (load in https://ui.perfetto.dev)")
+        return 0
+    # summary
+    print(f"trace {key[:12]} (run={record['identity'].get('run')})")
+    _print_trace_summary(payload)
+    return 0
+
+
+def _print_trace_summary(payload: Dict[str, object], result=None) -> None:
+    """Human digest of one trace payload: counters, histograms, phase
+    wall/CPU breakdown, flight dumps."""
+    summary = payload.get("summary", {})
+    counters = summary.get("counters", {})
+    if counters:
+        print("counters:")
+        for name in sorted(counters):
+            print(f"  {name}: {counters[name]}")
+    for name, histogram in sorted(summary.get("histograms", {}).items()):
+        mean = histogram.get("mean")
+        print(
+            f"histogram {name}: n={histogram.get('count')} "
+            f"mean={mean:.6f}s max={histogram.get('max'):.6f}s"
+            if mean is not None
+            else f"histogram {name}: empty"
+        )
+    spans = payload.get("spans", [])
+    phase_spans = [s for s in spans if s.get("cat") == "phase"]
+    if phase_spans:
+        print("phases:")
+        for span in phase_spans:
+            print(f"  {span['name']}: {span['dur_wall']:.3f}s wall")
+    if result is not None and result.timings:
+        print("timings:")
+        for timing in result.timings:
+            print(
+                f"  {timing['phase']}: wall={timing['wall_seconds']:.3f}s "
+                f"cpu={timing['cpu_seconds']:.3f}s "
+                f"sim={timing['sim_seconds']:.1f}s"
+            )
+    dumps = summary.get("flight_dumps", [])
+    for dump in dumps:
+        print(
+            f"flight dump ({dump.get('reason')}): last {dump.get('n_events')} "
+            f"events at t_sim={dump.get('t_sim')}"
+        )
+    print(f"spans: {summary.get('n_spans', len(spans))}")
 
 
 def cmd_store(args: argparse.Namespace) -> int:
@@ -831,6 +1058,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded adversarial delivery scheduler",
     )
 
+    profiling = argparse.ArgumentParser(add_help=False)
+    profiling.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the campaign in-process (forces --reps 1 --workers 1)"
+             " and print the top cumulative-time functions to stderr",
+    )
+
     traffic_knobs = argparse.ArgumentParser(add_help=False)
     traffic_knobs.add_argument(
         "--flows", type=int, default=100_000,
@@ -871,7 +1105,7 @@ def build_parser() -> argparse.ArgumentParser:
     traffic = sub.add_parser(
         "traffic",
         parents=[output, caching, run_knobs, case_knobs, scenario_knobs,
-                 traffic_knobs],
+                 traffic_knobs, profiling],
         help="run a flow-level tenant workload under a fault campaign",
     )
     traffic.add_argument("--reps", type=int, default=1)
@@ -922,7 +1156,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="distributed sweep fabric: persistent workers coordinated "
              "through a shared run store",
     )
-    fab.add_argument("action", choices=["start", "status", "stop", "run"])
+    fab.add_argument("action", choices=["start", "status", "top", "stop", "run"])
+    fab.add_argument("--watch", type=_positive_float, default=None, metavar="S",
+                     help="top: refresh the dashboard every S seconds "
+                          "(default: render once and exit)")
     fab.add_argument("--store", metavar="DIR", required=True,
                      help="the shared run store coordinating the fleet")
     fab.add_argument("--workers", type=int, default=2,
@@ -959,7 +1196,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     scen = sub.add_parser(
         "scenario",
-        parents=[output, caching, run_knobs, case_knobs, scenario_knobs],
+        parents=[output, caching, run_knobs, case_knobs, scenario_knobs,
+                 profiling],
         help="run a fault campaign on a generated topology via the repetition runner",
     )
     scen.add_argument("--reps", type=int, default=8)
@@ -968,7 +1206,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     stab = sub.add_parser(
         "stabilize",
-        parents=[output, caching, run_knobs, case_knobs, stabilize_knobs],
+        parents=[output, caching, run_knobs, case_knobs, stabilize_knobs,
+                 profiling],
         help="measure convergence from an arbitrary corrupted initial state",
     )
     stab.add_argument("--reps", type=int, default=8)
@@ -981,7 +1220,8 @@ def build_parser() -> argparse.ArgumentParser:
                  stabilize_knobs, traffic_knobs],
         help="rebuild a figure/table from a run store, with zero simulation",
     )
-    report.add_argument("--figure", required=True, choices=list_specs())
+    report.add_argument("--figure", default=None, choices=list_specs(),
+                        help="the spec to rebuild (required unless --timings)")
     report.add_argument("--store", metavar="DIR", required=True,
                         help="the run store a sweep/scenario wrote with --store")
     report.add_argument(
@@ -992,7 +1232,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--reps", type=int, default=None,
                         help="repetitions per data point (default: the spec's)")
+    report.add_argument("--timings", action="store_true",
+                        help="instead of a figure, print the per-phase "
+                             "wall/CPU breakdown aggregated over every "
+                             "telemetry-timed run record in the store")
     report.set_defaults(fn=cmd_report)
+
+    trace = sub.add_parser(
+        "trace",
+        parents=[common],
+        help="record, export, and summarize telemetry traces "
+             "(Chrome trace-event JSON, Perfetto-loadable)",
+    )
+    trace.add_argument("action", choices=["record", "export", "summary"])
+    trace.add_argument("--theta", type=_theta_value, default=None,
+                       help="discovery-probe rounds Θ (default: derived "
+                            "from the topology)")
+    trace.add_argument("--timeout", type=_positive_float, default=None,
+                       help="bootstrap timeout in simulated seconds "
+                            "(default: the network's)")
+    trace.add_argument("--flight", type=int, default=256, metavar="N",
+                       help="flight-recorder depth: keep the last N "
+                            "simulator events (record)")
+    trace.add_argument("--label", default="",
+                       help="free-form label stored in the TRACE record's "
+                            "identity (record)")
+    trace.add_argument("--store", metavar="DIR", default=None,
+                       help="run store holding TRACE records (required for "
+                            "export/summary; optional for record)")
+    trace.add_argument("--key", default=None,
+                       help="TRACE record key (default: the most recent "
+                            "trace in the store)")
+    trace.add_argument("--out", metavar="FILE", default=None,
+                       help="write the Chrome trace-event JSON here")
+    trace.set_defaults(fn=cmd_trace, no_cache=False)
 
     store = sub.add_parser("store", help="inspect or repair a run store")
     store.add_argument("action", choices=["ls", "verify", "reindex", "gc"])

@@ -55,6 +55,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.exp.runner import RepetitionTask, expand_tasks, measurement_identity
+from repro.obs.telemetry import active as active_telemetry
 from repro.store.hashing import SCHEMA_VERSION, canonical_json, fingerprint
 from repro.store.store import RunStore, append_line
 
@@ -286,6 +287,11 @@ class WorkQueue:
         entry = {"t": round(time.time(), 3), "kind": kind}
         entry.update(fields)
         append_line(self.events_path, canonical_json(entry))
+        telemetry = active_telemetry()
+        if telemetry is not None:
+            # Every journal kind doubles as a fabric counter, so one hook
+            # covers claim/renew/complete/failed/reclaim/quarantine/...
+            telemetry.counter(f"fabric.{kind}").inc()
 
     def events(self) -> List[Dict[str, Any]]:
         """Every intact journal entry, in append order (a torn tail line
@@ -395,40 +401,85 @@ class WorkQueue:
         now = time.time()
         token = f"{worker}.{os.urandom(8).hex()}"
         prior_attempts = 0
+        prior_worker: Optional[str] = None
+        reclaimed = False
+        tombs_to_clear: List[Path] = []
         if path.exists():
             current = self._read_lease(path)
             if current is not None and current.expires_at > now:
                 return None  # validly held (or cooling down after a failure)
             # Expired or unreadable: reclaim.  The rename is the
             # arbitration point — the source vanishes for every loser.
+            # The tombstone stays on disk until the replacement lease
+            # exists so the attempt count survives the rename → create
+            # window (a fresh claimant backs off on seeing it below).
             tomb = path.parent / f".{path.name}.reclaim.{os.urandom(8).hex()}"
             try:
                 os.rename(path, tomb)
             except FileNotFoundError:
                 return None  # another claimant renamed it first
             tomb_lease = self._read_lease(tomb)
+            if tomb_lease is not None and tomb_lease.expires_at > time.time():
+                # We validated an expired lease but renamed a different,
+                # live one: a racing reclaimer replaced the lease between
+                # our read and our rename.  Put the live lease back
+                # (link refuses to clobber if the path was recreated)
+                # and bow out.
+                try:
+                    os.link(tomb, path)
+                except FileExistsError:
+                    pass
+                os.unlink(tomb)
+                return None
             prior_attempts = tomb_lease.attempts if tomb_lease else 0
+            prior_worker = tomb_lease.worker if tomb_lease else None
+            tombs_to_clear.append(tomb)
+            reclaimed = True
+        else:
+            # The lease file is briefly absent while a reclaimer carries
+            # the attempt count through its tombstone.  A fresh tombstone
+            # means that reclaim is in flight — back off instead of
+            # winning the race with a reset counter.  One older than a
+            # TTL is a crashed reclaimer: adopt its count so the unit is
+            # neither wedged nor granted a fresh attempt budget.
+            for tomb in path.parent.glob(f".{path.name}.reclaim.*"):
+                try:
+                    age = now - tomb.stat().st_mtime
+                except OSError:
+                    continue  # unlinked under us: that reclaim finished
+                if age <= self.ttl:
+                    return None
+                tomb_lease = self._read_lease(tomb)
+                if tomb_lease is not None:
+                    prior_attempts = max(prior_attempts, tomb_lease.attempts)
+                tombs_to_clear.append(tomb)
+        # Stamp the lease when it is granted, not when claim() was
+        # entered: the TTL countdown must not be charged for the rename
+        # arbitration and journal I/O above.
+        acquired = time.time()
+        lease = Lease(
+            key=unit.key,
+            worker=worker,
+            token=token,
+            acquired_at=acquired,
+            expires_at=acquired + self.ttl,
+            attempts=prior_attempts + 1,
+        )
+        if not self._create_exclusive(path, lease.to_dict()):
+            return None  # lost the post-reclaim (or fresh-claim) race
+        for tomb in tombs_to_clear:
             try:
                 os.unlink(tomb)
             except FileNotFoundError:
                 pass
+        if reclaimed:
             self.log_event(
                 "reclaim",
                 key=unit.key,
                 worker=worker,
                 prior_attempts=prior_attempts,
-                prior_worker=tomb_lease.worker if tomb_lease else None,
+                prior_worker=prior_worker,
             )
-        lease = Lease(
-            key=unit.key,
-            worker=worker,
-            token=token,
-            acquired_at=now,
-            expires_at=now + self.ttl,
-            attempts=prior_attempts + 1,
-        )
-        if not self._create_exclusive(path, lease.to_dict()):
-            return None  # lost the post-reclaim (or fresh-claim) race
         self.log_event(
             "claim",
             key=unit.key,
@@ -453,6 +504,9 @@ class WorkQueue:
             raise LeaseLost(f"lease on {lease.key} lost by {lease.worker}")
         lease.expires_at = time.time() + self.ttl
         self._replace(path, lease.to_dict())
+        # Journaled so observers (`repro fabric status` / `top`) can spot a
+        # wedged worker by heartbeat silence before its lease TTL expires.
+        self.log_event("renew", key=lease.key, worker=lease.worker)
 
     def release(self, lease: Lease) -> None:
         """Drop the lease if we still own it; a lost lease is a no-op."""

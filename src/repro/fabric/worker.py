@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.exp.runner import _execute_task, worker_initializer
+from repro.obs.telemetry import active as active_telemetry
 from repro.fabric.queue import (
     DEFAULT_BACKOFF,
     DEFAULT_MAX_ATTEMPTS,
@@ -135,6 +136,8 @@ class FabricWorker:
             daemon=True,
         )
         heartbeat.start()
+        telemetry = active_telemetry()
+        started = telemetry.now() if telemetry is not None else 0.0
         try:
             _case, _rep, _value, status = _execute_task(unit.task)
         except Exception as exc:  # noqa: BLE001 — every task error is retryable
@@ -142,11 +145,25 @@ class FabricWorker:
             heartbeat.join()
             quarantined = self.queue.fail(lease, repr(exc))
             self.stats["quarantined" if quarantined else "failed"] += 1
+            status = "error"
         else:
             stop_heartbeat.set()
             heartbeat.join()
             self.queue.complete(lease, status)
             self.stats[status] += 1
+        if telemetry is not None:
+            telemetry.record_span(
+                f"fabric:{unit.label}",
+                "fabric",
+                started,
+                telemetry.now() - started,
+                args={
+                    "key": unit.key,
+                    "worker": self.worker_id,
+                    "status": status,
+                    "attempts": lease.attempts,
+                },
+            )
 
     def _heartbeat(self, lease: Lease, stop: threading.Event) -> None:
         interval = self.queue.ttl / 3.0

@@ -1,0 +1,50 @@
+"""Unified telemetry: spans, counters/histograms, flight recorder.
+
+The :mod:`repro.obs` package is the repository's measurement substrate —
+always available, near-zero cost when off:
+
+* :class:`~repro.obs.telemetry.Telemetry` — a process-wide handle
+  collecting structured **spans** (phase, controller round, legitimacy
+  probe, store read/write, fabric task) stamped with both wall time and
+  virtual (simulation) time, a **counter/gauge/histogram registry** fed
+  by the hot layers (simulator event-kind counts, ``RouteCache``
+  hit/miss/eviction, store hits/misses, fabric claim/heartbeat/retry),
+  and **flight-recorder dumps**: the bounded ring of the last N executed
+  simulator events, captured automatically on non-convergence.
+* :mod:`~repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable)
+  export plus content-addressed TRACE persistence in the run store.
+* :mod:`~repro.obs.dashboard` — the ``repro fabric top`` live campaign
+  view rendered from the fabric's ``events.jsonl`` journal.
+
+Enabling is scoped, mirroring :func:`repro.store.store.use_store`::
+
+    from repro.obs import Telemetry, use_telemetry
+
+    with use_telemetry(Telemetry()) as t:
+        RunPlan("fattree:4").then(Bootstrap()).run()
+    print(t.snapshot()["counters"]["route_cache.hits"])
+
+Instrumented call sites guard on :func:`~repro.obs.telemetry.active`
+returning ``None`` (one attribute check), so the disabled path stays
+bit-identical and within noise of the uninstrumented code.
+"""
+
+from repro.obs.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Span,
+    Telemetry,
+    active,
+    use_telemetry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "Telemetry",
+    "active",
+    "use_telemetry",
+]

@@ -1,0 +1,201 @@
+"""Live campaign progress from the fabric journal: ``repro fabric top``.
+
+Everything here is a pure function of the fabric's ``events.jsonl``
+journal plus the queue's on-disk campaign/lease/quarantine state — no
+worker cooperation needed, so the view works on a fleet that is wedged,
+dead, or running on other hosts.
+
+Per worker the journal yields: the last heartbeat instant (any ``claim``
+/ ``renew`` / ``complete`` / ``failed`` event the worker logged — renewals
+are journaled exactly so a wedged worker's silence is visible *before*
+its lease TTL expires), the completion tally and rate, and the attempt
+counts behind retries.  Per campaign: done/total progress and an ETA
+extrapolated from the fleet's recent completion rate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+#: Journal kinds that prove the worker process was alive at that instant.
+_HEARTBEAT_KINDS = {"claim", "renew", "complete", "failed", "worker-start"}
+
+#: Completion-rate window (seconds): ETA uses the recent rate, not the
+#: lifetime average, so a fleet that sped up or stalled shows it.
+RATE_WINDOW = 120.0
+
+
+def worker_stats(
+    events: List[Dict[str, Any]], now: Optional[float] = None
+) -> Dict[str, Dict[str, Any]]:
+    """Per-worker activity digest from the journal.
+
+    Returns ``{worker: {last_seen, heartbeat_age, claims, completes,
+    failures, renews, active, current_key}}``; ``active`` means started
+    more times than exited (the worker-start/worker-exit pairing).
+    """
+    now = time.time() if now is None else now
+    stats: Dict[str, Dict[str, Any]] = {}
+
+    def entry(worker: str) -> Dict[str, Any]:
+        if worker not in stats:
+            stats[worker] = {
+                "last_seen": None,
+                "heartbeat_age": None,
+                "claims": 0,
+                "completes": 0,
+                "failures": 0,
+                "renews": 0,
+                "starts": 0,
+                "exits": 0,
+                "current_key": None,
+                "complete_times": [],
+            }
+        return stats[worker]
+
+    for event in events:
+        worker = event.get("worker")
+        if not worker:
+            continue
+        kind = event.get("kind")
+        digest = entry(worker)
+        t = event.get("t")
+        if kind in _HEARTBEAT_KINDS and isinstance(t, (int, float)):
+            if digest["last_seen"] is None or t > digest["last_seen"]:
+                digest["last_seen"] = t
+        if kind == "claim":
+            digest["claims"] += 1
+            digest["current_key"] = event.get("key")
+        elif kind == "renew":
+            digest["renews"] += 1
+        elif kind == "complete":
+            digest["completes"] += 1
+            digest["current_key"] = None
+            if isinstance(t, (int, float)):
+                digest["complete_times"].append(t)
+        elif kind == "failed":
+            digest["failures"] += 1
+            digest["current_key"] = None
+        elif kind == "worker-start":
+            digest["starts"] += 1
+        elif kind == "worker-exit":
+            digest["exits"] += 1
+            digest["current_key"] = None
+    for digest in stats.values():
+        digest["active"] = digest["starts"] > digest["exits"]
+        if digest["last_seen"] is not None:
+            digest["heartbeat_age"] = max(0.0, now - digest["last_seen"])
+    return stats
+
+
+def completion_rate(
+    events: List[Dict[str, Any]],
+    now: Optional[float] = None,
+    window: float = RATE_WINDOW,
+) -> float:
+    """Fleet-wide completions per second over the recent window."""
+    now = time.time() if now is None else now
+    recent = [
+        event["t"]
+        for event in events
+        if event.get("kind") == "complete"
+        and isinstance(event.get("t"), (int, float))
+        and event["t"] >= now - window
+    ]
+    if not recent:
+        return 0.0
+    span = max(now - min(recent), 1e-9)
+    return len(recent) / span
+
+
+def _format_age(age: Optional[float]) -> str:
+    if age is None:
+        return "never"
+    if age < 90:
+        return f"{age:.1f}s ago"
+    return f"{age / 60:.1f}m ago"
+
+
+def _format_eta(remaining: int, rate: float) -> str:
+    if remaining == 0:
+        return "done"
+    if rate <= 0:
+        return "stalled (no recent completions)"
+    eta = remaining / rate
+    if eta < 120:
+        return f"~{eta:.0f}s"
+    return f"~{eta / 60:.1f}m"
+
+
+def render_fabric_top(queue, now: Optional[float] = None) -> str:
+    """The ``repro fabric top`` screen for one store's fabric state.
+
+    ``queue`` is a :class:`~repro.fabric.queue.WorkQueue`; ``now``
+    injects the clock for tests.
+    """
+    now = time.time() if now is None else now
+    events = queue.events()
+    stats = worker_stats(events, now=now)
+    rate = completion_rate(events, now=now)
+    lines: List[str] = []
+
+    campaigns = queue.campaigns()
+    total_remaining = 0
+    lines.append(
+        f"fabric {queue.store.root} — {len(campaigns)} campaign(s), "
+        f"rate {rate * 60:.1f} unit/min"
+    )
+    for request in campaigns:
+        progress = queue.progress(request)
+        remaining = (
+            progress["total"] - progress["done"] - progress["quarantined"]
+        )
+        total_remaining += remaining
+        lines.append(
+            f"  {request.campaign_id[:12]} spec={request.name} "
+            f"seed={request.base_seed}: {progress['done']}/{progress['total']} done "
+            f"leased={progress['leased']} quarantined={progress['quarantined']} "
+            f"eta={_format_eta(remaining, rate)}"
+        )
+
+    active = {w: s for w, s in stats.items() if s["active"]}
+    lines.append(f"workers ({len(active)} active / {len(stats)} seen):")
+    for worker in sorted(stats):
+        digest = stats[worker]
+        state = "active" if digest["active"] else "exited"
+        rate_line = ""
+        if digest["complete_times"]:
+            span = max(now - min(digest["complete_times"]), 1e-9)
+            rate_line = f" rate={digest['completes'] / span * 60:.1f}/min"
+        busy = (
+            f" on {digest['current_key'][:12]}" if digest["current_key"] else ""
+        )
+        lines.append(
+            f"  {worker}: {state}, heartbeat {_format_age(digest['heartbeat_age'])}, "
+            f"done={digest['completes']} failed={digest['failures']} "
+            f"claims={digest['claims']}{rate_line}{busy}"
+        )
+
+    retries = sum(1 for e in events if e.get("kind") == "failed")
+    reclaims = sum(1 for e in events if e.get("kind") == "reclaim")
+    quarantined = queue.quarantine_entries()
+    lines.append(
+        f"retries={retries} reclaims={reclaims} quarantined={len(quarantined)}"
+    )
+    for entry in quarantined:
+        lines.append(
+            f"  quarantine {str(entry.get('key', '?'))[:12]}: "
+            f"attempts={entry.get('attempts')} error={entry.get('error')}"
+        )
+    if queue.stop_requested():
+        lines.append("stop flag is raised (fleet is shutting down)")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "RATE_WINDOW",
+    "completion_rate",
+    "render_fabric_top",
+    "worker_stats",
+]

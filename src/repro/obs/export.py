@@ -1,0 +1,265 @@
+"""Trace persistence and Chrome trace-event (Perfetto) export.
+
+Two responsibilities:
+
+* **TRACE records** — a completed :class:`~repro.obs.telemetry.Telemetry`
+  session persists into the ordinary content-addressed run store as a
+  record of kind ``trace``, addressed by the run key it instruments (or a
+  free label for runs outside the store), so traces live next to the run
+  records they explain and survive ``store verify``/``reindex`` like any
+  other object.
+* **Chrome trace-event JSON** — the export format both Perfetto and
+  ``chrome://tracing`` load: ``X`` (complete) events for spans, ``i``
+  (instant) events for milestone marks and flight-recorder tails on a
+  dedicated virtual-time track, ``C`` (counter) events for the final
+  registry state, and ``M`` (metadata) events naming the tracks.
+  :func:`validate_chrome_trace` checks the schema — the CI obs-smoke
+  job's loadability gate.
+
+Imports of the store layer are deliberately lazy: the store itself
+imports :mod:`repro.obs.telemetry` for its instrumentation guard, and a
+module-level import here would close the cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.telemetry import Telemetry
+
+#: Synthetic process/thread ids of the exported tracks.
+PID_HOST = 1  # wall-clock spans (host-side work)
+PID_VIRTUAL = 2  # simulation-clock instants (sim events, marks)
+
+#: Span categories rendered on their own host-side thread rows, in order.
+_THREAD_CATS = ("phase", "sim", "probe", "store", "fabric", "")
+
+
+def _tid_of(cat: str) -> int:
+    try:
+        return _THREAD_CATS.index(cat) + 1
+    except ValueError:
+        return len(_THREAD_CATS) + 1
+
+
+def _us(seconds: float) -> int:
+    """Trace-event timestamps are integer microseconds."""
+    return int(round(seconds * 1e6))
+
+
+def chrome_trace_from_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Build the Chrome trace-event document from a TRACE record payload
+    (``{"summary": snapshot, "spans": span_records}``)."""
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PID_HOST,
+            "tid": 0,
+            "args": {"name": "repro host (wall time)"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PID_VIRTUAL,
+            "tid": 0,
+            "args": {"name": "simulation (virtual time)"},
+        },
+    ]
+    for index, cat in enumerate(_THREAD_CATS):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": PID_HOST,
+                "tid": index + 1,
+                "args": {"name": cat or "misc"},
+            }
+        )
+    last_ts = 0
+    for span in payload.get("spans", []):
+        ts = _us(span["t_wall"])
+        args = dict(span.get("args") or {})
+        if span.get("t_sim") is not None:
+            args["t_sim"] = span["t_sim"]
+        events.append(
+            {
+                "name": span["name"],
+                "cat": span.get("cat") or "misc",
+                "ph": "X",
+                "ts": ts,
+                "dur": max(1, _us(span["dur_wall"])),
+                "pid": PID_HOST,
+                "tid": _tid_of(span.get("cat", "")),
+                "args": args,
+            }
+        )
+        last_ts = max(last_ts, ts + _us(span["dur_wall"]))
+    summary = payload.get("summary", {})
+    for mark in summary.get("marks", []):
+        if mark.get("t_sim") is None:
+            continue
+        events.append(
+            {
+                "name": mark["name"],
+                "cat": "mark",
+                "ph": "i",
+                "ts": _us(mark["t_sim"]),
+                "pid": PID_VIRTUAL,
+                "tid": 1,
+                "s": "p",
+                "args": {"value": mark.get("value")},
+            }
+        )
+    for dump_index, dump in enumerate(summary.get("flight_dumps", [])):
+        for t_sim, kind, note in dump.get("events", []):
+            events.append(
+                {
+                    "name": str(kind),
+                    "cat": f"flight:{dump.get('reason', '?')}",
+                    "ph": "i",
+                    "ts": _us(t_sim),
+                    "pid": PID_VIRTUAL,
+                    "tid": 2 + dump_index,
+                    "s": "t",
+                    "args": {"note": note},
+                }
+            )
+    for name, value in sorted(summary.get("counters", {}).items()):
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": last_ts,
+                "pid": PID_HOST,
+                "tid": 0,
+                "args": {"value": value},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def to_chrome_trace(telemetry: Telemetry) -> Dict[str, Any]:
+    """Export a live telemetry session to the Chrome trace-event format."""
+    return chrome_trace_from_payload(trace_payload(telemetry))
+
+
+_VALID_PHASES = {"X", "M", "C", "i", "B", "E"}
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Schema problems of a trace-event document; empty when loadable.
+
+    Checks the invariants Perfetto's JSON importer relies on: a
+    ``traceEvents`` array, string names, known phase codes, integer-like
+    non-negative timestamps on timed events, and durations on ``X``
+    events.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["document must be an object with a 'traceEvents' array"]
+    for index, event in enumerate(doc["traceEvents"]):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing/empty name")
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if "pid" not in event:
+            problems.append(f"{where}: missing pid")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur <= 0:
+                problems.append(f"{where}: X event needs a positive dur")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# TRACE records in the run store
+# ---------------------------------------------------------------------------
+
+
+def trace_identity(run_key: Optional[str] = None, label: str = "") -> Dict[str, Any]:
+    """The content-addressed identity of one trace: the run it
+    instruments (by store key) or a free label.  Re-recording the same
+    run overwrites its trace — the store's benign last-writer-wins."""
+    from repro.store.hashing import SCHEMA_VERSION
+
+    return {
+        "kind": "trace",
+        "schema": SCHEMA_VERSION,
+        "run": run_key,
+        "label": label,
+    }
+
+
+def trace_payload(telemetry: Telemetry) -> Dict[str, Any]:
+    return {"summary": telemetry.snapshot(), "spans": telemetry.span_records()}
+
+
+def save_trace(
+    store,
+    telemetry: Telemetry,
+    run_key: Optional[str] = None,
+    label: str = "",
+) -> str:
+    """Persist one telemetry session as a TRACE record; returns its key."""
+    from repro.store.hashing import fingerprint
+
+    identity = trace_identity(run_key=run_key, label=label)
+    key = fingerprint(identity)
+    store.put(
+        key,
+        identity,
+        trace_payload(telemetry),
+        tags={"run": run_key, "label": label},
+    )
+    return key
+
+
+def load_trace(store, key: str) -> Optional[Dict[str, Any]]:
+    """The TRACE record at ``key`` (full record, payload under
+    ``"payload"``), or ``None``."""
+    record = store.get(key)
+    if record is None or record.get("kind") != "trace":
+        return None
+    return record
+
+
+def find_traces(store) -> List[str]:
+    """Keys of every trace record in the store, oldest first (by object
+    mtime, so ``[-1]`` is the most recent recording)."""
+    keys = [
+        entry["key"] for entry in store.manifest() if entry.get("kind") == "trace"
+    ]
+
+    def mtime(key: str) -> float:
+        try:
+            return store.object_path(key).stat().st_mtime
+        except OSError:
+            return 0.0
+
+    return sorted(keys, key=lambda k: (mtime(k), k))
+
+
+__all__ = [
+    "PID_HOST",
+    "PID_VIRTUAL",
+    "chrome_trace_from_payload",
+    "find_traces",
+    "load_trace",
+    "save_trace",
+    "to_chrome_trace",
+    "trace_identity",
+    "trace_payload",
+    "validate_chrome_trace",
+]

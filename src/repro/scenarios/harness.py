@@ -30,6 +30,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.exp.seeding import fault_rng
+from repro.obs.telemetry import Telemetry, use_telemetry
 from repro.scenarios.campaigns import CAMPAIGNS, build_campaign
 from repro.scenarios.spec import build_scenario_simulation, measure_campaign_recovery
 from repro.sim.faults import FaultPlan
@@ -203,6 +204,27 @@ class PropertyReport:
         return not self.failures
 
 
+def failure_event_tail(
+    case: ConvergenceCase,
+    plan: Optional[FaultPlan] = None,
+    capacity: int = 32,
+) -> List[List[object]]:
+    """The last simulator events of a *failing* case — the flight
+    recorder's dump.
+
+    Re-runs the (already shrunken, hence cheap) case under a private
+    telemetry handle; the simulation attaches its bounded event ring to
+    it and dumps the tail on non-convergence.  Returns the dump's
+    ``[t_sim, kind, note]`` rows, or ``[]`` if the case passes on the
+    re-run.
+    """
+    with use_telemetry(Telemetry(flight_capacity=capacity)) as telemetry:
+        check_case(case, plan=plan)
+    if not telemetry.flight_dumps:
+        return []
+    return list(telemetry.flight_dumps[-1]["events"])
+
+
 def run_convergence_property(n: int, base_seed: int = 0) -> PropertyReport:
     """Check ``n`` generated cases; shrink and report every failure."""
     cases = generate_cases(n, base_seed=base_seed)
@@ -223,6 +245,13 @@ def run_convergence_property(n: int, base_seed: int = 0) -> PropertyReport:
                 f" on (topology={shrunk.topology!r}, campaign={shrunk.campaign!r}, "
                 f"seed={shrunk.seed}){detail}\n  reproduce: {shrunk.repro_line()}"
             )
+            tail = failure_event_tail(shrunk, plan=shrunk_plan)
+            if tail:
+                shown = tail[-8:]
+                print(f"  last {len(shown)} events before the timeout:")
+                for t_sim, kind, note in shown:
+                    suffix = f" ({note})" if note else ""
+                    print(f"    t={t_sim:.2f} {kind}{suffix}")
         else:
             times.append(recovery)
     return PropertyReport(cases=cases, recovery_times=times, failures=failures)
@@ -235,6 +264,7 @@ __all__ = [
     "PropertyReport",
     "campaign_plan",
     "check_case",
+    "failure_event_tail",
     "generate_cases",
     "plan_is_transient",
     "run_convergence_property",

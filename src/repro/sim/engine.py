@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, MutableSequence, Optional
 
 from repro.sim.events import EventKind
 
@@ -102,7 +103,8 @@ class Simulator:
         self.now: float = 0.0
         self.steps: int = 0
         self._stop_requested = False
-        self._trace: Optional[list[tuple[float, EventKind, str]]] = None
+        self._trace: Optional[MutableSequence[tuple[float, EventKind, str]]] = None
+        self._kind_counts: Optional[dict[EventKind, int]] = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -132,15 +134,42 @@ class Simulator:
 
     # -- tracing ------------------------------------------------------------
 
-    def enable_trace(self) -> None:
-        """Record (time, kind, note) for every executed event."""
-        self._trace = []
+    def enable_trace(self, capacity: Optional[int] = None) -> None:
+        """Record (time, kind, note) for every executed event.
+
+        ``capacity`` bounds the buffer as a ring keeping only the last N
+        events — flight-recorder semantics for long runs where the full
+        trace would grow without bound.  The default (``None``) keeps the
+        historical unbounded list.
+        """
+        if capacity is None:
+            self._trace = []
+        else:
+            if capacity < 1:
+                raise ValueError(f"trace capacity must be >= 1 (got {capacity})")
+            self._trace = deque(maxlen=capacity)
 
     @property
-    def trace(self) -> list[tuple[float, EventKind, str]]:
+    def trace(self) -> MutableSequence[tuple[float, EventKind, str]]:
         if self._trace is None:
             raise RuntimeError("tracing not enabled; call enable_trace() first")
         return self._trace
+
+    def enable_kind_counts(self) -> None:
+        """Tally executed events by :class:`EventKind`.
+
+        Unlike tracing this stores one integer per kind, so it is safe to
+        leave on for arbitrarily long runs; telemetry pulls the tally at
+        snapshot time."""
+        self._kind_counts = {}
+
+    @property
+    def kind_counts(self) -> dict[EventKind, int]:
+        if self._kind_counts is None:
+            raise RuntimeError(
+                "kind counting not enabled; call enable_kind_counts() first"
+            )
+        return self._kind_counts
 
     # -- running ------------------------------------------------------------
 
@@ -176,6 +205,10 @@ class Simulator:
             self.steps += 1
             if self._trace is not None:
                 self._trace.append((event.time, event.kind, event.note))
+            if self._kind_counts is not None:
+                self._kind_counts[event.kind] = (
+                    self._kind_counts.get(event.kind, 0) + 1
+                )
             if max_steps is not None and self.steps >= max_steps:
                 break
             if stop_when is not None and stop_when():

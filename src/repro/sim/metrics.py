@@ -8,9 +8,9 @@ generic time-series for the throughput experiments.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, MutableSequence, Optional, Tuple
 
 
 @dataclass
@@ -29,11 +29,21 @@ class MetricsRecorder:
     milestone through their ``on_event(time, name, value)`` hook — the
     push-based instrumentation point of the public run API, so watching a
     simulation no longer requires editing ``NetworkSimulation``.
+
+    ``capacity`` bounds the milestone buffer :attr:`events` as a ring
+    keeping the last N entries; the default (``None``) keeps the
+    historical unbounded list.  Derived measurements (recovery time,
+    convergence instants, loads) are scalars and never evicted — only the
+    raw milestone log is bounded.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"events capacity must be >= 1 (got {capacity})")
         self.loads: Dict[str, ControllerLoad] = defaultdict(ControllerLoad)
-        self.events: List[Tuple[float, str, object]] = []
+        self.events: MutableSequence[Tuple[float, str, object]] = (
+            [] if capacity is None else deque(maxlen=capacity)
+        )
         self.convergence_time: Optional[float] = None
         self.last_convergence_time: Optional[float] = None
         self.fault_time: Optional[float] = None

@@ -36,6 +36,7 @@ from repro.core.controller import RenaissanceController
 from repro.core.legitimacy import LegitimacyChecker, RouteCache, forwarding_path
 from repro.switch.abstract_switch import AbstractSwitch
 from repro.switch.commands import CommandBatch, QueryReply
+from repro.obs.telemetry import active as active_telemetry
 from repro.sim.engine import Simulator
 from repro.sim.events import EventKind
 from repro.sim.faults import FaultAction, FaultInjector, FaultPlan
@@ -120,6 +121,23 @@ class SimulationConfig:
                     f"unknown scheduler {self.scheduler!r}; known: "
                     f"{', '.join(sorted(SCHEDULERS))}"
                 )
+
+
+class _TelemetryMilestones:
+    """Metrics observer forwarding milestones to the telemetry handle.
+
+    Registered through the ordinary :meth:`MetricsRecorder.add_observer`
+    machinery, so telemetry fan-out obeys the documented observer
+    semantics (registration order, exception isolation) instead of being
+    a privileged side channel.
+    """
+
+    def __init__(self, telemetry, sim: Simulator) -> None:
+        self._telemetry = telemetry
+        self._sim = sim
+
+    def on_event(self, time: float, name: str, value: object = None) -> None:
+        self._telemetry.mark(time, name, value)
 
 
 class NetworkSimulation:
@@ -210,6 +228,31 @@ class NetworkSimulation:
         # side) with side in {"tx", "rx"}; built lazily per destination.
         self._channels: Dict[Tuple[str, str, str], SelfStabilizingChannel] = {}
 
+        # Telemetry is captured once at construction: when a handle is
+        # active the simulation attaches its flight ring (the engine trace
+        # bounded to the handle's capacity), the event-kind tally, a
+        # pull-style counter provider, and a milestone-forwarding metrics
+        # observer.  When no handle is active every instrumented site below
+        # is a single ``is not None`` check — the bit-identical path.
+        self._telemetry = active_telemetry()
+        if self._telemetry is not None:
+            self.sim.enable_trace(capacity=self._telemetry.flight_capacity)
+            self.sim.enable_kind_counts()
+            self._telemetry.add_provider(self._telemetry_counters)
+            self.metrics.add_observer(_TelemetryMilestones(self._telemetry, self.sim))
+
+    def _telemetry_counters(self) -> Dict[str, int]:
+        """Pull-style snapshot of the hot-layer counters (zero per-hit
+        cost: values are read from their owners only at snapshot time)."""
+        counters: Dict[str, int] = {"sim.steps": self.sim.steps}
+        for kind, count in self.sim.kind_counts.items():
+            counters[f"sim.events.{kind.value}"] = count
+        if self.route_cache is not None:
+            counters["route_cache.hits"] = self.route_cache.hits
+            counters["route_cache.misses"] = self.route_cache.misses
+            counters["route_cache.invalidations"] = self.route_cache.invalidations
+        return counters
+
     # -- wiring helpers -----------------------------------------------------------
 
     def _make_alive_fn(self, node: str) -> Callable[[], List[str]]:
@@ -275,6 +318,8 @@ class NetworkSimulation:
             if cid in self.topology:
                 controller = self.controllers[cid]
                 if self.topology.node_is_up(cid) and not controller.failed:
+                    telemetry = self._telemetry
+                    started = telemetry.now() if telemetry is not None else 0.0
                     for dst, batch in controller.iterate():
                         if self.config.reliable_channels:
                             self._offer_via_channel(cid, dst, batch)
@@ -282,6 +327,14 @@ class NetworkSimulation:
                             self._send_control(cid, dst, batch)
                     if self.config.reliable_channels:
                         self._tick_channels(cid)
+                    if telemetry is not None:
+                        telemetry.record_span(
+                            f"iterate:{cid}",
+                            "sim",
+                            started,
+                            telemetry.now() - started,
+                            t_sim=self.sim.now,
+                        )
                 self.sim.schedule(
                     self.config.task_delay, run, kind=EventKind.CONTROLLER_ITERATION
                 )
@@ -588,7 +641,23 @@ class NetworkSimulation:
         converged: List[float] = []
 
         def probe() -> None:
-            if self.is_legitimate(full=full):
+            telemetry = self._telemetry
+            if telemetry is None:
+                legitimate = self.is_legitimate(full=full)
+            else:
+                started = telemetry.now()
+                legitimate = self.is_legitimate(full=full)
+                elapsed = telemetry.now() - started
+                telemetry.histogram("probe.wall_seconds").observe(elapsed)
+                telemetry.record_span(
+                    "legitimacy_probe",
+                    "probe",
+                    started,
+                    elapsed,
+                    t_sim=self.sim.now,
+                    args={"legitimate": legitimate},
+                )
+            if legitimate:
                 converged.append(self.sim.now)
                 self.metrics.mark_convergence(self.sim.now)
                 self.sim.stop()
@@ -600,6 +669,15 @@ class NetworkSimulation:
         self.sim.run(until=deadline)
         if converged:
             return converged[0]
+        if self._telemetry is not None:
+            # Timed out: ship the flight ring's tail so the non-converged
+            # run is diagnosable without a re-run.
+            self._telemetry.record_flight_dump(
+                "non-convergence",
+                list(self.sim.trace),
+                t_sim=self.sim.now,
+                source=f"run_until_legitimate(timeout={timeout})",
+            )
         return None
 
     # -- introspection ------------------------------------------------------------------------

@@ -49,6 +49,7 @@ class ConvergenceTimeline:
         self.check_legitimacy = check_legitimacy
         self.samples: List[TimelineSample] = []
         self._attached = False
+        self._pending = None
 
     def attach(self) -> None:
         """Start sampling (idempotent)."""
@@ -58,12 +59,28 @@ class ConvergenceTimeline:
         self._simulation.start()
         self._schedule_next()
 
+    def detach(self) -> None:
+        """Stop sampling (idempotent).
+
+        The pending sample event is cancelled, so a detached timeline adds
+        no further engine work; collected :attr:`samples` stay readable.
+        Re-attaching resumes sampling from the current simulation time.
+        """
+        if not self._attached:
+            return
+        self._attached = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
     def _schedule_next(self) -> None:
-        self._simulation.sim.schedule(
+        self._pending = self._simulation.sim.schedule(
             self.interval, self._sample, kind=EventKind.PROBE, note="timeline"
         )
 
     def _sample(self) -> None:
+        if not self._attached:
+            return  # detached with the event already popped: drop silently
         sim = self._simulation
         discovered = {}
         rounds = {}

@@ -52,6 +52,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.api.results import RunResult
+from repro.obs.telemetry import active as active_telemetry
 from repro.store.hashing import SCHEMA_VERSION, canonical_json, fingerprint
 
 #: Distinguishes temp files of concurrent writers *within* one process
@@ -135,6 +136,23 @@ class RunStore:
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The validated record at ``key``, or ``None`` on miss/corruption."""
+        telemetry = active_telemetry()
+        if telemetry is None:
+            return self._get(key)
+        start = telemetry.now()
+        record = self._get(key)
+        hit = record is not None
+        telemetry.counter("store.hits" if hit else "store.misses").inc()
+        telemetry.record_span(
+            "store.get",
+            "store",
+            start,
+            telemetry.now() - start,
+            args={"key": key[:12], "hit": hit},
+        )
+        return record
+
+    def _get(self, key: str) -> Optional[Dict[str, Any]]:
         if self.refresh:
             self.stats.misses += 1
             return None
@@ -186,6 +204,28 @@ class RunStore:
         tags: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Persist one record atomically and append its manifest line."""
+        telemetry = active_telemetry()
+        if telemetry is None:
+            self._put(key, identity, payload, tags)
+            return
+        start = telemetry.now()
+        self._put(key, identity, payload, tags)
+        telemetry.counter("store.puts").inc()
+        telemetry.record_span(
+            "store.put",
+            "store",
+            start,
+            telemetry.now() - start,
+            args={"key": key[:12], "kind": identity.get("kind", "record")},
+        )
+
+    def _put(
+        self,
+        key: str,
+        identity: Dict[str, Any],
+        payload: Any,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> None:
         record = {
             "schema": SCHEMA_VERSION,
             "key": key,

@@ -210,11 +210,18 @@ def test_renew_after_reclaim_raises_lease_lost(tmp_path):
 
 def test_concurrent_reclaims_single_winner(tmp_path):
     """Racing reclaimers of one expired lease: the atomic rename-aside
-    arbitration lets exactly one of them carry the claim forward."""
-    queue = make_queue(tmp_path, ttl=0.05)
+    arbitration lets exactly one of them carry the claim forward.
+
+    The victim lease is force-expired by rewriting its ``expires_at``
+    rather than by waiting out a tiny TTL — with a tiny TTL the *winner's*
+    lease can legitimately expire while slower racer threads are still
+    scheduled, turning a second reclaim into a correct (but test-breaking)
+    outcome."""
+    queue = make_queue(tmp_path, ttl=60.0)
     _request, units = one_unit(queue)
-    queue.claim(units[0], "doomed")
-    time.sleep(0.1)
+    doomed = queue.claim(units[0], "doomed")
+    doomed.expires_at = time.time() - 1.0
+    queue._replace(queue._lease_path(doomed.key), doomed.to_dict())
     barrier = threading.Barrier(6)
     wins = []
 
@@ -371,6 +378,34 @@ def test_fabric_status_and_gc_cli(tmp_path, capsys):
     assert main(["store", "gc", "--store", store_dir]) == 0
     out = capsys.readouterr().out
     assert "gc removed" in out
+
+
+def test_dashboard_digests_the_journal(tmp_path):
+    """`repro fabric top` state is a pure function of the journal: a
+    drained campaign shows its worker as inactive with its claim and
+    completion counts, and the rendered screen carries the campaign."""
+    from repro.obs.dashboard import completion_rate, render_fabric_top, worker_stats
+
+    store_dir = str(tmp_path / "store")
+    store = RunStore(store_dir)
+    submit_campaign(store, "fabric-selftest", reps=2)
+    FabricWorker(store_dir, worker_id="digger", drain=True, poll=0.01).run()
+
+    queue = WorkQueue(store)
+    now = time.time()
+    stats = worker_stats(queue.events(), now=now)
+    assert "digger" in stats
+    digger = stats["digger"]
+    assert digger["claims"] == 2 and digger["completes"] == 2
+    assert digger["failures"] == 0
+    assert not digger["active"], "drained worker still marked active"
+    assert digger["heartbeat_age"] >= 0
+    assert completion_rate(queue.events(), now=now) > 0
+
+    screen = render_fabric_top(queue, now=now)
+    assert "fabric-selftest" in screen
+    assert "2/2" in screen
+    assert "digger" in screen
 
 
 # -- crash recovery ----------------------------------------------------------

@@ -1,0 +1,158 @@
+"""Observer-semantics gaps pinned down: ConvergenceTimeline
+attach/detach idempotency, exception isolation across the observer list
+when telemetry fans out through it, and the flight recorder firing on a
+phase timeout inside a full phased run."""
+
+import pytest
+
+from repro.api import AwaitLegitimacy, Bootstrap, InjectFaults, RunPlan
+from repro.obs import Telemetry, use_telemetry
+from repro.sim.faults import FaultPlan
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.timeline import ConvergenceTimeline
+
+
+def small_session():
+    return (
+        RunPlan("ring:5", controllers=2, seed=0)
+        .configure(theta=4, task_delay=0.1)
+        .then(Bootstrap(timeout=120.0))
+        .session()
+    )
+
+
+# -- timeline attach/detach -------------------------------------------------
+
+
+def test_attach_is_idempotent():
+    session = small_session()
+    timeline = ConvergenceTimeline(session.sim, interval=0.1)
+    timeline.attach()
+    timeline.attach()  # second attach must not double the sampling rate
+    session.run()
+    times = [s.time for s in timeline.samples]
+    assert times == sorted(set(times)), "duplicate sampling instants"
+    assert len(times) > 1
+
+
+def test_detach_stops_sampling_and_is_idempotent():
+    session = small_session()
+    timeline = ConvergenceTimeline(session.sim, interval=0.5)
+    timeline.attach()
+    session.sim.sim.run(until=2.0)
+    collected = len(timeline.samples)
+    assert collected >= 3
+    timeline.detach()
+    timeline.detach()  # no-op, no error
+    session.sim.sim.run(until=5.0)
+    assert len(timeline.samples) == collected, "detached timeline kept sampling"
+
+
+def test_detach_then_reattach_resumes():
+    session = small_session()
+    timeline = ConvergenceTimeline(session.sim, interval=0.5)
+    timeline.attach()
+    session.sim.sim.run(until=1.2)
+    timeline.detach()
+    session.sim.sim.run(until=3.0)
+    timeline.attach()
+    session.sim.sim.run(until=4.2)
+    times = [s.time for s in timeline.samples]
+    # nothing sampled in the detached window (1.2, 3.0]
+    assert not [t for t in times if 1.2 < t <= 3.0]
+    assert [t for t in times if t > 3.0], "re-attach never resumed"
+
+
+def test_detach_before_attach_is_a_noop():
+    session = small_session()
+    timeline = ConvergenceTimeline(session.sim, interval=0.5)
+    timeline.detach()  # never attached: silently fine
+    assert timeline.samples == []
+
+
+# -- observer exception isolation under telemetry fan-out -------------------
+
+
+class _Boom:
+    def on_event(self, time, name, value=None):
+        raise RuntimeError("observer exploded")
+
+
+class _Tally:
+    def __init__(self):
+        self.seen = []
+
+    def on_event(self, time, name, value=None):
+        self.seen.append(name)
+
+
+def test_exception_does_not_starve_later_observers():
+    recorder = MetricsRecorder()
+    tally = _Tally()
+    recorder.add_observer(_Boom())
+    recorder.add_observer(tally)
+    with pytest.raises(RuntimeError, match="observer exploded"):
+        recorder.mark_event(1.0, "milestone")
+    assert tally.seen == ["milestone"], "observer after the raiser was starved"
+
+
+def test_broken_observer_does_not_lose_telemetry_marks():
+    """Telemetry joins the metrics observer list like any client; a
+    broken sibling observer must not cost it events (whichever side of
+    the raiser it landed on)."""
+    with use_telemetry(Telemetry()) as telemetry:
+        session = small_session()
+        session.sim.metrics.add_observer(_Boom())
+        with pytest.raises(RuntimeError, match="observer exploded"):
+            session.run()
+    names = [m[2] for m in telemetry.marks]
+    assert "convergence" in names
+
+
+def test_telemetry_exception_still_reaches_user_observers():
+    class _BrokenTelemetry(Telemetry):
+        def mark(self, t_sim, name, value=None):
+            raise RuntimeError("telemetry sink broke")
+
+    tally = _Tally()
+    with use_telemetry(_BrokenTelemetry()):
+        session = small_session()
+        session.sim.metrics.add_observer(tally)
+        with pytest.raises(RuntimeError, match="telemetry sink broke"):
+            session.run()
+    assert "convergence" in tally.seen
+
+
+# -- flight recorder on phase timeout ---------------------------------------
+
+
+def test_flight_dump_fires_on_await_legitimacy_timeout():
+    """A recovery phase that times out (not just bootstrap) ships the
+    event tail, and the dump's source names the failing wait."""
+
+    def sever(sim, rng):
+        plan = FaultPlan()
+        # Remove every link of one switch: permanently partitioned, so
+        # AwaitLegitimacy can never succeed.
+        victim = sim.topology.switches[0]
+        for neighbor in list(sim.topology.neighbors(victim)):
+            plan.remove_link(sim.sim.now + 0.05, victim, neighbor)
+        return plan
+
+    with use_telemetry(Telemetry(flight_capacity=32)) as telemetry:
+        result = (
+            RunPlan("ring:5", controllers=2, seed=0)
+            .configure(theta=4, task_delay=0.1)
+            .then(
+                Bootstrap(timeout=120.0),
+                InjectFaults(builder=sever),
+                AwaitLegitimacy(timeout=5.0),
+            )
+            .run()
+        )
+    assert not result.ok
+    assert telemetry.flight_dumps, "timeout produced no flight dump"
+    dump = telemetry.flight_dumps[-1]
+    assert dump["reason"] == "non-convergence"
+    assert "run_until_legitimate" in dump["source"]
+    assert 0 < dump["n_events"] <= 32

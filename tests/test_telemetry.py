@@ -1,0 +1,327 @@
+"""The unified telemetry subsystem: registry, spans, flight recorder,
+Chrome trace-event export, TRACE store records, and the two invariants
+the whole design hangs on — the disabled path is byte-identical, and the
+enabled counters agree with the benchmark suite's committed numbers."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import AwaitLegitimacy, Bootstrap, RunPlan
+from repro.obs import Counter, Gauge, Histogram, Telemetry, active, use_telemetry
+from repro.obs.export import (
+    chrome_trace_from_payload,
+    find_traces,
+    load_trace,
+    save_trace,
+    to_chrome_trace,
+    trace_identity,
+    validate_chrome_trace,
+)
+from repro.sim.engine import Simulator
+from repro.sim.events import EventKind
+from repro.store.hashing import fingerprint
+from repro.store.store import RunStore, use_store
+
+
+def fattree4_plan():
+    return (
+        RunPlan("fattree:4", controllers=3, seed=0)
+        .configure(theta=10)
+        .then(Bootstrap(timeout=240.0))
+    )
+
+
+# -- registry primitives ----------------------------------------------------
+
+
+def test_counter_gauge_histogram():
+    t = Telemetry()
+    t.counter("a").inc()
+    t.counter("a").inc(4)
+    t.gauge("g").set(2.5)
+    h = t.histogram("h")
+    for v in (0.001, 0.002, 0.004):
+        h.observe(v)
+    assert t.counters()["a"] == 5
+    snap = t.snapshot()
+    assert snap["gauges"]["g"] == 2.5
+    assert snap["histograms"]["h"]["count"] == 3
+    assert snap["histograms"]["h"]["min"] == 0.001
+    assert snap["histograms"]["h"]["max"] == 0.004
+    assert snap["histograms"]["h"]["mean"] == pytest.approx(0.007 / 3)
+
+
+def test_histogram_buckets_are_monotone_powers_of_two():
+    h = Histogram(scale=1.0)
+    h.observe(0.5)   # bucket 0 (<= 1.0)
+    h.observe(1.5)   # bucket 1 (<= 2.0)
+    h.observe(3.0)   # bucket 2 (<= 4.0)
+    assert h.as_dict()["buckets"] == {"0": 1, "1": 1, "2": 1}
+
+
+def test_provider_counters_merge_and_sum():
+    t = Telemetry()
+    t.counter("x").inc(2)
+    t.add_provider(lambda: {"x": 3, "y": 7})
+    t.add_provider(lambda: {"y": 1})
+    assert t.counters() == {"x": 5, "y": 8}
+
+
+def test_flight_capacity_validation():
+    with pytest.raises(ValueError):
+        Telemetry(flight_capacity=0)
+
+
+# -- active-handle context --------------------------------------------------
+
+
+def test_use_telemetry_scopes_and_restores():
+    assert active() is None
+    with use_telemetry(Telemetry()) as outer:
+        assert active() is outer
+        with use_telemetry(Telemetry()) as inner:
+            assert active() is inner
+        assert active() is outer
+    assert active() is None
+
+
+def test_spans_and_marks_serialize():
+    t = Telemetry()
+    with t.span("work", cat="phase", detail=1):
+        pass
+    t.mark(3.5, "convergence", value={"k": (1, 2)})
+    records = t.span_records()
+    assert records[0]["name"] == "work"
+    assert records[0]["cat"] == "phase"
+    assert records[0]["dur_wall"] >= 0
+    snap = t.snapshot()
+    assert snap["marks"][0]["name"] == "convergence"
+    assert snap["marks"][0]["value"] == {"k": [1, 2]}
+    json.dumps(snap)  # everything must be plain JSON
+
+
+# -- engine ring + kind counts ----------------------------------------------
+
+
+def test_enable_trace_default_stays_unbounded_list():
+    sim = Simulator()
+    sim.enable_trace()
+    sim.schedule(1.0, lambda: None, kind=EventKind.PROBE, note="hello")
+    sim.run()
+    assert sim.trace == [(1.0, EventKind.PROBE, "hello")]
+
+
+def test_enable_trace_capacity_keeps_only_the_tail():
+    sim = Simulator()
+    sim.enable_trace(capacity=3)
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda: None, note=f"e{i}")
+    sim.run()
+    assert [note for _, _, note in sim.trace] == ["e7", "e8", "e9"]
+    with pytest.raises(ValueError):
+        Simulator().enable_trace(capacity=0)
+
+
+def test_kind_counts_tally_executed_events():
+    sim = Simulator()
+    sim.enable_kind_counts()
+    sim.schedule(1.0, lambda: None, kind=EventKind.PROBE)
+    sim.schedule(2.0, lambda: None, kind=EventKind.PROBE)
+    sim.schedule(3.0, lambda: None, kind=EventKind.GENERIC)
+    sim.run()
+    assert sim.kind_counts[EventKind.PROBE] == 2
+    assert sim.kind_counts[EventKind.GENERIC] == 1
+    with pytest.raises(RuntimeError):
+        Simulator().kind_counts
+
+
+# -- the two load-bearing invariants ----------------------------------------
+
+
+def test_disabled_path_is_byte_identical():
+    """A run without telemetry serializes byte-for-byte the same whether
+    or not a traced run happened in between — the store-stability
+    acceptance criterion."""
+    baseline = fattree4_plan().run().to_json()
+    with use_telemetry(Telemetry()):
+        fattree4_plan().run()
+    again = fattree4_plan().run().to_json()
+    assert again == baseline
+    assert '"timings"' not in baseline
+
+
+def test_traced_run_has_identical_measurements():
+    """Telemetry must never perturb the simulation: same convergence
+    instant, same metrics, with or without a handle."""
+    plain = fattree4_plan().run()
+    with use_telemetry(Telemetry()):
+        traced = fattree4_plan().run()
+    assert traced.bootstrap_time == plain.bootstrap_time
+    assert traced.metrics == plain.metrics
+    assert traced.timings and traced.timings[0]["phase"] == "bootstrap"
+    # timings carry host cost only; the serialized record differs ONLY
+    # by the timings key.
+    traced_doc = traced.to_dict()
+    traced_doc.pop("timings")
+    assert traced_doc == plain.to_dict()
+
+
+def test_route_cache_counters_match_probe_scaling_benchmark():
+    """The registry's RouteCache numbers must equal the committed
+    benchmark results (benchmarks/results/probe-scaling.json, fattree:4
+    incremental: hits=720, walks(misses)=266, invalidations=140) — the
+    cross-consistency acceptance criterion."""
+    committed = json.loads(
+        (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "results"
+            / "probe-scaling.json"
+        ).read_text()
+    )
+    expected = committed["specs"]["fattree:4"]["incremental"]
+    with use_telemetry(Telemetry()) as t:
+        fattree4_plan().run()
+    counters = t.counters()
+    assert counters["route_cache.hits"] == expected["cache_hits"]
+    assert counters["route_cache.misses"] == expected["total_walks"]
+    assert counters["route_cache.invalidations"] == expected["invalidations"]
+
+
+# -- flight recorder --------------------------------------------------------
+
+
+def test_flight_dump_on_non_convergence():
+    """A run that cannot converge within its timeout ships the event
+    ring's tail automatically."""
+    with use_telemetry(Telemetry(flight_capacity=16)) as t:
+        result = (
+            RunPlan("ring:5", controllers=2, seed=0)
+            .configure(theta=4, task_delay=0.1)
+            # Timeout far below any possible bootstrap: deterministic
+            # non-convergence without simulating pathology.
+            .then(Bootstrap(timeout=0.05))
+            .run()
+        )
+    assert not result.ok
+    assert len(t.flight_dumps) == 1
+    dump = t.flight_dumps[0]
+    assert dump["reason"] == "non-convergence"
+    assert 0 < dump["n_events"] <= 16
+    for t_sim, kind, note in dump["events"]:
+        assert isinstance(t_sim, float) and isinstance(kind, str)
+    json.dumps(dump)
+
+
+def test_no_flight_dump_on_success():
+    with use_telemetry(Telemetry()) as t:
+        assert fattree4_plan().run().ok
+    assert t.flight_dumps == []
+
+
+# -- Chrome trace-event export ----------------------------------------------
+
+
+def test_export_validates_and_carries_spans_counters_marks():
+    with use_telemetry(Telemetry()) as t:
+        fattree4_plan().run()
+    doc = to_chrome_trace(t)
+    assert validate_chrome_trace(doc) == []
+    events = doc["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert {"M", "X", "C", "i"} <= phases
+    names = {e["name"] for e in events if e["ph"] == "X"}
+    assert "phase:bootstrap" in names
+    assert "legitimacy_probe" in names
+    counters = {e["name"] for e in events if e["ph"] == "C"}
+    assert "route_cache.hits" in counters
+    # the convergence mark lands on the virtual-time track
+    marks = [e for e in events if e["ph"] == "i" and e["name"] == "convergence"]
+    assert marks and marks[0]["ts"] == 3_500_000  # t=3.5s in µs
+
+
+def test_validate_rejects_malformed_documents():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"traceEvents": [{"ph": "Z", "name": "x"}]}) != []
+    bad_dur = {
+        "traceEvents": [
+            {"name": "s", "ph": "X", "ts": 0, "pid": 1, "dur": 0}
+        ]
+    }
+    assert any("dur" in p for p in validate_chrome_trace(bad_dur))
+    assert validate_chrome_trace({"traceEvents": []}) == []
+
+
+def test_flight_dump_events_export_as_instants():
+    t = Telemetry()
+    t.record_flight_dump(
+        "non-convergence",
+        [(1.0, EventKind.PROBE, "p"), (2.0, EventKind.GENERIC, "")],
+        t_sim=2.0,
+    )
+    doc = to_chrome_trace(t)
+    assert validate_chrome_trace(doc) == []
+    flights = [e for e in doc["traceEvents"] if e.get("cat", "").startswith("flight:")]
+    assert len(flights) == 2
+    assert flights[0]["ts"] == 1_000_000
+
+
+# -- TRACE records in the run store -----------------------------------------
+
+
+def test_trace_record_round_trip(tmp_path):
+    store = RunStore(tmp_path / "store")
+    with use_telemetry(Telemetry()) as t:
+        fattree4_plan().run()
+    key = save_trace(store, t, run_key="abc123", label="unit")
+    assert key == fingerprint(trace_identity(run_key="abc123", label="unit"))
+    record = load_trace(store, key)
+    assert record is not None and record["kind"] == "trace"
+    payload = record["payload"]
+    assert payload["summary"]["counters"]["route_cache.hits"] == 720
+    doc = chrome_trace_from_payload(payload)
+    assert validate_chrome_trace(doc) == []
+    assert find_traces(store) == [key]
+    # a run record is not a trace
+    assert load_trace(store, "0" * 64) is None
+
+
+def test_store_instrumentation_counts_hits_and_misses(tmp_path):
+    store = RunStore(tmp_path / "store")
+    with use_telemetry(Telemetry()) as t:
+        with use_store(store):
+            fattree4_plan().run()  # cold: store miss, then put
+            fattree4_plan().run()  # warm: store hit
+    counters = t.counters()
+    assert counters["store.misses"] >= 1
+    assert counters["store.hits"] >= 1
+    assert counters["store.puts"] >= 1
+    cats = {s.cat for s in t.spans}
+    assert "store" in cats
+
+
+def test_cached_and_fresh_results_identical_under_telemetry(tmp_path):
+    store = RunStore(tmp_path / "store")
+    with use_store(store):
+        cold = fattree4_plan().run()
+        with use_telemetry(Telemetry()):
+            warm = fattree4_plan().run()
+    assert warm.to_json() == cold.to_json()
+
+
+# -- RunResult.timings serialization ----------------------------------------
+
+
+def test_timings_round_trip_and_conditional_key():
+    from repro.api.results import RunResult
+
+    with use_telemetry(Telemetry()):
+        traced = fattree4_plan().run()
+    doc = traced.to_dict()
+    assert doc["timings"][0]["wall_seconds"] > 0
+    assert RunResult.from_dict(doc).timings == traced.timings
+    untimed = fattree4_plan().run()
+    assert "timings" not in untimed.to_dict()
+    assert RunResult.from_dict(untimed.to_dict()) == untimed
