@@ -52,22 +52,37 @@ def _plan(spec: str):
     )
 
 
-def _best_of(spec: str, repeats: int, telemetry: bool) -> Dict[str, float]:
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        if telemetry:
-            with use_telemetry(Telemetry()):
-                run = _plan(spec).run()
-        else:
+def _timed(spec: str, telemetry: bool):
+    start = time.perf_counter()
+    if telemetry:
+        with use_telemetry(Telemetry()):
             run = _plan(spec).run()
-        wall = time.perf_counter() - start
-        if wall < best:
-            best = wall
-        result = run
-    assert result is not None and result.ok, f"{spec} bootstrap timed out"
-    return {"wall_s": round(best, 4), "converged_at": result.bootstrap_time}
+    else:
+        run = _plan(spec).run()
+    return time.perf_counter() - start, run
+
+
+def _paired_best_of(spec: str, repeats: int):
+    """Best-of-N for the disabled and enabled runs, *interleaved* — the
+    two arms alternate within each repeat, so slow drift (CPU frequency,
+    background load) biases neither side of the ratio."""
+    best = {False: float("inf"), True: float("inf")}
+    result = {False: None, True: None}
+    for _ in range(repeats):
+        for telemetry in (False, True):
+            wall, run = _timed(spec, telemetry)
+            best[telemetry] = min(best[telemetry], wall)
+            result[telemetry] = run
+    for telemetry in (False, True):
+        run = result[telemetry]
+        assert run is not None and run.ok, f"{spec} bootstrap timed out"
+    return tuple(
+        {
+            "wall_s": round(best[telemetry], 4),
+            "converged_at": result[telemetry].bootstrap_time,
+        }
+        for telemetry in (False, True)
+    )
 
 
 def test_obs_overhead_disabled_and_enabled():
@@ -76,8 +91,7 @@ def test_obs_overhead_disabled_and_enabled():
     # Warm every lazy import/cache outside the timed region.
     _plan(spec).run()
 
-    off = _best_of(spec, REPEATS, telemetry=False)
-    on = _best_of(spec, REPEATS, telemetry=True)
+    off, on = _paired_best_of(spec, REPEATS)
 
     # Semantics first: telemetry must not move the simulation at all.
     plain = _plan(spec).run()
@@ -121,6 +135,7 @@ def test_disabled_path_does_zero_instrumentation_work():
     assert sim._telemetry is None
     assert sim.sim._trace is None
     assert sim.sim._kind_counts is None
+    assert sim.sim._causal is None  # no happens-before recording either
     assert sim.metrics._observers == []
     result = session.run()
     assert result.ok

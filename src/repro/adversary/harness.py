@@ -32,6 +32,7 @@ from typing import List, Optional, Tuple
 from repro.adversary.corruptions import CORRUPTIONS
 from repro.adversary.schedulers import SCHEDULERS
 from repro.adversary.spec import measure_stabilization
+from repro.obs.explain import explain_rerun
 from repro.scenarios.harness import TOPOLOGY_POOL
 
 #: Scheduler axis: the benign default plus every registered policy.
@@ -155,6 +156,14 @@ def run_stabilization_property(n: int, base_seed: int = 0) -> StabilizationRepor
                 f"scheduler={shrunk.scheduler!r}, seed={shrunk.seed})\n"
                 f"  reproduce: {shrunk.repro_line()}"
             )
+            # Convergence forensics: the causal chain from the injected
+            # corruption to the probe verdicts that never turned green.
+            explanation = explain_rerun(
+                lambda c=shrunk: check_stabilization_case(c),
+                source=shrunk.repro_line(),
+            )
+            for line in explanation.render().splitlines():
+                print(f"  {line}")
         else:
             times.append(stabilization)
     return StabilizationReport(

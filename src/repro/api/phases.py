@@ -147,9 +147,21 @@ class CorruptState(Phase):
 
         sim = session.sim
         t_start = sim.sim.now
-        accounting = apply_corruption(
-            self.corruption, sim, adversary_rng(session.seed)
+        # Provenance root: the corruption is not itself a scheduled event,
+        # so it enters the happens-before DAG as a synthetic root; any
+        # events the strategy schedules (e.g. channel-garbage's in-flight
+        # datagrams) inherit it as their cause.
+        root = sim.sim.provenance_root(
+            note=f"corrupt:{self.corruption}",
+            tags={
+                "corruption": self.corruption,
+                "corruption_id": f"{self.corruption}@seed={session.seed}",
+            },
         )
+        with sim.sim.cause_scope(root):
+            accounting = apply_corruption(
+                self.corruption, sim, adversary_rng(session.seed)
+            )
         sim.metrics.mark_corruption(sim.sim.now)
         return PhaseResult(
             phase=self.name,

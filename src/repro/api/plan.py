@@ -240,6 +240,14 @@ class RunPlan:
                     if isinstance(identity["topology"], str)
                     else {"topology": "<custom>", "seed": self._seed},
                 )
+                telemetry = active_telemetry()
+                if telemetry is not None:
+                    # Persist the run's trace (spans, flight dumps, causal
+                    # log) next to its record, keyed by the run key, so
+                    # `repro explain` works post-mortem from the store.
+                    from repro.obs.export import save_trace
+
+                    save_trace(store, telemetry, run_key=key)
                 return result
         return self.session().run(observer=observer)
 
@@ -335,6 +343,12 @@ class RunSession:
                 observer.on_phase_end(result)
             if not result.ok:
                 aborted = True
+        if telemetry is not None:
+            causal = self.sim.sim.causal_events()
+            if causal:
+                telemetry.record_causal_log(
+                    causal, source=f"run:{self.topology_spec}:seed={self.seed}"
+                )
         return RunResult(
             topology=self.topology_spec,
             n_controllers=len(self.sim.topology.controllers),

@@ -429,6 +429,7 @@ def cmd_fabric(args: argparse.Namespace) -> int:
             backoff=args.backoff,
             drain=args.drain,
             preload=tuple(args.preload or ()),
+            trace=args.trace,
         )
         if args.workers == 1:
             # In-process: this very process is the worker (its pid is the
@@ -457,8 +458,9 @@ def cmd_fabric(args: argparse.Namespace) -> int:
     # run: one-shot local fleet + campaign + aggregate
     networks = tuple(args.network) if args.network else None
     started = time.perf_counter()
-    try:
-        result = run_local_campaign(
+
+    def _campaign() -> "exp.ExperimentResult":
+        return run_local_campaign(
             args.store,
             args.figure,
             reps=args.reps,
@@ -470,7 +472,26 @@ def cmd_fabric(args: argparse.Namespace) -> int:
             max_attempts=args.max_attempts,
             backoff=args.backoff,
             timeout=args.fabric_timeout,
+            trace=args.trace,
         )
+
+    try:
+        if args.trace:
+            # The aggregator records its own track; each worker saves a
+            # `worker:<id>` TRACE before the fleet context exits, so
+            # `repro trace stitch --store` sees the whole campaign.
+            from repro.obs.export import save_trace
+            from repro.obs.telemetry import Telemetry, use_telemetry
+
+            with use_telemetry(Telemetry()) as telemetry:
+                result = _campaign()
+            trace_key = save_trace(store, telemetry, label="aggregator")
+            print(
+                f"aggregator trace {trace_key[:12]} saved (merge the "
+                f"campaign: repro trace stitch --store {args.store})"
+            )
+        else:
+            result = _campaign()
     except FabricError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -813,7 +834,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
     optionally persisting both the run record and a content-addressed
     TRACE record into ``--store``, and exporting Chrome trace-event JSON
     to ``--out``.  ``export`` re-exports a stored TRACE record;
-    ``summary`` prints its counters/histograms/phase-timing digest.
+    ``summary`` prints its counters/histograms/phase-timing digest
+    (``--json`` for scripting); ``stitch`` merges every TRACE record in
+    the store — the aggregator plus each ``worker:N`` track of a fabric
+    campaign — into one Perfetto timeline with cross-worker flow arrows.
     """
     from repro.obs import Telemetry, use_telemetry
     from repro.obs.export import (
@@ -821,6 +845,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         find_traces,
         load_trace,
         save_trace,
+        stitch_chrome_trace,
         to_chrome_trace,
         trace_payload,
         validate_chrome_trace,
@@ -865,11 +890,46 @@ def cmd_trace(args: argparse.Namespace) -> int:
         _print_trace_summary(trace_payload(telemetry), result)
         return 0 if result.ok else 1
 
-    # export / summary read a stored TRACE record
+    # export / summary / stitch read stored TRACE records
     if not args.store:
         print(f"error: trace {args.action} needs --store DIR", file=sys.stderr)
         return 2
     store = RunStore(args.store)
+    if args.action == "stitch":
+        entries = []
+        for trace_key in find_traces(store):
+            record = load_trace(store, trace_key)
+            if record is None:
+                continue
+            # Per-run traces (keyed by a run record) are single-run
+            # post-mortems; the campaign timeline stitches the *session*
+            # traces — the aggregator and worker:N tracks.
+            if record["identity"].get("run"):
+                continue
+            entries.append({
+                "label": record["identity"].get("label") or trace_key[:12],
+                "payload": record["payload"],
+            })
+        if not entries:
+            print(f"error: no trace records in {args.store} "
+                  "(run a campaign with: repro fabric run --trace ...)",
+                  file=sys.stderr)
+            return 1
+        doc = stitch_chrome_trace(entries)
+        problems = validate_chrome_trace(doc)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 1
+        out = args.out or "stitched.trace.json"
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=None, sort_keys=True)
+            fh.write("\n")
+        labels = ", ".join(sorted(entry["label"] for entry in entries))
+        print(f"stitched {len(entries)} trace(s) [{labels}] "
+              f"({len(doc['traceEvents'])} events) -> {out}  "
+              f"(load in https://ui.perfetto.dev)")
+        return 0
     key = args.key
     if key is None:
         traces = find_traces(store)
@@ -899,6 +959,21 @@ def cmd_trace(args: argparse.Namespace) -> int:
               f"-> {out}  (load in https://ui.perfetto.dev)")
         return 0
     # summary
+    if args.json:
+        digest = {
+            "key": key,
+            "run": record["identity"].get("run"),
+            "label": record["identity"].get("label", ""),
+            "trace_schema": record["identity"].get("trace_schema", 1),
+            "summary": payload.get("summary", {}),
+            "n_spans": len(payload.get("spans", [])),
+            "n_causal_events": sum(
+                len(log.get("events", []))
+                for log in payload.get("causal", [])
+            ),
+        }
+        print(json.dumps(digest, indent=2, sort_keys=True))
+        return 0
     print(f"trace {key[:12]} (run={record['identity'].get('run')})")
     _print_trace_summary(payload)
     return 0
@@ -942,6 +1017,36 @@ def _print_trace_summary(payload: Dict[str, object], result=None) -> None:
             f"events at t_sim={dump.get('t_sim')}"
         )
     print(f"spans: {summary.get('n_spans', len(spans))}")
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Convergence forensics: root-cause a stored run or trace.
+
+    Walks the trace's happens-before provenance DAG from the symptom (a
+    legitimacy probe that never turned green, a flight dump) back to the
+    injected corruption or fault, and prints the propagation chain plus
+    any secondary anomalies.  With no KEY, picks the most recent *failed*
+    run in the store (falling back to the newest trace); a run without a
+    persisted trace is replayed deterministically from its
+    content-addressed identity.  Exit status: 0 when the run converged,
+    1 when the forensics confirm a failure.
+    """
+    from repro.obs.explain import explain_run
+
+    store = RunStore(args.store)
+    try:
+        explanation = explain_run(store, key=args.key)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(explanation.to_dict(), indent=2, sort_keys=True))
+    else:
+        if explanation.source:
+            print(f"explaining {explanation.source} "
+                  f"({explanation.n_events} causal events)")
+        print(explanation.render())
+    return 0 if explanation.ok else 1
 
 
 def cmd_store(args: argparse.Namespace) -> int:
@@ -1192,6 +1297,10 @@ def build_parser() -> argparse.ArgumentParser:
     fab.add_argument("--fabric-timeout", type=_positive_float, default=None,
                      metavar="S",
                      help="give up after S seconds (action: run)")
+    fab.add_argument("--trace", action="store_true",
+                     help="record per-worker TRACE records (and, for "
+                          "action run, an aggregator trace) into the "
+                          "store — merge with: repro trace stitch")
     fab.set_defaults(fn=cmd_fabric)
 
     scen = sub.add_parser(
@@ -1244,7 +1353,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="record, export, and summarize telemetry traces "
              "(Chrome trace-event JSON, Perfetto-loadable)",
     )
-    trace.add_argument("action", choices=["record", "export", "summary"])
+    trace.add_argument("action", choices=["record", "export", "summary",
+                                          "stitch"])
     trace.add_argument("--theta", type=_theta_value, default=None,
                        help="discovery-probe rounds Θ (default: derived "
                             "from the topology)")
@@ -1265,7 +1375,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "trace in the store)")
     trace.add_argument("--out", metavar="FILE", default=None,
                        help="write the Chrome trace-event JSON here")
+    trace.add_argument("--json", action="store_true",
+                       help="summary: print a machine-readable digest "
+                            "instead of human rows")
     trace.set_defaults(fn=cmd_trace, no_cache=False)
+
+    explain = sub.add_parser(
+        "explain",
+        help="convergence forensics: walk a stored run's provenance DAG "
+             "from the failure symptom back to the injected "
+             "corruption/fault",
+    )
+    explain.add_argument("key", nargs="?", default=None,
+                         help="run or TRACE record key (default: the most "
+                              "recent failed run, else the newest trace)")
+    explain.add_argument("--store", metavar="DIR", required=True,
+                         help="the run store holding the run/trace records")
+    explain.add_argument("--json", action="store_true",
+                         help="print the report as JSON for scripting")
+    explain.set_defaults(fn=cmd_explain)
 
     store = sub.add_parser("store", help="inspect or repair a run store")
     store.add_argument("action", choices=["ls", "verify", "reindex", "gc"])

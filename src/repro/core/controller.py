@@ -66,6 +66,12 @@ class RenaissanceController:
         # nodes (the bounded round refresh of _maybe_start_round).
         self._round_age = 0
 
+    @property
+    def round_age(self) -> int:
+        """Iterations the current round has been waiting on unanswered
+        nodes — the forensics layer reads this to flag stuck rounds."""
+        return self._round_age
+
     # -- hooks that variants override -------------------------------------------
 
     def _make_replydb(self) -> ReplyDB:

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.exp.spec import ExperimentResult
+from repro.obs.telemetry import active as active_telemetry
 from repro.fabric.queue import CampaignRequest, FabricError, WorkQueue
 from repro.fabric.worker import DEFAULT_POLL, worker_main
 from repro.store.report import aggregate
@@ -131,10 +132,34 @@ def run_fabric_campaign(
     """
     store = _as_store(store)
     queue = WorkQueue(store)
+    telemetry = active_telemetry()
+    started = telemetry.now() if telemetry is not None else 0.0
     request = submit_campaign(store, name, reps=reps, networks=networks,
                               base_seed=base_seed, params=params, queue=queue)
+    if telemetry is not None:
+        # The submit span carries the unit keys, so the trace stitcher can
+        # draw dispatch arrows from here to each worker's task span.
+        telemetry.record_span(
+            f"submit:{request.campaign_id}",
+            "fabric",
+            started,
+            telemetry.now() - started,
+            args={
+                "campaign": request.campaign_id,
+                "units": [u.key for u in queue.units_of(request)],
+            },
+        )
     wait_for_campaign(queue, request, poll=poll, timeout=timeout)
+    agg_started = telemetry.now() if telemetry is not None else 0.0
     result = aggregate_campaign(store, request)
+    if telemetry is not None:
+        telemetry.record_span(
+            f"aggregate:{request.campaign_id}",
+            "fabric",
+            agg_started,
+            telemetry.now() - agg_started,
+            args={"campaign": request.campaign_id},
+        )
     queue.log_event("campaign-complete", campaign=request.campaign_id)
     return result
 

@@ -58,6 +58,7 @@ class FabricWorker:
         backoff: float = DEFAULT_BACKOFF,
         drain: bool = False,
         preload: Sequence[str] = (),
+        trace: bool = False,
     ) -> None:
         self.store = RunStore(store_dir)
         self.queue = WorkQueue(
@@ -67,6 +68,7 @@ class FabricWorker:
         self.poll = poll
         self.drain = drain
         self.preload = tuple(preload)
+        self.trace = trace
         self.stats: Counter = Counter()
 
     # -- lifecycle ---------------------------------------------------------
@@ -86,7 +88,26 @@ class FabricWorker:
         until the store's stop flag appears.  ``drain=True`` exits once no
         pending unit remains — the one-shot fleet and test mode.  Returns
         the worker's completion tally.
+
+        ``trace=True`` runs the whole loop under a private telemetry
+        handle and persists it as a ``worker:<id>`` TRACE record on exit
+        — the per-worker track ``repro trace stitch`` merges.  The
+        private handle deliberately shadows any already-active one: a
+        forked fleet worker inherits the aggregator's handle, and its
+        spans must land on the worker's own track, not a dead copy of
+        the parent's.
         """
+        if not self.trace:
+            return self._run()
+        from repro.obs.export import save_trace
+        from repro.obs.telemetry import Telemetry, use_telemetry
+
+        with use_telemetry(Telemetry()) as telemetry:
+            stats = self._run()
+        save_trace(self.store, telemetry, label=f"worker:{self.worker_id}")
+        return stats
+
+    def _run(self) -> Dict[str, int]:
         self.initialize()
         self.queue.log_event("worker-start", worker=self.worker_id)
         try:

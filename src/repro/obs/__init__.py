@@ -12,7 +12,11 @@ always available, near-zero cost when off:
   and **flight-recorder dumps**: the bounded ring of the last N executed
   simulator events, captured automatically on non-convergence.
 * :mod:`~repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable)
-  export plus content-addressed TRACE persistence in the run store.
+  export, campaign trace stitching, plus content-addressed TRACE
+  persistence in the run store.
+* :mod:`~repro.obs.causality` / :mod:`~repro.obs.explain` — the
+  happens-before provenance DAG recorded by the engine under telemetry,
+  and the convergence-forensics reports (``repro explain``) built on it.
 * :mod:`~repro.obs.dashboard` — the ``repro fabric top`` live campaign
   view rendered from the fabric's ``events.jsonl`` journal.
 
@@ -38,13 +42,21 @@ from repro.obs.telemetry import (
     active,
     use_telemetry,
 )
+from repro.obs.causality import CausalEvent, ProvenanceDAG
+from repro.obs.explain import Explanation, explain_payload, explain_rerun, explain_run
 
 __all__ = [
+    "CausalEvent",
     "Counter",
+    "Explanation",
     "Gauge",
     "Histogram",
+    "ProvenanceDAG",
     "Span",
     "Telemetry",
     "active",
+    "explain_payload",
+    "explain_rerun",
+    "explain_run",
     "use_telemetry",
 ]

@@ -1,0 +1,216 @@
+"""The happens-before provenance DAG of one simulation run.
+
+The engine (with causality enabled) records one row per executed event —
+``(eid, t_sim, kind, note, cause, tags)`` — plus synthetic roots with
+negative ids for interventions that are not themselves events (state
+corruptions).  This module turns those rows into a queryable DAG: nodes
+are events, an edge ``cause -> eid`` means "executing ``cause`` scheduled
+``eid``".  The DAG is the substrate of :mod:`repro.obs.explain`; it also
+carries its own determinism check (:meth:`ProvenanceDAG.signature`), the
+invariant pinned by the causal-determinism tests: a seeded run produces
+the same DAG on every rerun, on any worker.
+
+Rows contain only virtual times, seq ids, and typed tags — no wall
+clocks — which is what makes the signature meaningful.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class CausalEvent:
+    """One node of the provenance DAG (an executed event or a synthetic
+    root; roots have negative ids and no cause)."""
+
+    eid: int
+    t_sim: float
+    kind: str
+    note: str = ""
+    cause: Optional[int] = None
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_root(self) -> bool:
+        return self.eid < 0
+
+    def label(self) -> str:
+        """Short human-readable rendering for causal-chain output."""
+        parts = [f"t={self.t_sim:.3f}", self.kind]
+        if self.note:
+            parts.append(f"({self.note})")
+        interesting = {
+            k: v
+            for k, v in self.tags.items()
+            if k in ("corruption_id", "fault_id", "round", "ctrl", "legitimate")
+        }
+        if interesting:
+            parts.append(
+                "[" + " ".join(f"{k}={v}" for k, v in sorted(interesting.items())) + "]"
+            )
+        return " ".join(parts)
+
+
+class ProvenanceDAG:
+    """Indexed happens-before DAG built from a trace's causal rows."""
+
+    def __init__(self, events: List[CausalEvent]) -> None:
+        self.events = events
+        self.by_id: Dict[int, CausalEvent] = {e.eid: e for e in events}
+        self.children: Dict[int, List[int]] = {}
+        for event in events:
+            if event.cause is not None:
+                self.children.setdefault(event.cause, []).append(event.eid)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows: List[List[Any]]) -> "ProvenanceDAG":
+        """Build from serialized ``[eid, t, kind, note, cause, tags]``
+        rows (the engine's tuples serialize to exactly this shape)."""
+        events = [
+            CausalEvent(
+                eid=int(eid),
+                t_sim=float(t),
+                kind=str(kind),
+                note=str(note or ""),
+                cause=None if cause is None else int(cause),
+                tags=dict(tags or {}),
+            )
+            for eid, t, kind, note, cause, tags in rows
+        ]
+        return cls(events)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> Optional["ProvenanceDAG"]:
+        """The DAG of a TRACE record payload's last causal log (one log
+        per simulation run; the last is the run the trace is about), or
+        ``None`` for pre-causality (v1) traces."""
+        logs = payload.get("causal") or []
+        if not logs:
+            return None
+        return cls.from_rows(logs[-1].get("events", []))
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def roots(self) -> List[CausalEvent]:
+        """Synthetic provenance roots (corruptions), earliest first."""
+        return sorted(
+            (e for e in self.events if e.is_root), key=lambda e: (e.t_sim, -e.eid)
+        )
+
+    def find(self, **tag_filters: Any) -> List[CausalEvent]:
+        """Events whose tags match every given ``key=value`` (a value of
+        ``...`` (Ellipsis) matches mere presence)."""
+        matches = []
+        for event in self.events:
+            for key, value in tag_filters.items():
+                if key not in event.tags:
+                    break
+                if value is not ... and event.tags[key] != value:
+                    break
+            else:
+                matches.append(event)
+        return matches
+
+    def ancestry(self, eid: int, limit: int = 64) -> List[CausalEvent]:
+        """The cause chain from ``eid`` back toward a root, nearest
+        first, cycle-safe and bounded."""
+        chain: List[CausalEvent] = []
+        seen = set()
+        current = self.by_id.get(eid)
+        while current is not None and current.eid not in seen and len(chain) < limit:
+            seen.add(current.eid)
+            chain.append(current)
+            if current.cause is None:
+                break
+            current = self.by_id.get(current.cause)
+        return chain
+
+    def descendants(self, eid: int, limit: int = 100_000) -> Iterator[CausalEvent]:
+        """Breadth-first walk of everything ``eid`` transitively caused."""
+        frontier = list(self.children.get(eid, []))
+        seen = set(frontier)
+        emitted = 0
+        while frontier and emitted < limit:
+            nxt = frontier.pop(0)
+            event = self.by_id.get(nxt)
+            if event is None:
+                continue
+            yield event
+            emitted += 1
+            for child in self.children.get(nxt, []):
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+
+    def causal_chain(
+        self, root_eid: int, limit: int = 12
+    ) -> List[CausalEvent]:
+        """A representative forward chain from a root toward the run's
+        end: at each step follow the child whose own subtree reaches
+        furthest in virtual time — the spine of the failure's propagation.
+        """
+        # Deepest-reach memo, computed iteratively (chains can be long).
+        reach: Dict[int, float] = {}
+
+        def compute_reach(eid: int) -> float:
+            cached = reach.get(eid)
+            if cached is not None:
+                return cached
+            stack = [(eid, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if node in reach:
+                    continue
+                kids = self.children.get(node, [])
+                if expanded or not kids:
+                    own = self.by_id[node].t_sim if node in self.by_id else 0.0
+                    best = max((reach.get(k, 0.0) for k in kids), default=own)
+                    reach[node] = max(own, best)
+                else:
+                    stack.append((node, True))
+                    for kid in kids:
+                        if kid not in reach:
+                            stack.append((kid, False))
+            return reach[eid]
+
+        chain: List[CausalEvent] = []
+        current = root_eid
+        seen = set()
+        while len(chain) < limit:
+            event = self.by_id.get(current)
+            if event is None or current in seen:
+                break
+            seen.add(current)
+            chain.append(event)
+            kids = self.children.get(current, [])
+            if not kids:
+                break
+            current = max(kids, key=compute_reach)
+        return chain
+
+    # -- determinism -------------------------------------------------------
+
+    def signature(self) -> str:
+        """Content hash of the full edge set and tag payloads — equal
+        across reruns of the same seeded run iff the DAG is identical."""
+        canonical = json.dumps(
+            [
+                [e.eid, e.t_sim, e.kind, e.note, e.cause, e.tags]
+                for e in self.events
+            ],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+__all__ = ["CausalEvent", "ProvenanceDAG"]

@@ -1,0 +1,459 @@
+"""Convergence forensics: from a symptom back to its root cause.
+
+Built on the happens-before DAG of :mod:`repro.obs.causality`, this module
+answers the question the paper's claims hinge on — *why* did (or didn't)
+a run converge: it locates the symptom (a legitimacy probe that never
+turned green, a flight-recorder dump), walks the provenance DAG to the
+originating corruption or fault, renders the propagation chain, and scans
+for secondary anomalies (stuck rounds, rule-flap cycles, delivery storms,
+straggler probes).
+
+Three entry points:
+
+* :func:`explain_payload` — forensics over a TRACE record payload;
+* :func:`explain_run` — store-first: resolve a run/trace key to a
+  payload (replaying the run from its content-addressed identity when no
+  trace was persisted) and explain it — the engine behind
+  ``repro explain``;
+* :func:`explain_rerun` — re-execute a callable under a private
+  telemetry handle and explain the resulting trace — what the property
+  harnesses call on a failing case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.causality import CausalEvent, ProvenanceDAG
+from repro.obs.export import trace_identity, trace_payload
+from repro.obs.telemetry import Telemetry, use_telemetry
+
+
+@dataclass
+class Explanation:
+    """One forensics report, renderable as text or JSON."""
+
+    ok: bool
+    symptom: Dict[str, Any]
+    root_cause: Optional[Dict[str, Any]] = None
+    chain: List[str] = field(default_factory=list)
+    anomalies: List[Dict[str, Any]] = field(default_factory=list)
+    n_events: int = 0
+    source: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "symptom": dict(self.symptom),
+            "root_cause": dict(self.root_cause) if self.root_cause else None,
+            "chain": list(self.chain),
+            "anomalies": [dict(a) for a in self.anomalies],
+            "n_events": self.n_events,
+            "source": self.source,
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [f"forensics: {self.symptom.get('summary', self.symptom.get('kind'))}"]
+        if self.root_cause is not None:
+            lines.append(f"root cause: {self.root_cause.get('summary')}")
+        elif not self.ok:
+            lines.append("root cause: none identified (no tagged fault/corruption)")
+        if self.chain:
+            lines.append("causal chain:")
+            for step in self.chain:
+                lines.append(f"  -> {step}")
+        for anomaly in self.anomalies:
+            lines.append(f"anomaly: {anomaly.get('summary', anomaly.get('kind'))}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# forensics over one TRACE payload
+# ---------------------------------------------------------------------------
+
+
+def _find_symptom(dag: ProvenanceDAG, payload: Dict[str, Any]) -> Dict[str, Any]:
+    probes = [e for e in dag.events if "legitimate" in e.tags]
+    dumps = payload.get("summary", {}).get("flight_dumps", [])
+    if probes and probes[-1].tags.get("legitimate"):
+        t = probes[-1].t_sim
+        return {
+            "kind": "converged",
+            "t_sim": t,
+            "summary": f"run converged at t={t:.2f}",
+        }
+    if probes:
+        t = probes[-1].t_sim
+        return {
+            "kind": "non-convergence",
+            "t_sim": t,
+            "n_probes": len(probes),
+            "summary": (
+                f"non-convergence: {len(probes)} legitimacy probes all failed, "
+                f"last at t={t:.2f}"
+            ),
+        }
+    if dumps:
+        reason = dumps[-1].get("reason", "?")
+        return {
+            "kind": reason,
+            "t_sim": dumps[-1].get("t_sim"),
+            "summary": f"flight recorder dumped: {reason}",
+        }
+    return {"kind": "no-symptom", "summary": "no probe verdicts recorded"}
+
+
+_DEGRADING_FAULTS = ("fail_", "remove_", "corrupt_")
+
+
+def _find_root_cause(dag: ProvenanceDAG) -> Optional[CausalEvent]:
+    corruptions = [r for r in dag.roots() if "corruption_id" in r.tags]
+    if corruptions:
+        return corruptions[-1]
+    faults = dag.find(fault_id=...)
+    degrading = [
+        f for f in faults if str(f.tags.get("fault", "")).startswith(_DEGRADING_FAULTS)
+    ]
+    pool = degrading or faults
+    if pool:
+        return max(pool, key=lambda e: (e.t_sim, e.eid))
+    return None
+
+
+def _describe_cause(event: CausalEvent) -> Dict[str, Any]:
+    if "corruption_id" in event.tags:
+        return {
+            "kind": "corruption",
+            "id": event.tags["corruption_id"],
+            "corruption": event.tags.get("corruption"),
+            "t_sim": event.t_sim,
+            "summary": f"state corruption {event.tags['corruption_id']} "
+            f"at t={event.t_sim:.2f}",
+        }
+    return {
+        "kind": "fault",
+        "id": event.tags.get("fault_id"),
+        "fault": event.tags.get("fault"),
+        "target": event.tags.get("target"),
+        "t_sim": event.t_sim,
+        "summary": f"fault {event.tags.get('fault_id')} on "
+        f"{event.tags.get('target')} at t={event.t_sim:.2f}",
+    }
+
+
+def _tail_events(dag: ProvenanceDAG, fraction: float = 0.25) -> List[CausalEvent]:
+    if not dag.events:
+        return []
+    t_end = max(e.t_sim for e in dag.events)
+    cutoff = t_end * (1.0 - fraction)
+    return [e for e in dag.events if e.t_sim >= cutoff]
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2] if ordered else 0.0
+
+
+def _find_anomalies(dag: ProvenanceDAG, payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    anomalies: List[Dict[str, Any]] = []
+
+    # Stuck rounds: a controller's trailing iterations never starting a
+    # new round (bounded refresh not yet fired, or firing in a cycle).
+    by_ctrl: Dict[str, List[CausalEvent]] = {}
+    for event in dag.events:
+        ctrl = event.tags.get("ctrl")
+        if ctrl is not None:
+            by_ctrl.setdefault(str(ctrl), []).append(event)
+    for ctrl, iterations in sorted(by_ctrl.items()):
+        stuck = 0
+        for event in reversed(iterations):
+            if event.tags.get("new_round"):
+                break
+            stuck += 1
+        if stuck >= 8:
+            last = iterations[-1]
+            anomalies.append(
+                {
+                    "kind": "stuck_round",
+                    "ctrl": ctrl,
+                    "iterations": stuck,
+                    "round": last.tags.get("round"),
+                    "round_age": last.tags.get("round_age"),
+                    "summary": f"controller {ctrl} stuck on round "
+                    f"{last.tags.get('round')} for its last {stuck} iterations",
+                }
+            )
+
+    # Rule-flap cycles: steady state installs without deleting, so
+    # repeated late-run DelAllRules to one switch flag a limit cycle.
+    tail = _tail_events(dag)
+    flaps: Dict[str, int] = {}
+    deliveries: Dict[tuple, int] = {}
+    for event in tail:
+        if event.tags.get("msg") == "batch" and event.tags.get("dels", 0):
+            flaps[str(event.tags.get("dst"))] = (
+                flaps.get(str(event.tags.get("dst")), 0) + 1
+            )
+        if "msg" in event.tags:
+            pair = (str(event.tags.get("src")), str(event.tags.get("dst")))
+            deliveries[pair] = deliveries.get(pair, 0) + 1
+    for dst, count in sorted(flaps.items()):
+        if count >= 3:
+            anomalies.append(
+                {
+                    "kind": "rule_flap",
+                    "dst": dst,
+                    "deletions": count,
+                    "summary": f"rule-flap cycle: {count} late-run rule "
+                    f"deletions at {dst}",
+                }
+            )
+    if deliveries:
+        med = _median(list(map(float, deliveries.values())))
+        for (src, dst), count in sorted(deliveries.items()):
+            if count >= 20 and count >= 4 * max(med, 1.0):
+                anomalies.append(
+                    {
+                        "kind": "delivery_storm",
+                        "src": src,
+                        "dst": dst,
+                        "count": count,
+                        "median": med,
+                        "summary": f"delivery storm: {count} late-run messages "
+                        f"{src}->{dst} (median pair: {med:.0f})",
+                    }
+                )
+
+    # Straggler probes: one legitimacy check far beyond the others.
+    probe_walls = [
+        span["dur_wall"]
+        for span in payload.get("spans", [])
+        if span.get("name") == "legitimacy_probe"
+    ]
+    if len(probe_walls) >= 8:
+        med = _median(probe_walls)
+        worst = max(probe_walls)
+        if med > 0 and worst >= 5 * med:
+            anomalies.append(
+                {
+                    "kind": "straggler_probe",
+                    "max_wall": worst,
+                    "median_wall": med,
+                    "summary": f"straggler probe: worst legitimacy check "
+                    f"{worst * 1e3:.2f}ms vs median {med * 1e3:.2f}ms",
+                }
+            )
+    return anomalies
+
+
+def explain_payload(payload: Dict[str, Any], source: str = "") -> Explanation:
+    """Forensics over one TRACE record payload."""
+    dag = ProvenanceDAG.from_payload(payload)
+    if dag is None or not len(dag):
+        return Explanation(
+            ok=False,
+            symptom={
+                "kind": "no-causal-data",
+                "summary": "trace carries no causal log (pre-v2 trace, or the "
+                "run never executed events)",
+            },
+            source=source,
+        )
+    symptom = _find_symptom(dag, payload)
+    ok = symptom["kind"] == "converged"
+    cause = _find_root_cause(dag)
+    root_cause = _describe_cause(cause) if cause is not None else None
+    chain: List[str] = []
+    if cause is not None:
+        chain = [step.label() for step in dag.causal_chain(cause.eid)]
+    anomalies = _find_anomalies(dag, payload)
+    return Explanation(
+        ok=ok,
+        symptom=symptom,
+        root_cause=root_cause,
+        chain=chain,
+        anomalies=anomalies,
+        n_events=len(dag),
+        source=source,
+    )
+
+
+# ---------------------------------------------------------------------------
+# store-first entry point (the CLI's engine)
+# ---------------------------------------------------------------------------
+
+
+def plan_from_identity(identity: Dict[str, Any]):
+    """Reconstruct an executable :class:`~repro.api.plan.RunPlan` from a
+    stored run record's identity.
+
+    The identity carries everything a cacheable plan needs: the topology
+    spec string, controller count/placement/seed, the full config
+    snapshot, and each phase's ``describe()`` dict.  Raises
+    :class:`ValueError` for identities that are not faithfully
+    replayable: custom (inline) topologies, label-only fault builders,
+    and fault targets folded by ``repr``.
+    """
+    from repro.api.phases import (
+        AwaitLegitimacy,
+        Bootstrap,
+        CorruptState,
+        InjectFaults,
+        RunFor,
+    )
+    from repro.api.plan import RunPlan
+    from repro.sim.faults import FaultAction, FaultPlan
+
+    if identity.get("kind") != "run":
+        raise ValueError(f"not a run identity: kind={identity.get('kind')!r}")
+    topology = identity.get("topology")
+    if not isinstance(topology, str):
+        raise ValueError("custom-topology runs cannot be replayed from identity")
+    plan = RunPlan(
+        topology,
+        controllers=identity["controllers"],
+        placement=identity.get("placement", "dual_homed"),
+        seed=identity["seed"],
+    ).configure(**identity.get("config", {}))
+    phases = []
+    for desc in identity.get("phases", []):
+        name = desc.get("phase")
+        if name == "bootstrap":
+            phases.append(
+                Bootstrap(timeout=desc.get("timeout"), full=bool(desc.get("full")))
+            )
+        elif name == "corrupt_state":
+            phases.append(CorruptState(corruption=desc.get("corruption", "mixed")))
+        elif name == "run_for":
+            phases.append(RunFor(duration=desc.get("duration", 1.0)))
+        elif name == "await_legitimacy":
+            phases.append(
+                AwaitLegitimacy(
+                    timeout=desc.get("timeout"),
+                    clamp_zero=bool(desc.get("clamp_zero")),
+                    full=bool(desc.get("full")),
+                )
+            )
+        elif name == "inject_faults":
+            faults = desc.get("faults")
+            if not isinstance(faults, list):
+                raise ValueError(
+                    f"inject_faults described only by label {faults!r}; "
+                    "cannot replay"
+                )
+            actions = [
+                FaultAction(float(at), str(kind), _rebuild_target(target))
+                for at, kind, target in faults
+            ]
+            phases.append(
+                InjectFaults(
+                    plan=FaultPlan(actions),
+                    settle=desc.get("settle", 0.01),
+                    relative=bool(desc.get("relative")),
+                )
+            )
+        else:
+            raise ValueError(f"unknown phase {name!r} in identity")
+    return plan.then(*phases)
+
+
+def _rebuild_target(target: Any) -> tuple:
+    """Invert the describe-time leaf folding where possible; repr-folded
+    leaves (Rule objects) are not reconstructable."""
+
+    def check(leaf: Any) -> Any:
+        if isinstance(leaf, str) and "(" in leaf:
+            raise ValueError(
+                f"fault target leaf {leaf!r} was folded by repr; cannot replay"
+            )
+        if isinstance(leaf, list):
+            return [check(item) for item in leaf]
+        return leaf
+
+    return tuple(check(leaf) for leaf in target)
+
+
+def _latest_failed_run_key(store) -> Optional[str]:
+    """Most recently written run record whose result failed."""
+    candidates = []
+    for entry in store.manifest():
+        if entry.get("kind") != "run":
+            continue
+        key = entry["key"]
+        result = store.load_run(key)
+        if result is None or result.ok:
+            continue
+        try:
+            mtime = store.object_path(key).stat().st_mtime
+        except OSError:
+            mtime = 0.0
+        candidates.append((mtime, key))
+    if not candidates:
+        return None
+    return max(candidates)[1]
+
+
+def explain_run(store, key: Optional[str] = None) -> Explanation:
+    """Explain a stored run or trace.
+
+    With no ``key``, picks the most recent *failed* run record (falling
+    back to the most recent trace).  A run key resolves to its persisted
+    trace when one exists; otherwise the run is replayed from its
+    content-addressed identity under a private telemetry handle — same
+    seed, same corruption stream, so the replay is the run.
+    """
+    from repro.obs.export import find_traces
+    from repro.store.hashing import fingerprint
+
+    if key is None:
+        key = _latest_failed_run_key(store)
+        if key is None:
+            traces = find_traces(store)
+            if not traces:
+                raise ValueError("store holds no failed runs and no traces")
+            key = traces[-1]
+    record = store.get(key)
+    if record is None:
+        raise ValueError(f"no record at {key}")
+    kind = record.get("kind")
+    if kind == "trace":
+        return explain_payload(record["payload"], source=f"trace:{key[:12]}")
+    if kind != "run":
+        raise ValueError(f"record {key[:12]} is a {kind!r}, not a run or trace")
+    trace_key = fingerprint(trace_identity(run_key=key))
+    trace_record = store.get(trace_key)
+    if trace_record is not None and trace_record.get("kind") == "trace":
+        return explain_payload(
+            trace_record["payload"], source=f"run:{key[:12]} (stored trace)"
+        )
+    plan = plan_from_identity(record["identity"])
+    with use_telemetry(Telemetry()) as telemetry:
+        plan.session().run()
+    return explain_payload(
+        trace_payload(telemetry), source=f"run:{key[:12]} (replayed)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# harness entry point
+# ---------------------------------------------------------------------------
+
+
+def explain_rerun(runner: Callable[[], Any], source: str = "") -> Explanation:
+    """Re-execute ``runner`` under a private telemetry handle and explain
+    the resulting trace — what the property harnesses call on an
+    (already shrunken, hence cheap) failing case."""
+    with use_telemetry(Telemetry()) as telemetry:
+        runner()
+    return explain_payload(trace_payload(telemetry), source=source)
+
+
+__all__ = [
+    "Explanation",
+    "explain_payload",
+    "explain_rerun",
+    "explain_run",
+    "plan_from_identity",
+]

@@ -27,6 +27,13 @@ from typing import Any, Dict, List, Optional
 
 from repro.obs.telemetry import Telemetry
 
+#: Version of the TRACE record layout (independent of the store's global
+#: ``SCHEMA_VERSION``, which addresses *run* records).  v2 adds the
+#: ``causal`` happens-before logs and the ``meta`` block (``epoch_unix``
+#: for cross-process stitching, this version number); bumping it re-keys
+#: new trace records without invalidating any stored run.
+TRACE_SCHEMA = 2
+
 #: Synthetic process/thread ids of the exported tracks.
 PID_HOST = 1  # wall-clock spans (host-side work)
 PID_VIRTUAL = 2  # simulation-clock instants (sim events, marks)
@@ -144,7 +151,11 @@ def to_chrome_trace(telemetry: Telemetry) -> Dict[str, Any]:
     return chrome_trace_from_payload(trace_payload(telemetry))
 
 
-_VALID_PHASES = {"X", "M", "C", "i", "B", "E"}
+_VALID_PHASES = {"X", "M", "C", "i", "B", "E", "s", "t", "f"}
+
+#: Flow-event phases (causal arrows between tracks); they additionally
+#: require an ``id`` binding start to finish.
+_FLOW_PHASES = {"s", "t", "f"}
 
 
 def validate_chrome_trace(doc: Any) -> List[str]:
@@ -152,8 +163,8 @@ def validate_chrome_trace(doc: Any) -> List[str]:
 
     Checks the invariants Perfetto's JSON importer relies on: a
     ``traceEvents`` array, string names, known phase codes, integer-like
-    non-negative timestamps on timed events, and durations on ``X``
-    events.
+    non-negative timestamps on timed events, durations on ``X`` events,
+    and flow-binding ids on ``s``/``t``/``f`` events.
     """
     problems: List[str] = []
     if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
@@ -180,7 +191,187 @@ def validate_chrome_trace(doc: Any) -> List[str]:
             dur = event.get("dur")
             if not isinstance(dur, int) or dur <= 0:
                 problems.append(f"{where}: X event needs a positive dur")
+        if phase in _FLOW_PHASES and not isinstance(event.get("id"), (str, int)):
+            problems.append(f"{where}: flow event needs an id")
     return problems
+
+
+# ---------------------------------------------------------------------------
+# campaign stitching: several processes' traces on one timeline
+# ---------------------------------------------------------------------------
+
+
+def _global_us(offset: float, t_wall: float) -> int:
+    return max(0, _us(offset + t_wall))
+
+
+def stitch_chrome_trace(traces: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge several TRACE payloads into one Chrome trace-event document.
+
+    ``traces`` is a list of ``{"label": str, "payload": trace_payload}``
+    entries — typically one aggregator plus the ``worker:N`` traces of a
+    fabric campaign.  Each trace becomes its own process track; per-trace
+    relative wall clocks are aligned on a global timeline via the
+    ``meta.epoch_unix`` stamps (v2 traces; v1 payloads fall back to a
+    shared origin).  Causal ``s``/``f`` flow arrows connect the
+    aggregator's ``submit:<campaign>`` span to each worker's matching
+    ``fabric:*`` task span, task completions back to the
+    ``aggregate:<campaign>`` span, and retry handoffs of one unit across
+    workers; the task finishing last is flagged as the campaign's
+    critical path.
+    """
+    epochs = [
+        trace["payload"].get("meta", {}).get("epoch_unix") for trace in traces
+    ]
+    known = [e for e in epochs if isinstance(e, (int, float))]
+    base = min(known) if known else 0.0
+    events: List[Dict[str, Any]] = []
+
+    # Aggregator first (pid 1), then workers in label order.
+    def rank(entry: Dict[str, Any]) -> tuple:
+        label = entry.get("label") or ""
+        return (label.startswith("worker:"), label)
+
+    ordered = sorted(traces, key=rank)
+    submit_spans: List[tuple] = []  # (span, pid, offset)
+    aggregate_spans: List[tuple] = []
+    task_spans: List[tuple] = []  # (span, pid, offset, label)
+
+    for pid0, entry in enumerate(ordered):
+        pid = pid0 + 1
+        label = entry.get("label") or f"trace:{pid}"
+        payload = entry["payload"]
+        epoch = payload.get("meta", {}).get("epoch_unix")
+        offset = (epoch - base) if isinstance(epoch, (int, float)) else 0.0
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        for index, cat in enumerate(_THREAD_CATS):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": index + 1,
+                    "args": {"name": cat or "misc"},
+                }
+            )
+        for span in payload.get("spans", []):
+            name = span["name"]
+            ts = _global_us(offset, span["t_wall"])
+            args = dict(span.get("args") or {})
+            if span.get("t_sim") is not None:
+                args["t_sim"] = span["t_sim"]
+            events.append(
+                {
+                    "name": name,
+                    "cat": span.get("cat") or "misc",
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": max(1, _us(span["dur_wall"])),
+                    "pid": pid,
+                    "tid": _tid_of(span.get("cat", "")),
+                    "args": args,
+                }
+            )
+            if name.startswith("submit:"):
+                submit_spans.append((span, pid, offset))
+            elif name.startswith("aggregate:"):
+                aggregate_spans.append((span, pid, offset))
+            elif name.startswith("fabric:") and (span.get("args") or {}).get("key"):
+                task_spans.append((span, pid, offset, label))
+
+    def flow(phase: str, name: str, flow_id: str, pid: int, tid: int, ts: int) -> Dict[str, Any]:
+        event = {
+            "name": name,
+            "cat": "flow",
+            "ph": phase,
+            "id": flow_id,
+            "ts": ts,
+            "pid": pid,
+            "tid": tid,
+        }
+        if phase == "f":
+            event["bp"] = "e"  # bind to the enclosing slice's end
+        return event
+
+    submitted: Dict[str, tuple] = {}
+    for span, pid, offset in submit_spans:
+        for unit_key in (span.get("args") or {}).get("units", []) or []:
+            submitted[str(unit_key)] = (span, pid, offset)
+
+    # submit -> task and task -> aggregate arrows.
+    for span, pid, offset, label in task_spans:
+        key = str(span["args"]["key"])
+        start = _global_us(offset, span["t_wall"])
+        end = _global_us(offset, span["t_wall"] + span["dur_wall"])
+        origin = submitted.get(key)
+        if origin is not None:
+            o_span, o_pid, o_offset = origin
+            events.append(
+                flow("s", "dispatch", key, o_pid, _tid_of(o_span.get("cat", "")),
+                     _global_us(o_offset, o_span["t_wall"]))
+            )
+            events.append(
+                flow("f", "dispatch", key, pid, _tid_of(span.get("cat", "")), start)
+            )
+        for a_span, a_pid, a_offset in aggregate_spans:
+            events.append(
+                flow("s", "collect", f"{key}:done", pid,
+                     _tid_of(span.get("cat", "")), end)
+            )
+            events.append(
+                flow("f", "collect", f"{key}:done", a_pid,
+                     _tid_of(a_span.get("cat", "")),
+                     _global_us(a_offset, a_span["t_wall"]))
+            )
+            break  # one aggregate target is enough
+
+    # Retry handoffs: the same unit key claimed by several workers.
+    by_key: Dict[str, List[tuple]] = {}
+    for span, pid, offset, label in task_spans:
+        by_key.setdefault(str(span["args"]["key"]), []).append((span, pid, offset))
+    for key, attempts in by_key.items():
+        attempts.sort(key=lambda item: item[2] + item[0]["t_wall"])
+        for attempt_index in range(len(attempts) - 1):
+            span, pid, offset = attempts[attempt_index]
+            nxt, n_pid, n_offset = attempts[attempt_index + 1]
+            handoff = f"{key}:retry{attempt_index}"
+            events.append(
+                flow("s", "retry", handoff, pid, _tid_of(span.get("cat", "")),
+                     _global_us(offset, span["t_wall"] + span["dur_wall"]))
+            )
+            events.append(
+                flow("f", "retry", handoff, n_pid, _tid_of(nxt.get("cat", "")),
+                     _global_us(n_offset, nxt["t_wall"]))
+            )
+
+    # Campaign critical path: the task whose completion gates the result.
+    if task_spans:
+        last = max(
+            task_spans,
+            key=lambda item: item[2] + item[0]["t_wall"] + item[0]["dur_wall"],
+        )
+        span, pid, offset, label = last
+        events.append(
+            {
+                "name": "campaign_critical_path",
+                "cat": "flow",
+                "ph": "i",
+                "ts": _global_us(offset, span["t_wall"] + span["dur_wall"]),
+                "pid": pid,
+                "tid": _tid_of(span.get("cat", "")),
+                "s": "g",
+                "args": {"key": span["args"]["key"], "worker": label},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 # ---------------------------------------------------------------------------
@@ -197,13 +388,22 @@ def trace_identity(run_key: Optional[str] = None, label: str = "") -> Dict[str, 
     return {
         "kind": "trace",
         "schema": SCHEMA_VERSION,
+        "trace_schema": TRACE_SCHEMA,
         "run": run_key,
         "label": label,
     }
 
 
 def trace_payload(telemetry: Telemetry) -> Dict[str, Any]:
-    return {"summary": telemetry.snapshot(), "spans": telemetry.span_records()}
+    return {
+        "summary": telemetry.snapshot(),
+        "spans": telemetry.span_records(),
+        "causal": [dict(log) for log in telemetry.causal_logs],
+        "meta": {
+            "trace_schema": TRACE_SCHEMA,
+            "epoch_unix": telemetry.epoch_unix,
+        },
+    }
 
 
 def save_trace(
@@ -254,10 +454,12 @@ def find_traces(store) -> List[str]:
 __all__ = [
     "PID_HOST",
     "PID_VIRTUAL",
+    "TRACE_SCHEMA",
     "chrome_trace_from_payload",
     "find_traces",
     "load_trace",
     "save_trace",
+    "stitch_chrome_trace",
     "to_chrome_trace",
     "trace_identity",
     "trace_payload",

@@ -159,11 +159,19 @@ class Telemetry:
         self.spans: List[Span] = []
         self.marks: List[Tuple[float, Optional[float], str, Any]] = []
         self.flight_dumps: List[Dict[str, Any]] = []
+        #: Causal-provenance logs, one per completed simulation run:
+        #: ``{"source": str, "events": [[eid, t_sim, kind, note, cause,
+        #: tags], ...]}``.  Rows carry only virtual times and seq ids, so
+        #: seeded reruns serialize identically.
+        self.causal_logs: List[Dict[str, Any]] = []
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._providers: List[Callable[[], Dict[str, int]]] = []
         self._epoch = time.perf_counter()
+        #: Absolute unix time of the epoch — lets the trace stitcher place
+        #: several processes' relative wall clocks on one global timeline.
+        self.epoch_unix = time.time()
 
     # -- clocks ------------------------------------------------------------
 
@@ -284,6 +292,36 @@ class Telemetry:
         }
         self.flight_dumps.append(dump)
         return dump
+
+    # -- causal provenance -------------------------------------------------
+
+    def record_causal_log(
+        self, events: List[Tuple], source: str = ""
+    ) -> Dict[str, Any]:
+        """Capture a simulator's happens-before rows as pure JSON.
+
+        ``events`` are the engine's ``(eid, t_sim, kind, note, cause,
+        tags)`` rows; enum kinds fold to their values, tags through
+        :func:`_jsonable`.  Goes into the TRACE record's ``causal`` block
+        (not the summary snapshot, which predates this field and must stay
+        byte-stable).
+        """
+        log = {
+            "source": source,
+            "events": [
+                [
+                    eid,
+                    t,
+                    getattr(kind, "value", str(kind)),
+                    note,
+                    cause,
+                    _jsonable(tags) if tags else None,
+                ]
+                for eid, t, kind, note, cause, tags in events
+            ],
+        }
+        self.causal_logs.append(log)
+        return log
 
     # -- serialization -----------------------------------------------------
 

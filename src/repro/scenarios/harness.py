@@ -30,6 +30,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.exp.seeding import fault_rng
+from repro.obs.explain import explain_rerun
 from repro.obs.telemetry import Telemetry, use_telemetry
 from repro.scenarios.campaigns import CAMPAIGNS, build_campaign
 from repro.scenarios.spec import build_scenario_simulation, measure_campaign_recovery
@@ -245,13 +246,15 @@ def run_convergence_property(n: int, base_seed: int = 0) -> PropertyReport:
                 f" on (topology={shrunk.topology!r}, campaign={shrunk.campaign!r}, "
                 f"seed={shrunk.seed}){detail}\n  reproduce: {shrunk.repro_line()}"
             )
-            tail = failure_event_tail(shrunk, plan=shrunk_plan)
-            if tail:
-                shown = tail[-8:]
-                print(f"  last {len(shown)} events before the timeout:")
-                for t_sim, kind, note in shown:
-                    suffix = f" ({note})" if note else ""
-                    print(f"    t={t_sim:.2f} {kind}{suffix}")
+            # Convergence forensics: re-run the shrunken case under a
+            # private telemetry handle and print the causal chain from the
+            # injected fault to the failed probe verdicts.
+            explanation = explain_rerun(
+                lambda c=shrunk, p=shrunk_plan: check_case(c, plan=p),
+                source=shrunk.repro_line(),
+            )
+            for line in explanation.render().splitlines():
+                print(f"  {line}")
         else:
             times.append(recovery)
     return PropertyReport(cases=cases, recovery_times=times, failures=failures)

@@ -15,10 +15,16 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, MutableSequence, Optional
+from typing import Callable, Dict, Iterator, List, MutableSequence, Optional
 
 from repro.sim.events import EventKind
+
+#: Sentinel distinguishing "no scope installed" from a scope whose cause is
+#: legitimately ``None`` (``cause_scope(None)`` suppresses the implicit
+#: currently-executing-event edge).
+_NO_SCOPE = object()
 
 
 @dataclass(order=True)
@@ -26,7 +32,11 @@ class Event:
     """A scheduled callback.
 
     Ordering is (time, sequence-number); the callback and metadata do not
-    participate in comparisons.
+    participate in comparisons.  ``cause`` is the seq of the event whose
+    execution scheduled this one (the happens-before edge of the provenance
+    DAG); ``tags`` carries typed provenance (round tag, fault id, message
+    header) attached at the scheduling site or via
+    :meth:`Simulator.annotate` while the event executes.
     """
 
     time: float
@@ -35,6 +45,8 @@ class Event:
     kind: EventKind = field(compare=False, default=EventKind.GENERIC)
     note: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    cause: Optional[int] = field(compare=False, default=None)
+    tags: Optional[Dict[str, object]] = field(compare=False, default=None)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
@@ -57,8 +69,18 @@ class EventQueue:
         callback: Callable[[], None],
         kind: EventKind = EventKind.GENERIC,
         note: str = "",
+        cause: Optional[int] = None,
+        tags: Optional[Dict[str, object]] = None,
     ) -> Event:
-        event = Event(time=time, seq=next(self._counter), callback=callback, kind=kind, note=note)
+        event = Event(
+            time=time,
+            seq=next(self._counter),
+            callback=callback,
+            kind=kind,
+            note=note,
+            cause=cause,
+            tags=tags,
+        )
         heapq.heappush(self._heap, event)
         return event
 
@@ -105,6 +127,14 @@ class Simulator:
         self._stop_requested = False
         self._trace: Optional[MutableSequence[tuple[float, EventKind, str]]] = None
         self._kind_counts: Optional[dict[EventKind, int]] = None
+        # Causality (None = off, the zero-cost default).  Rows are
+        # (seq, time, kind, note, cause, tags); synthetic provenance roots
+        # get negative ids from a separate counter so the event seq counter
+        # (which participates in heap ordering) is never perturbed.
+        self._causal: Optional[List[tuple]] = None
+        self._current_event: Optional[Event] = None
+        self._scope_cause: object = _NO_SCOPE
+        self._root_ids = itertools.count(-1, -1)
 
     # -- scheduling ---------------------------------------------------------
 
@@ -114,11 +144,23 @@ class Simulator:
         callback: Callable[[], None],
         kind: EventKind = EventKind.GENERIC,
         note: str = "",
+        cause: Optional[int] = None,
+        tags: Optional[Dict[str, object]] = None,
     ) -> Event:
-        """Schedule ``callback`` to run ``delay`` virtual seconds from now."""
+        """Schedule ``callback`` to run ``delay`` virtual seconds from now.
+
+        With causality enabled, ``cause`` defaults to the currently
+        executing event (or the installed :meth:`cause_scope`), so message
+        send -> receive and fault -> reaction chains are captured as
+        happens-before edges without instrumenting every call site.
+        """
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.queue.push(self.now + delay, callback, kind=kind, note=note)
+        if self._causal is not None and cause is None:
+            cause = self._default_cause()
+        return self.queue.push(
+            self.now + delay, callback, kind=kind, note=note, cause=cause, tags=tags
+        )
 
     def schedule_at(
         self,
@@ -126,11 +168,86 @@ class Simulator:
         callback: Callable[[], None],
         kind: EventKind = EventKind.GENERIC,
         note: str = "",
+        cause: Optional[int] = None,
+        tags: Optional[Dict[str, object]] = None,
     ) -> Event:
         """Schedule ``callback`` at an absolute virtual time."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        return self.queue.push(time, callback, kind=kind, note=note)
+        if self._causal is not None and cause is None:
+            cause = self._default_cause()
+        return self.queue.push(
+            time, callback, kind=kind, note=note, cause=cause, tags=tags
+        )
+
+    def _default_cause(self) -> Optional[int]:
+        if self._scope_cause is not _NO_SCOPE:
+            return self._scope_cause  # type: ignore[return-value]
+        if self._current_event is not None:
+            return self._current_event.seq
+        return None
+
+    # -- causality ----------------------------------------------------------
+
+    def enable_causality(self) -> None:
+        """Record a happens-before row for every executed event.
+
+        Rows are ``(seq, time, kind, note, cause, tags)``; ``cause`` is the
+        seq of the scheduling event (or a negative synthetic root id), so
+        the list is the edge set of the run's provenance DAG.  Rows contain
+        only virtual times and seq ids — no wall clocks — so a seeded run
+        produces an identical log on every rerun.
+        """
+        self._causal = []
+
+    def causal_events(self) -> Optional[List[tuple]]:
+        """The recorded provenance rows, or ``None`` when causality is off."""
+        return self._causal
+
+    def provenance_root(
+        self, note: str = "", tags: Optional[Dict[str, object]] = None
+    ) -> Optional[int]:
+        """Register a synthetic DAG root (a fault injection, a state
+        corruption) that is not itself a scheduled event.
+
+        Returns its negative id for use as a ``cause``, or ``None`` when
+        causality is off.
+        """
+        if self._causal is None:
+            return None
+        eid = next(self._root_ids)
+        self._causal.append(
+            (eid, self.now, "provenance_root", note, None, dict(tags or {}))
+        )
+        return eid
+
+    def annotate(self, **tags: object) -> None:
+        """Merge tags into the currently executing event's provenance row.
+
+        No-op outside an event callback or with causality off — call sites
+        may invoke it unconditionally.
+        """
+        event = self._current_event
+        if event is None:
+            return
+        if event.tags is None:
+            event.tags = dict(tags)
+        else:
+            event.tags.update(tags)
+
+    @contextmanager
+    def cause_scope(self, cause: Optional[int]) -> Iterator[None]:
+        """Attribute every event scheduled inside the block to ``cause``
+        (``None`` suppresses the implicit current-event edge)."""
+        if self._causal is None:
+            yield
+            return
+        prev = self._scope_cause
+        self._scope_cause = cause
+        try:
+            yield
+        finally:
+            self._scope_cause = prev
 
     # -- tracing ------------------------------------------------------------
 
@@ -201,7 +318,17 @@ class Simulator:
                 break
             event = self.queue.pop()
             self.now = event.time
-            event.callback()
+            if self._causal is not None:
+                self._current_event = event
+                try:
+                    event.callback()
+                finally:
+                    self._current_event = None
+                self._causal.append(
+                    (event.seq, event.time, event.kind, event.note, event.cause, event.tags)
+                )
+            else:
+                event.callback()
             self.steps += 1
             if self._trace is not None:
                 self._trace.append((event.time, event.kind, event.note))

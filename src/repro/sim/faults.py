@@ -125,6 +125,18 @@ class FaultPlan:
         return max((a.at for a in self.actions), default=0.0)
 
 
+def _fold_target(target: Tuple) -> List[str]:
+    """Fault target as short strings (Rule objects fold to their repr) —
+    provenance tags must stay JSON-serializable."""
+    folded: List[str] = []
+    for leaf in target:
+        if isinstance(leaf, (list, tuple)):
+            folded.extend(str(item) for item in leaf)
+        else:
+            folded.append(str(leaf))
+    return folded
+
+
 class FaultInjector:
     """Executes a :class:`FaultPlan` against a ``NetworkSimulation``."""
 
@@ -133,12 +145,23 @@ class FaultInjector:
 
     def install(self, plan: FaultPlan, mark_fault_time: bool = True) -> None:
         sim = self._simulation.sim
-        for action in plan.actions:
+        tagged = getattr(self._simulation, "_telemetry", None) is not None
+        for index, action in enumerate(plan.actions):
+            tags = None
+            if tagged:
+                # Typed provenance: a stable per-plan fault id the explain
+                # layer can name as a root cause.
+                tags = {
+                    "fault": action.kind,
+                    "fault_id": f"{action.kind}@{action.at:g}#{index}",
+                    "target": _fold_target(action.target),
+                }
             sim.schedule_at(
                 action.at,
                 self._make_executor(action, mark_fault_time),
                 kind=self._event_kind(action.kind),
                 note=f"{action.kind}{action.target}",
+                tags=tags,
             )
 
     @staticmethod

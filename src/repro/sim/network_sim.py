@@ -35,7 +35,7 @@ from repro.core.config import RenaissanceConfig
 from repro.core.controller import RenaissanceController
 from repro.core.legitimacy import LegitimacyChecker, RouteCache, forwarding_path
 from repro.switch.abstract_switch import AbstractSwitch
-from repro.switch.commands import CommandBatch, QueryReply
+from repro.switch.commands import CommandBatch, DelAllRules, NewRound, QueryReply, UpdateRules
 from repro.obs.telemetry import active as active_telemetry
 from repro.sim.engine import Simulator
 from repro.sim.events import EventKind
@@ -238,6 +238,7 @@ class NetworkSimulation:
         if self._telemetry is not None:
             self.sim.enable_trace(capacity=self._telemetry.flight_capacity)
             self.sim.enable_kind_counts()
+            self.sim.enable_causality()
             self._telemetry.add_provider(self._telemetry_counters)
             self.metrics.add_observer(_TelemetryMilestones(self._telemetry, self.sim))
 
@@ -335,6 +336,16 @@ class NetworkSimulation:
                             telemetry.now() - started,
                             t_sim=self.sim.now,
                         )
+                        # Provenance: the iteration's round state, so the
+                        # forensics DAG can spot stuck rounds and forced
+                        # restarts without replaying the run.
+                        self.sim.annotate(
+                            ctrl=cid,
+                            round=str(controller.curr_tag),
+                            new_round=controller.last_new_round,
+                            round_age=controller.round_age,
+                            iteration=controller.iterations,
+                        )
                 self.sim.schedule(
                     self.config.task_delay, run, kind=EventKind.CONTROLLER_ITERATION
                 )
@@ -384,12 +395,14 @@ class NetworkSimulation:
             return
         hops = len(route) - 1
         self.metrics.record_batch(cid, hops)
+        tagged = self._telemetry is not None
         for latency in self._wire_fates(hops):
             self.sim.schedule(
                 latency,
                 lambda d=datagram, s=src, t=dst, c=cid: self._deliver_datagram(s, t, c, d),
                 kind=EventKind.PACKET_DELIVERY,
                 note=f"chan {src}->{dst}",
+                tags={"msg": "datagram", "src": src, "dst": dst} if tagged else None,
             )
 
     def _deliver_datagram(self, src: str, dst: str, cid: str, datagram: Datagram) -> None:
@@ -416,6 +429,27 @@ class NetworkSimulation:
 
     # -- in-band control transport ---------------------------------------------------
 
+    def _batch_tags(self, src: str, dst: str, batch: CommandBatch) -> Dict[str, object]:
+        """Typed provenance for one command batch: the round tag plus the
+        rule-mutation profile (healthy steady state installs without
+        deleting, so ``dels`` spikes flag flap cycles)."""
+        round_tag: Optional[str] = None
+        rules = 0
+        dels = 0
+        for command in batch.commands:
+            if isinstance(command, NewRound):
+                round_tag = str(command.tag)
+            elif isinstance(command, UpdateRules):
+                rules += len(command.rules)
+            elif isinstance(command, DelAllRules):
+                dels += 1
+        tags: Dict[str, object] = {
+            "msg": "batch", "src": src, "dst": dst, "rules": rules, "dels": dels,
+        }
+        if round_tag is not None:
+            tags["round"] = round_tag
+        return tags
+
     def _send_control(self, cid: str, dst: str, batch: CommandBatch) -> None:
         route = self._route(cid, dst)
         if route is None:
@@ -423,12 +457,14 @@ class NetworkSimulation:
             return
         hops = len(route) - 1
         self.metrics.record_batch(cid, hops)
+        tags = self._batch_tags(cid, dst, batch) if self._telemetry is not None else None
         for latency in self._wire_fates(hops):
             self.sim.schedule(
                 latency,
                 self._make_batch_delivery(cid, dst, batch),
                 kind=EventKind.PACKET_DELIVERY,
                 note=f"batch {cid}->{dst}",
+                tags=dict(tags) if tags is not None else None,
             )
 
     def _wire_fates(self, hops: int) -> List[float]:
@@ -482,12 +518,14 @@ class NetworkSimulation:
             return
         hops = len(route) - 1
         self.metrics.record_reply(cid, hops)
+        tagged = self._telemetry is not None
         for latency in self._wire_fates(hops):
             self.sim.schedule(
                 latency,
                 self._make_reply_delivery(cid, reply),
                 kind=EventKind.PACKET_DELIVERY,
                 note=f"reply {src}->{cid}",
+                tags={"msg": "reply", "src": src, "dst": cid} if tagged else None,
             )
 
     def _make_reply_delivery(self, cid: str, reply: QueryReply) -> Callable[[], None]:
@@ -657,6 +695,7 @@ class NetworkSimulation:
                     t_sim=self.sim.now,
                     args={"legitimate": legitimate},
                 )
+                self.sim.annotate(probe=True, legitimate=legitimate)
             if legitimate:
                 converged.append(self.sim.now)
                 self.metrics.mark_convergence(self.sim.now)

@@ -1,0 +1,333 @@
+"""Convergence forensics: symptom detection, root-cause attribution from
+the provenance DAG, identity-based replay, the store-first ``repro
+explain`` engine, and campaign-wide trace stitching."""
+
+import json
+
+import pytest
+
+from repro.api import AwaitLegitimacy, Bootstrap, CorruptState, RunPlan
+from repro.cli import main
+from repro.exp.spec import CaseSpec, ExperimentSpec, SPECS, register
+from repro.fabric import FabricWorker, run_fabric_campaign, submit_campaign
+from repro.obs import (
+    Telemetry,
+    explain_payload,
+    explain_rerun,
+    explain_run,
+    use_telemetry,
+)
+from repro.obs.explain import plan_from_identity
+from repro.obs.export import (
+    find_traces,
+    load_trace,
+    save_trace,
+    stitch_chrome_trace,
+    trace_payload,
+    validate_chrome_trace,
+)
+from repro.store.hashing import fingerprint
+from repro.store.store import RunStore
+
+if "explain-selftest" not in SPECS:
+    register(
+        ExperimentSpec(
+            name="explain-selftest",
+            title="explain selftest",
+            build_cases=lambda networks=None, **_: [
+                CaseSpec(
+                    label="selftest",
+                    network=None,
+                    measure=lambda seed: float(seed % 13),
+                    trim=False,
+                )
+            ],
+            default_reps=2,
+        )
+    )
+
+
+def failing_stabilize_plan(seed=3):
+    """Corrupt the channels, then demand legitimacy within a window far
+    too small — deterministic non-convergence with a known root cause."""
+    return (
+        RunPlan("jellyfish:8", controllers=2, seed=seed)
+        .configure(theta=4, task_delay=0.1, robust_views=True)
+        .then(
+            CorruptState("channel-garbage"),
+            AwaitLegitimacy(timeout=0.05),
+        )
+    )
+
+
+# -- explain over payloads ---------------------------------------------------
+
+
+def test_explain_names_the_injected_corruption():
+    explanation = explain_rerun(
+        lambda: failing_stabilize_plan().session().run(), source="selftest"
+    )
+    assert not explanation.ok
+    assert explanation.symptom["kind"] == "non-convergence"
+    assert explanation.root_cause["kind"] == "corruption"
+    assert explanation.root_cause["id"] == "channel-garbage@seed=3"
+    assert explanation.chain
+    assert "corrupt:channel-garbage" in explanation.chain[0]
+    rendered = explanation.render()
+    assert "root cause: state corruption channel-garbage@seed=3" in rendered
+    assert explanation.n_events > 0
+    assert explanation.source == "selftest"
+
+
+def test_explain_reports_convergence():
+    plan = (
+        RunPlan("jellyfish:8", controllers=2, seed=1)
+        .configure(theta=4, task_delay=0.1)
+        .then(Bootstrap(timeout=120.0), AwaitLegitimacy(timeout=120.0))
+    )
+    explanation = explain_rerun(lambda: plan.session().run())
+    assert explanation.ok
+    assert explanation.symptom["kind"] == "converged"
+
+
+def test_explain_handles_pre_causality_payloads():
+    explanation = explain_payload({"summary": {}, "spans": []})
+    assert not explanation.ok
+    assert explanation.symptom["kind"] == "no-causal-data"
+
+
+def test_explain_to_dict_round_trips_through_json():
+    explanation = explain_rerun(
+        lambda: failing_stabilize_plan().session().run()
+    )
+    doc = json.loads(json.dumps(explanation.to_dict(), sort_keys=True))
+    assert doc["ok"] is False
+    assert doc["root_cause"]["id"] == "channel-garbage@seed=3"
+    assert doc["chain"] == explanation.chain
+
+
+def test_stuck_round_anomaly_detected_from_synthetic_rows():
+    rows = [[-1, 0.0, "provenance_root", "corrupt", None,
+             {"corruption_id": "x@seed=0", "corruption": "x"}]]
+    for index in range(12):
+        rows.append(
+            [index, float(index), "task_execution", "loop", None,
+             {"ctrl": "c0", "round": "(0, 'c0')", "new_round": False,
+              "round_age": index, "iteration": index}]
+        )
+    rows.append([99, 12.0, "probe", "", None, {"legitimate": False}])
+    explanation = explain_payload(
+        {"summary": {}, "spans": [],
+         "causal": [{"source": "synthetic", "events": rows}],
+         "meta": {"trace_schema": 2, "epoch_unix": 0.0}}
+    )
+    kinds = {a["kind"] for a in explanation.anomalies}
+    assert "stuck_round" in kinds
+
+
+# -- identity replay ---------------------------------------------------------
+
+
+def test_plan_from_identity_round_trips_the_fingerprint():
+    plan = failing_stabilize_plan(seed=7)
+    identity = plan.identity()
+    rebuilt = plan_from_identity(identity)
+    assert fingerprint(rebuilt.identity()) == fingerprint(identity)
+
+
+def test_plan_from_identity_round_trips_fault_schedules():
+    from repro.api import InjectFaults
+    from repro.sim.faults import FaultAction, FaultPlan
+
+    plan = (
+        RunPlan("ring:6", controllers=2, seed=4)
+        .configure(theta=4, task_delay=0.1)
+        .then(
+            Bootstrap(timeout=120.0),
+            InjectFaults(
+                plan=FaultPlan(
+                    [
+                        FaultAction(1.0, "fail_link", ("s0", "s1")),
+                        FaultAction(2.0, "recover_link", ("s0", "s1")),
+                    ]
+                )
+            ),
+            AwaitLegitimacy(timeout=120.0),
+        )
+    )
+    identity = plan.identity()
+    rebuilt = plan_from_identity(identity)
+    assert fingerprint(rebuilt.identity()) == fingerprint(identity)
+
+
+def test_plan_from_identity_rejects_unreplayable_identities():
+    with pytest.raises(ValueError):
+        plan_from_identity({"kind": "trace"})
+    bad = failing_stabilize_plan().identity()
+    bad["topology"] = {"nodes": [], "links": []}
+    with pytest.raises(ValueError):
+        plan_from_identity(bad)
+    label_only = failing_stabilize_plan().identity()
+    label_only["phases"] = [{"phase": "inject_faults", "faults": "churn"}]
+    with pytest.raises(ValueError):
+        plan_from_identity(label_only)
+
+
+# -- store-first explain -----------------------------------------------------
+
+
+def seeded_failed_store(tmp_path, traced):
+    """A store holding one failed run — with its trace when ``traced``."""
+    from repro.store.store import use_store
+
+    store = RunStore(tmp_path / "store")
+    plan = failing_stabilize_plan()
+    with use_store(store):
+        if traced:
+            with use_telemetry(Telemetry()):
+                result = plan.run()
+        else:
+            result = plan.run()
+    assert not result.ok
+    return store, fingerprint(plan.identity())
+
+
+def test_explain_run_uses_the_stored_trace(tmp_path):
+    store, run_key = seeded_failed_store(tmp_path, traced=True)
+    explanation = explain_run(store, key=run_key)
+    assert "stored trace" in explanation.source
+    assert explanation.root_cause["id"] == "channel-garbage@seed=3"
+
+
+def test_explain_run_replays_when_no_trace_exists(tmp_path):
+    store, run_key = seeded_failed_store(tmp_path, traced=False)
+    explanation = explain_run(store, key=run_key)
+    assert "replayed" in explanation.source
+    assert explanation.root_cause["id"] == "channel-garbage@seed=3"
+
+
+def test_explain_run_defaults_to_latest_failed_run(tmp_path):
+    store, run_key = seeded_failed_store(tmp_path, traced=True)
+    explanation = explain_run(store)
+    assert run_key[:12] in explanation.source
+    assert not explanation.ok
+
+
+def test_explain_run_rejects_empty_store(tmp_path):
+    with pytest.raises(ValueError):
+        explain_run(RunStore(tmp_path / "store"))
+
+
+# -- campaign stitching ------------------------------------------------------
+
+
+def stitched_campaign_doc(tmp_path):
+    store = RunStore(tmp_path / "store")
+    submit_campaign(store, "explain-selftest", reps=2)
+    worker = FabricWorker(
+        store.root, worker_id="w1", drain=True, poll=0.01, trace=True
+    )
+    worker.run()
+    with use_telemetry(Telemetry()) as aggregator:
+        run_fabric_campaign(store, "explain-selftest", reps=2, timeout=10.0)
+    save_trace(store, aggregator, label="aggregator")
+    entries = []
+    for key in find_traces(store):
+        record = load_trace(store, key)
+        entries.append(
+            {
+                "label": record["identity"].get("label") or key[:12],
+                "payload": record["payload"],
+            }
+        )
+    return stitch_chrome_trace(entries)
+
+
+def test_stitched_trace_validates_with_tracks_and_flows(tmp_path):
+    doc = stitched_campaign_doc(tmp_path)
+    assert validate_chrome_trace(doc) == []
+    events = doc["traceEvents"]
+    names = {
+        e["args"]["name"] for e in events if e.get("name") == "process_name"
+    }
+    assert "aggregator" in names
+    assert any(n.startswith("worker:") for n in names)
+    starts = {e["id"] for e in events if e["ph"] == "s"}
+    finishes = {e["id"] for e in events if e["ph"] == "f"}
+    assert starts and starts == finishes
+    # dispatch arrows leave the aggregator, task spans live on the worker
+    agg_pid = next(
+        e["pid"] for e in events
+        if e.get("name") == "process_name" and e["args"]["name"] == "aggregator"
+    )
+    dispatch = [e for e in events if e["ph"] == "s" and e["name"] == "dispatch"]
+    assert dispatch and all(e["pid"] == agg_pid for e in dispatch)
+    critical = [e for e in events if e["name"] == "campaign_critical_path"]
+    assert len(critical) == 1 and critical[0]["pid"] != agg_pid
+
+
+def test_validator_enforces_flow_ids():
+    good = {"traceEvents": [
+        {"name": "a", "ph": "s", "id": "k", "ts": 0, "pid": 1, "tid": 1},
+    ]}
+    assert validate_chrome_trace(good) == []
+    bad = {"traceEvents": [
+        {"name": "a", "ph": "f", "ts": 0, "pid": 1, "tid": 1},
+    ]}
+    assert any("flow event needs an id" in p for p in validate_chrome_trace(bad))
+
+
+# -- CLI surfaces ------------------------------------------------------------
+
+
+def test_cli_explain_json_names_root_cause(tmp_path, capsys):
+    store, _run_key = seeded_failed_store(tmp_path, traced=True)
+    code = main(["explain", "--store", str(store.root), "--json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 1  # forensics confirm a failure
+    assert doc["root_cause"]["id"] == "channel-garbage@seed=3"
+    assert doc["ok"] is False
+
+
+def test_cli_explain_renders_chain(tmp_path, capsys):
+    store, run_key = seeded_failed_store(tmp_path, traced=True)
+    code = main(["explain", run_key, "--store", str(store.root)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "root cause: state corruption channel-garbage@seed=3" in out
+    assert "causal chain:" in out
+
+
+def test_cli_explain_errors_cleanly_on_empty_store(tmp_path, capsys):
+    code = main(["explain", "--store", str(tmp_path / "empty")])
+    assert code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_trace_summary_json(tmp_path, capsys):
+    store, run_key = seeded_failed_store(tmp_path, traced=True)
+    code = main(["trace", "summary", "--store", str(store.root), "--json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert doc["run"] == run_key
+    assert doc["trace_schema"] == 2
+    assert doc["n_causal_events"] > 0
+    assert "counters" in doc["summary"]
+
+
+def test_cli_trace_stitch_writes_valid_doc(tmp_path, capsys):
+    store = RunStore(tmp_path / "store")
+    submit_campaign(store, "explain-selftest", reps=2)
+    FabricWorker(
+        store.root, worker_id="w1", drain=True, poll=0.01, trace=True
+    ).run()
+    with use_telemetry(Telemetry()) as aggregator:
+        run_fabric_campaign(store, "explain-selftest", reps=2, timeout=10.0)
+    save_trace(store, aggregator, label="aggregator")
+    out = tmp_path / "stitched.json"
+    code = main(["trace", "stitch", "--store", str(store.root),
+                 "--out", str(out)])
+    assert code == 0
+    assert "stitched 2 trace(s)" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    assert validate_chrome_trace(doc) == []
